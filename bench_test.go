@@ -1,0 +1,149 @@
+// Package repro's top-level benchmarks regenerate every experiment of the
+// reproduction (one benchmark per DESIGN.md experiment id) plus
+// micro-benchmarks of the core machinery. Run:
+//
+//	go test -bench=. -benchmem
+//
+// Each experiment benchmark executes the full scenario — building the
+// simulated network, running the workload, checking the paper's qualitative
+// claims — so op time is "cost to reproduce the experiment".
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/engine"
+	"repro/internal/experiments"
+	"repro/internal/workload"
+	"repro/internal/xmltree"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	var runner experiments.Runner
+	for _, r := range experiments.All() {
+		if r.ID == id {
+			runner = r
+			break
+		}
+	}
+	if runner.Run == nil {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab, err := runner.Run()
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		if len(tab.Rows) == 0 {
+			b.Fatalf("%s: no rows", id)
+		}
+	}
+}
+
+func BenchmarkE1Fig34CDQuery(b *testing.B)      { benchExperiment(b, "E1") }
+func BenchmarkE2Fig1GeneRouting(b *testing.B)   { benchExperiment(b, "E2") }
+func BenchmarkE3Fig5CoverOverlap(b *testing.B)  { benchExperiment(b, "E3") }
+func BenchmarkE4RoutingComparison(b *testing.B) { benchExperiment(b, "E4") }
+func BenchmarkE5MQPvsCoordinator(b *testing.B)  { benchExperiment(b, "E5") }
+func BenchmarkE6Intensional(b *testing.B)       { benchExperiment(b, "E6") }
+func BenchmarkE7CurrencyLatency(b *testing.B)   { benchExperiment(b, "E7") }
+func BenchmarkE8AbsorptionRewrite(b *testing.B) { benchExperiment(b, "E8") }
+func BenchmarkE9CatalogScaling(b *testing.B)    { benchExperiment(b, "E9") }
+func BenchmarkE10Provenance(b *testing.B)       { benchExperiment(b, "E10") }
+func BenchmarkE11Annotations(b *testing.B)      { benchExperiment(b, "E11") }
+func BenchmarkE12PrivateJoin(b *testing.B)      { benchExperiment(b, "E12") }
+func BenchmarkE13Ablations(b *testing.B)        { benchExperiment(b, "E13") }
+
+// --- Micro-benchmarks of the machinery the experiments stand on ---------
+
+func BenchmarkMicroPlanEncodeDecode(b *testing.B) {
+	sales, listings := workload.CDCatalog(1, 30)
+	plan := algebra.NewPlan("bench", "t:1", algebra.Display(
+		algebra.JoinNamed("cd", "cd", "sale", "listing",
+			algebra.Data(sales...), algebra.Data(listings...))))
+	s := algebra.EncodeString(plan)
+	b.SetBytes(int64(len(s)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := algebra.DecodeString(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if algebra.EncodeString(p) != s {
+			b.Fatal("unstable round trip")
+		}
+	}
+}
+
+func BenchmarkMicroSelectPushdown(b *testing.B) {
+	leaves := make([]*algebra.Node, 16)
+	for i := range leaves {
+		leaves[i] = algebra.URL(fmt.Sprintf("s%d:1", i), "")
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		root := algebra.Display(algebra.Select(algebra.MustParsePredicate("price < 10"),
+			algebra.Union(cloneAll(leaves)...)))
+		if n := algebra.PushSelectThroughUnion(root); n != 1 {
+			b.Fatalf("rewrites = %d", n)
+		}
+	}
+}
+
+func cloneAll(ns []*algebra.Node) []*algebra.Node {
+	out := make([]*algebra.Node, len(ns))
+	for i, n := range ns {
+		out[i] = n.Clone()
+	}
+	return out
+}
+
+func BenchmarkMicroThreeWayJoinEval(b *testing.B) {
+	sales, listings := workload.CDCatalog(2, 100)
+	favs := make([]*xmltree.Node, 20)
+	for i := range favs {
+		favs[i] = xmltree.Elem("song",
+			xmltree.ElemText("title", fmt.Sprintf("Track 1 of Album %03d", i*3)))
+	}
+	plan := algebra.JoinNamed("title", "listing/song", "fav", "match",
+		algebra.Data(favs...),
+		algebra.JoinNamed("cd", "cd", "sale", "listing",
+			algebra.Select(algebra.MustParsePredicate("price < 15"), algebra.Data(sales...)),
+			algebra.Data(listings...)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.Evaluate(plan); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMicroGarageSaleGen(b *testing.B) {
+	ns := workload.GarageSaleNamespace()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sellers := workload.GarageSale(ns, workload.GarageSaleConfig{
+			Seed: int64(i), Sellers: 64, ItemsPerSeller: 8, SpecialtyZipf: 1.3,
+		})
+		if len(sellers) != 64 {
+			b.Fatal("bad generation")
+		}
+	}
+}
+
+// TestBenchmarksSmoke keeps the experiment benchmarks honest under plain
+// `go test`: every benchmark body must run once without error.
+func TestBenchmarksSmoke(t *testing.T) {
+	for _, r := range experiments.All() {
+		if _, err := r.Run(); err != nil {
+			t.Fatalf("%s: %v", r.ID, err)
+		}
+	}
+}

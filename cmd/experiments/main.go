@@ -1,0 +1,49 @@
+// Command experiments regenerates every table/figure-level experiment of
+// the reproduction (E1–E12, see DESIGN.md and EXPERIMENTS.md) and prints
+// paper-style rows.
+//
+// Usage:
+//
+//	experiments            # run all
+//	experiments -only E4   # run one experiment
+//	experiments -list      # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	only := flag.String("only", "", "run a single experiment by id (e.g. E4)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	runners := experiments.All()
+	if *list {
+		for _, r := range runners {
+			fmt.Printf("%-4s %s\n", r.ID, r.Name)
+		}
+		return
+	}
+	failed := 0
+	for _, r := range runners {
+		if *only != "" && !strings.EqualFold(*only, r.ID) {
+			continue
+		}
+		t, err := r.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s FAILED: %v\n", r.ID, err)
+			failed++
+			continue
+		}
+		fmt.Println(t.Render())
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,82 @@
+// Command mqpquery submits a mutant query plan to an mqpd server and waits
+// for the fully evaluated result to be routed back.
+//
+//	mqpquery -server 127.0.0.1:9020 -plan query.xml [-listen 127.0.0.1:0] [-timeout 30s]
+//
+// The plan file is an <mqp> document; its target attribute is overwritten
+// with this client's listen address.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/algebra"
+	"repro/internal/wire"
+	"repro/internal/xmltree"
+)
+
+func main() {
+	server := flag.String("server", "127.0.0.1:9020", "first MQP server to contact")
+	planFile := flag.String("plan", "", "file holding the <mqp> plan")
+	listen := flag.String("listen", "127.0.0.1:0", "address to receive the result on")
+	timeout := flag.Duration("timeout", 30*time.Second, "how long to wait for the result")
+	flag.Parse()
+
+	if *planFile == "" {
+		log.Fatal("mqpquery: -plan is required")
+	}
+	f, err := os.Open(*planFile)
+	if err != nil {
+		log.Fatalf("mqpquery: %v", err)
+	}
+	plan, err := algebra.Decode(f)
+	f.Close()
+	if err != nil {
+		log.Fatalf("mqpquery: parse plan: %v", err)
+	}
+
+	results := make(chan *algebra.Plan, 1)
+	srv, err := wire.Listen(*listen, func(doc *xmltree.Node) (*xmltree.Node, error) {
+		got, err := algebra.Unmarshal(doc)
+		if err != nil {
+			return nil, err
+		}
+		select {
+		case results <- got:
+		default:
+		}
+		return nil, nil
+	})
+	if err != nil {
+		log.Fatalf("mqpquery: %v", err)
+	}
+	defer srv.Close()
+
+	plan.Target = srv.Addr()
+	if plan.Original == nil {
+		plan.RetainOriginal()
+	}
+	if err := wire.Send(*server, algebra.Marshal(plan)); err != nil {
+		log.Fatalf("mqpquery: %v", err)
+	}
+
+	select {
+	case res := <-results:
+		items, err := res.Results()
+		if err != nil {
+			log.Fatalf("mqpquery: result not constant: %v", err)
+		}
+		fmt.Printf("<!-- %d items -->\n", len(items))
+		for _, it := range items {
+			fmt.Println(it.Indent())
+		}
+	case err := <-srv.Errors():
+		log.Fatalf("mqpquery: %v", err)
+	case <-time.After(*timeout):
+		log.Fatalf("mqpquery: timed out after %v", *timeout)
+	}
+}

@@ -1,0 +1,131 @@
+// The P2P garage sale of paper §2 at scale: 40 generated sellers with
+// geographic and merchandise locality, a two-level catalog (state index
+// servers under a country-wide meta-index), and a mix of queries — area
+// counts, price-filtered searches, and a top-n bargain hunt.
+//
+// Run: go run ./examples/garagesale
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/algebra"
+	"repro/internal/catalog"
+	"repro/internal/hierarchy"
+	"repro/internal/namespace"
+	"repro/internal/peer"
+	"repro/internal/simnet"
+	"repro/internal/workload"
+)
+
+func main() {
+	net := simnet.New()
+	ns := workload.GarageSaleNamespace()
+	sellers := workload.GarageSale(ns, workload.GarageSaleConfig{
+		Seed: 2026, Sellers: 48, ItemsPerSeller: 10, SpecialtyZipf: 1.1,
+	})
+
+	// Meta-index covering everything.
+	if _, err := peer.New(peer.Config{Addr: "meta:9020", Net: net, NS: ns, PushSelect: true,
+		Area: ns.MustParseArea("[*, *]"), Authoritative: true, Key: []byte("kM")}); err != nil {
+		log.Fatal(err)
+	}
+
+	// One authoritative index server per state, registered upward.
+	states := map[string]string{}
+	for _, s := range sellers {
+		st := s.City.Truncate(2).String()
+		if _, ok := states[st]; ok {
+			continue
+		}
+		addr := "idx-" + strings.ReplaceAll(st, "/", "-") + ":9020"
+		idx, err := peer.New(peer.Config{Addr: addr, Net: net, NS: ns, PushSelect: true,
+			Area:          namespace.NewArea(namespace.NewCell(s.City.Truncate(2), hierarchy.Top)),
+			Authoritative: true, Key: []byte("kI")})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := idx.RegisterWith("meta:9020", catalog.RoleIndex); err != nil {
+			log.Fatal(err)
+		}
+		states[st] = addr
+	}
+	fmt.Printf("deployed %d sellers across %d state index servers\n", len(sellers), len(states))
+
+	for _, s := range sellers {
+		sp, err := peer.New(peer.Config{Addr: s.Addr, Net: net, NS: ns, PushSelect: true,
+			Area: s.Area, Key: []byte("kS")})
+		if err != nil {
+			log.Fatal(err)
+		}
+		sp.AddCollection(peer.Collection{Name: "items", PathExp: "/data[id=0]", Area: s.Area, Items: s.Items})
+		if err := sp.RegisterWith(states[s.City.Truncate(2).String()], catalog.RoleBase); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	client, err := peer.New(peer.Config{Addr: "buyer:9020", Net: net, NS: ns, Key: []byte("kB")})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := client.Catalog().Register(catalog.Registration{
+		Addr: "meta:9020", Role: catalog.RoleMetaIndex,
+		Area: ns.MustParseArea("[*, *]"), Authoritative: true,
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	submit := func(id string, root *algebra.Node) peer.Result {
+		plan := algebra.NewPlan(id, "buyer:9020", algebra.Display(root))
+		plan.RetainOriginal()
+		if err := client.Submit("buyer:9020", plan); err != nil {
+			log.Fatalf("%s: %v", id, err)
+		}
+		res, ok := client.TakeResult()
+		if !ok {
+			log.Fatalf("%s: no result", id)
+		}
+		return res
+	}
+	urn := func(area string) *algebra.Node {
+		return algebra.URN(namespace.EncodeURN(ns.MustParseArea(area)))
+	}
+
+	// Query 1: how much furniture is for sale in Oregon?
+	res := submit("q1", algebra.Count(algebra.Select(
+		algebra.Cmp{Path: "category", Op: algebra.OpContains, Value: "Furniture"},
+		urn("[USA/OR, Furniture]"))))
+	items, _ := res.Plan.Results()
+	fmt.Printf("q1: furniture items in Oregon: %s (%v, %d hops)\n",
+		items[0].InnerText(), res.At, res.Hops)
+
+	// Query 2: cheap CDs anywhere in Washington.
+	res = submit("q2", algebra.Select(
+		algebra.MustParsePredicate("price < 100 and category contains 'Books'"),
+		urn("[USA/WA, Books]")))
+	items, _ = res.Plan.Results()
+	fmt.Printf("q2: books under $100 in Washington: %d items\n", len(items))
+	for i, it := range items {
+		if i == 3 {
+			fmt.Println("   ...")
+			break
+		}
+		fmt.Printf("   %s in %s: $%s (%s)\n",
+			it.Value("name"), it.Value("city"), it.Value("price"), it.Value("condition"))
+	}
+
+	// Query 3: the five cheapest like-new items in Portland, any category.
+	res = submit("q3", algebra.TopN(5, "price", false, algebra.Select(
+		algebra.MustParsePredicate("condition = 'like-new'"),
+		urn("[USA/OR/Portland, *]"))))
+	items, _ = res.Plan.Results()
+	fmt.Printf("q3: five cheapest like-new items in Portland (%d found):\n", len(items))
+	for _, it := range items {
+		fmt.Printf("   $%-4s %-22s %s\n", it.Value("price"), it.Value("name"), it.Value("category"))
+	}
+
+	m := net.Metrics()
+	fmt.Printf("network totals: %d messages, %.1f KB\n", m.Messages, float64(m.Bytes)/1024)
+}

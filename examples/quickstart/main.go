@@ -1,0 +1,95 @@
+// Quickstart: the paper's Fig. 3 query through the public p2pq API.
+//
+// Three peers — a meta-index server, a CD seller, and a track-listing
+// service — answer "find CDs under $10 in Portland that contain one of my
+// favorite songs", with the plan mutating as it travels.
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/pkg/p2pq"
+)
+
+func main() {
+	ns := p2pq.MustNewNamespace(
+		p2pq.Dimension("Location", "USA/OR/Portland", "USA/WA/Seattle"),
+		p2pq.Dimension("Merchandise", "Music/CDs", "Furniture/Chairs"),
+	)
+	sys := p2pq.NewSystem(ns)
+
+	meta, err := sys.AddPeer(p2pq.PeerOptions{
+		Addr: "meta:9020", Area: "[*, *]", Authoritative: true, SigningKey: []byte("kM"),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	seller, err := sys.AddPeer(p2pq.PeerOptions{
+		Addr: "seller:9020", Area: "[USA/OR/Portland, Music/CDs]", SigningKey: []byte("kS"),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := seller.Publish("cds", "/data[id=1]", "[USA/OR/Portland, Music/CDs]",
+		p2pq.BuildItem("sale", "cd", "Blue Train", "price", "8"),
+		p2pq.BuildItem("sale", "cd", "Giant Steps", "price", "9"),
+		p2pq.BuildItem("sale", "cd", "Kind of Blue", "price", "15"),
+	); err != nil {
+		log.Fatal(err)
+	}
+	if err := seller.JoinVia(meta.Addr()); err != nil {
+		log.Fatal(err)
+	}
+
+	tracks, err := sys.AddPeer(p2pq.PeerOptions{Addr: "tracks:9020", SigningKey: []byte("kT")})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := tracks.Publish("listings", "/data[id=9]", "[*, *]",
+		p2pq.BuildItem("listing", "cd", "Blue Train", "song", "Locomotion"),
+		p2pq.BuildItem("listing", "cd", "Giant Steps", "song", "Naima"),
+		p2pq.BuildItem("listing", "cd", "Kind of Blue", "song", "So What"),
+	); err != nil {
+		log.Fatal(err)
+	}
+
+	client, err := sys.AddPeer(p2pq.PeerOptions{
+		Addr: "me:9020", Knows: []string{meta.Addr()}, SigningKey: []byte("kC"),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The paper's opaque URNs resolve through the meta server's catalog.
+	meta.Alias("urn:CD:TrackListings", "http://tracks:9020/data[id=9]")
+
+	// Favorite songs travel inside the plan as verbatim XML (Fig. 3).
+	favorites := p2pq.Items(
+		p2pq.BuildItem("song", "title", "Naima"),
+		p2pq.BuildItem("song", "title", "So What"),
+	)
+	forSale := p2pq.ScanArea("[USA/OR/Portland, Music/CDs]").Where("price < 10")
+	listings := p2pq.ScanURN("urn:CD:TrackListings")
+
+	plan := favorites.
+		Join(forSale.Join(listings, "cd", "cd", "sale", "listing"),
+			"title", "listing/song", "fav", "match").
+		Plan("quickstart", client.Addr())
+
+	res, err := client.QueryVia(meta.Addr(), plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("CDs under $10 carrying a favorite song (%d found, %v, %d hops):\n",
+		len(res.Items), res.Latency, res.Hops)
+	for _, it := range res.Items {
+		fmt.Printf("  %s ($%s) — %s\n",
+			it.Value("match/sale/cd"), it.Value("match/sale/price"), it.Value("fav/title"))
+	}
+	m := sys.Metrics()
+	fmt.Printf("network: %d messages, %d bytes\n", m.Messages, m.Bytes)
+}

@@ -1,0 +1,163 @@
+package algebra
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/xmltree"
+)
+
+// fig3Plan builds the paper's Fig. 3 mutant query plan: favorite songs join
+// track listings join (select price < 10 over Portland CDs for sale).
+func fig3Plan() *Plan {
+	songs := Data(
+		xmltree.MustParse(`<song><title>Song A</title></song>`),
+		xmltree.MustParse(`<song><title>Song B</title></song>`),
+	)
+	forSale := Select(MustParsePredicate("price < 10"), URN("urn:ForSale:Portland-CDs"))
+	listings := URN("urn:CD:TrackListings")
+	cdJoin := JoinNamed("cd", "cd", "sale", "listing", forSale, listings)
+	songJoin := JoinNamed("title", "listing/song", "fav", "match", songs, cdJoin)
+	return NewPlan("fig3", "129.95.50.105:9020", Display(songJoin))
+}
+
+func TestValidate(t *testing.T) {
+	p := fig3Plan()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []*Node{
+		{Kind: KindSelect, Children: []*Node{Data()}}, // no pred
+		{Kind: KindJoin, Children: []*Node{Data()}},   // arity
+		{Kind: KindURL},   // no href
+		{Kind: KindURN},   // no name
+		{Kind: KindUnion}, // empty
+		{Kind: KindTopN, N: 0, Children: []*Node{Data()}},             // n<=0
+		{Kind: KindProject, Children: []*Node{Data()}},                // no fields
+		{Kind: KindDisplay, Children: []*Node{Data(), Data()}},        // arity
+		{Kind: KindJoin, LeftKey: "a", Children: []*Node{Data(), {}}}, // keys
+	}
+	for i, n := range bad {
+		if err := n.Validate(); err == nil {
+			t.Errorf("bad[%d] (%s): expected validation error", i, n.Kind)
+		}
+	}
+	if err := (&Plan{ID: "x", Root: Data()}).Validate(); err == nil {
+		t.Error("plan without target must fail validation")
+	}
+	if err := (&Plan{ID: "x", Target: "t"}).Validate(); err == nil {
+		t.Error("plan without root must fail validation")
+	}
+}
+
+func TestLeavesURNsURLs(t *testing.T) {
+	p := fig3Plan()
+	leaves := p.Root.Leaves()
+	if len(leaves) != 3 {
+		t.Fatalf("leaves = %d, want 3", len(leaves))
+	}
+	urns := p.Root.URNs()
+	if len(urns) != 2 || urns[0] != "urn:CD:TrackListings" || urns[1] != "urn:ForSale:Portland-CDs" {
+		t.Fatalf("urns = %v", urns)
+	}
+	u := Union(URL("http://a/", ""), URL("http://b/", ""), URL("http://a/", ""))
+	if got := u.URLs(); len(got) != 2 {
+		t.Fatalf("urls = %v", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	p := fig3Plan()
+	p.RetainOriginal()
+	c := p.Clone()
+	c.Root.Walk(func(n *Node) bool {
+		if n.Kind == KindURN {
+			n.URN = "urn:Changed"
+		}
+		return true
+	})
+	if len(p.Root.URNs()) != 2 || p.Root.URNs()[0] == "urn:Changed" {
+		t.Fatal("clone shares URN nodes with original")
+	}
+	if c.Original == nil {
+		t.Fatal("clone dropped original")
+	}
+}
+
+func TestIsConstantAndResults(t *testing.T) {
+	d := Data(xmltree.MustParse(`<r>1</r>`))
+	p := NewPlan("x", "t", Display(d))
+	if !p.IsConstant() {
+		t.Fatal("display(data) must be constant")
+	}
+	rs, err := p.Results()
+	if err != nil || len(rs) != 1 {
+		t.Fatalf("results = %v, %v", rs, err)
+	}
+	q := fig3Plan()
+	if q.IsConstant() {
+		t.Fatal("fig3 plan is not constant")
+	}
+	if _, err := q.Results(); err == nil {
+		t.Fatal("results of non-constant plan must error")
+	}
+}
+
+func TestAnnotations(t *testing.T) {
+	n := URN("urn:X")
+	n.SetCard(1000000)
+	if n.Card() != 1000000 {
+		t.Fatalf("card = %d", n.Card())
+	}
+	n.SetStaleness(30)
+	if n.Staleness() != 30 {
+		t.Fatalf("staleness = %d", n.Staleness())
+	}
+	m := URN("urn:Y")
+	if m.Card() != -1 || m.Staleness() != -1 {
+		t.Fatal("missing annotations must read as -1")
+	}
+	m.Annotate(AnnotCard, "not-a-number")
+	if m.Card() != -1 {
+		t.Fatal("malformed card must read as -1")
+	}
+}
+
+func TestWalkPrune(t *testing.T) {
+	p := fig3Plan()
+	count := 0
+	p.Root.Walk(func(n *Node) bool {
+		count++
+		return n.Kind != KindJoin // prune below first join
+	})
+	// display + join(stopped) = 2
+	if count != 2 {
+		t.Fatalf("walk visited %d nodes, want 2", count)
+	}
+}
+
+func TestStringSketch(t *testing.T) {
+	p := fig3Plan()
+	s := p.Root.String()
+	for _, frag := range []string{"display(", "join[", "select[price < 10]", "urn(urn:CD:TrackListings)"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("sketch %q missing %q", s, frag)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	kinds := []Kind{KindData, KindURL, KindURN, KindSelect, KindProject, KindJoin,
+		KindUnion, KindOr, KindDifference, KindCount, KindTopN, KindDisplay}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Fatalf("kind %d has bad/duplicate string %q", int(k), s)
+		}
+		seen[s] = true
+	}
+	if !strings.Contains(Kind(99).String(), "99") {
+		t.Fatal("unknown kind string")
+	}
+}

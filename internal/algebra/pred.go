@@ -1,0 +1,367 @@
+// Package algebra defines the logical query algebra of mutant query plans:
+// operator trees over XML item collections, a small predicate language, XML
+// (de)serialization of plans — the paper's "XML serializations of algebraic
+// query plan graphs" — and the rewrite rules the paper's optimizer relies
+// on (push-select-through-union, or-choice, absorption).
+package algebra
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/xmltree"
+)
+
+// Predicate is a boolean condition over one XML item. Predicates appear in
+// Select operators and in join filters.
+type Predicate interface {
+	// Eval reports whether the item satisfies the predicate.
+	Eval(item *xmltree.Node) bool
+	// String renders the predicate in the parseable surface syntax.
+	String() string
+}
+
+// CmpOp enumerates comparison operators of the predicate language.
+type CmpOp int
+
+// Comparison operators. Contains performs IR-style substring matching, the
+// only query capability typical file-sharing systems offer (§1); the rest
+// are the richer database-style comparisons the paper argues for.
+const (
+	OpEq CmpOp = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpContains
+)
+
+func (op CmpOp) String() string {
+	switch op {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "!="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	case OpContains:
+		return "contains"
+	default:
+		return "?"
+	}
+}
+
+// Cmp compares the item value at Path against a literal. When both sides
+// parse as numbers the comparison is numeric, otherwise lexicographic
+// (Contains is always textual).
+type Cmp struct {
+	Path  string
+	Op    CmpOp
+	Value string
+}
+
+// Eval implements Predicate.
+func (c Cmp) Eval(item *xmltree.Node) bool {
+	v := strings.TrimSpace(item.Value(c.Path))
+	if c.Op == OpContains {
+		return strings.Contains(strings.ToLower(v), strings.ToLower(c.Value))
+	}
+	ln, lerr := strconv.ParseFloat(v, 64)
+	rn, rerr := strconv.ParseFloat(strings.TrimSpace(c.Value), 64)
+	var cmp int
+	if lerr == nil && rerr == nil {
+		switch {
+		case ln < rn:
+			cmp = -1
+		case ln > rn:
+			cmp = 1
+		}
+	} else {
+		cmp = strings.Compare(v, c.Value)
+	}
+	switch c.Op {
+	case OpEq:
+		return cmp == 0
+	case OpNe:
+		return cmp != 0
+	case OpLt:
+		return cmp < 0
+	case OpLe:
+		return cmp <= 0
+	case OpGt:
+		return cmp > 0
+	case OpGe:
+		return cmp >= 0
+	}
+	return false
+}
+
+// String implements Predicate.
+func (c Cmp) String() string {
+	return fmt.Sprintf("%s %s %s", c.Path, c.Op, quoteLiteral(c.Value))
+}
+
+func quoteLiteral(v string) string {
+	if v == "" {
+		return "''"
+	}
+	if _, err := strconv.ParseFloat(v, 64); err == nil {
+		return v
+	}
+	return "'" + strings.ReplaceAll(v, "'", "\\'") + "'"
+}
+
+// Exists is true when the path matches at least one node in the item.
+type Exists struct {
+	Path string
+}
+
+// Eval implements Predicate.
+func (e Exists) Eval(item *xmltree.Node) bool { return item.Find(e.Path) != nil }
+
+// String implements Predicate.
+func (e Exists) String() string { return "exists " + e.Path }
+
+// And is predicate conjunction.
+type And struct {
+	L, R Predicate
+}
+
+// Eval implements Predicate.
+func (a And) Eval(item *xmltree.Node) bool { return a.L.Eval(item) && a.R.Eval(item) }
+
+// String implements Predicate.
+func (a And) String() string { return "(" + a.L.String() + " and " + a.R.String() + ")" }
+
+// OrPred is predicate disjunction (named to avoid clashing with the plan
+// Or operator).
+type OrPred struct {
+	L, R Predicate
+}
+
+// Eval implements Predicate.
+func (o OrPred) Eval(item *xmltree.Node) bool { return o.L.Eval(item) || o.R.Eval(item) }
+
+// String implements Predicate.
+func (o OrPred) String() string { return "(" + o.L.String() + " or " + o.R.String() + ")" }
+
+// Not is predicate negation.
+type Not struct {
+	P Predicate
+}
+
+// Eval implements Predicate.
+func (n Not) Eval(item *xmltree.Node) bool { return !n.P.Eval(item) }
+
+// String implements Predicate.
+func (n Not) String() string { return "not " + n.P.String() }
+
+// True is the always-true predicate.
+type True struct{}
+
+// Eval implements Predicate.
+func (True) Eval(*xmltree.Node) bool { return true }
+
+// String implements Predicate.
+func (True) String() string { return "true" }
+
+// ParsePredicate parses the surface syntax used in serialized plans:
+//
+//	price < 10
+//	name contains 'chair'
+//	exists images
+//	(price <= 10 and seller/city = 'Portland') or not sold = 'yes'
+//	true
+//
+// Operator precedence: not > and > or. Comparisons take a path on the left
+// and a (quoted string or numeric) literal on the right.
+func ParsePredicate(s string) (Predicate, error) {
+	p := &predParser{toks: lexPredicate(s)}
+	pred, err := p.parseOr()
+	if err != nil {
+		return nil, fmt.Errorf("algebra: predicate %q: %w", s, err)
+	}
+	if !p.eof() {
+		return nil, fmt.Errorf("algebra: predicate %q: trailing input at %q", s, p.peek())
+	}
+	return pred, nil
+}
+
+// MustParsePredicate is ParsePredicate for fixtures; panics on error.
+func MustParsePredicate(s string) Predicate {
+	p, err := ParsePredicate(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func lexPredicate(s string) []string {
+	var toks []string
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n':
+			i++
+		case c == '(' || c == ')':
+			toks = append(toks, string(c))
+			i++
+		case c == '\'':
+			j := i + 1
+			var b strings.Builder
+			for j < len(s) && s[j] != '\'' {
+				if s[j] == '\\' && j+1 < len(s) {
+					j++
+				}
+				b.WriteByte(s[j])
+				j++
+			}
+			toks = append(toks, "'"+b.String())
+			i = j + 1
+		case strings.ContainsRune("=<>!", rune(c)):
+			j := i + 1
+			if j < len(s) && s[j] == '=' {
+				j++
+			}
+			toks = append(toks, s[i:j])
+			i = j
+		default:
+			j := i
+			for j < len(s) && !strings.ContainsRune(" \t\n()=<>!", rune(s[j])) && s[j] != '\'' {
+				j++
+			}
+			toks = append(toks, s[i:j])
+			i = j
+		}
+	}
+	return toks
+}
+
+type predParser struct {
+	toks []string
+	pos  int
+}
+
+func (p *predParser) eof() bool { return p.pos >= len(p.toks) }
+
+func (p *predParser) peek() string {
+	if p.eof() {
+		return ""
+	}
+	return p.toks[p.pos]
+}
+
+func (p *predParser) next() string {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *predParser) parseOr() (Predicate, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for strings.EqualFold(p.peek(), "or") {
+		p.next()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = OrPred{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *predParser) parseAnd() (Predicate, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for strings.EqualFold(p.peek(), "and") {
+		p.next()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = And{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *predParser) parseUnary() (Predicate, error) {
+	switch {
+	case strings.EqualFold(p.peek(), "not"):
+		p.next()
+		inner, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Not{P: inner}, nil
+	case p.peek() == "(":
+		p.next()
+		inner, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek() != ")" {
+			return nil, fmt.Errorf("missing closing parenthesis")
+		}
+		p.next()
+		return inner, nil
+	case strings.EqualFold(p.peek(), "true"):
+		p.next()
+		return True{}, nil
+	case strings.EqualFold(p.peek(), "exists"):
+		p.next()
+		path := p.next()
+		if path == "" {
+			return nil, fmt.Errorf("exists: missing path")
+		}
+		return Exists{Path: path}, nil
+	default:
+		return p.parseCmp()
+	}
+}
+
+func (p *predParser) parseCmp() (Predicate, error) {
+	path := p.next()
+	if path == "" {
+		return nil, fmt.Errorf("missing comparison path")
+	}
+	opTok := p.next()
+	var op CmpOp
+	switch strings.ToLower(opTok) {
+	case "=", "==":
+		op = OpEq
+	case "!=":
+		op = OpNe
+	case "<":
+		op = OpLt
+	case "<=":
+		op = OpLe
+	case ">":
+		op = OpGt
+	case ">=":
+		op = OpGe
+	case "contains":
+		op = OpContains
+	default:
+		return nil, fmt.Errorf("unknown operator %q", opTok)
+	}
+	lit := p.next()
+	if lit == "" {
+		return nil, fmt.Errorf("missing literal after %q", opTok)
+	}
+	lit = strings.TrimPrefix(lit, "'")
+	return Cmp{Path: path, Op: op, Value: lit}, nil
+}

@@ -1,0 +1,317 @@
+package algebra
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"repro/internal/xmltree"
+)
+
+// XML serialization of mutant query plans (§2: "an algebraic query plan
+// graph, encoded in XML"). The element vocabulary:
+//
+//	<mqp id="q1" target="129.95.50.105:9020">
+//	  <plan> one operator element </plan>
+//	  <original> optional retained original plan </original>
+//	  ... extra sections (e.g. <provenance>) preserved verbatim ...
+//	</mqp>
+//
+// Operator elements:
+//
+//	<data> verbatim item elements </data>
+//	<url href="http://10.1.2.3:9020/" path="/data[id=245]"/>
+//	<urn name="urn:ForSale:Portland-CDs"/>
+//	<select pred="price &lt; 10"> child </select>
+//	<project as="item" fields="name,price"> child </project>
+//	<join leftkey="title" rightkey="CD" leftname="sale" rightname="listing">
+//	  left right </join>
+//	<union> children </union>
+//	<or> children </or>
+//	<difference> left right </difference>
+//	<count> child </count>
+//	<topn n="10" by="price" order="asc"> child </topn>
+//	<display> child </display>
+//
+// Any operator element may carry an <annotations> first child with
+// <annot k="..." v="..."/> entries (§5.1).
+
+// annotationsElem is the reserved element name for annotation blocks.
+const annotationsElem = "annotations"
+
+// MarshalNode converts an operator subtree to its XML element form.
+func MarshalNode(n *Node) *xmltree.Node {
+	e := xmltree.Elem(n.Kind.String())
+	if len(n.Annotations) > 0 {
+		ann := xmltree.Elem(annotationsElem)
+		keys := make([]string, 0, len(n.Annotations))
+		for k := range n.Annotations {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			a := xmltree.Elem("annot")
+			a.SetAttr("k", k)
+			a.SetAttr("v", n.Annotations[k])
+			ann.Add(a)
+		}
+		e.Add(ann)
+	}
+	switch n.Kind {
+	case KindData:
+		for _, d := range n.Docs {
+			e.Add(d.Clone())
+		}
+	case KindURL:
+		e.SetAttr("href", n.URL)
+		if n.PathExp != "" {
+			e.SetAttr("path", n.PathExp)
+		}
+	case KindURN:
+		e.SetAttr("name", n.URN)
+	case KindSelect:
+		e.SetAttr("pred", n.Pred.String())
+	case KindProject:
+		e.SetAttr("as", n.As)
+		e.SetAttr("fields", joinFields(n.Fields))
+	case KindJoin:
+		e.SetAttr("leftkey", n.LeftKey)
+		e.SetAttr("rightkey", n.RightKey)
+		e.SetAttr("leftname", n.LeftName)
+		e.SetAttr("rightname", n.RightName)
+	case KindTopN:
+		e.SetAttr("n", strconv.Itoa(n.N))
+		e.SetAttr("by", n.OrderBy)
+		if n.Desc {
+			e.SetAttr("order", "desc")
+		} else {
+			e.SetAttr("order", "asc")
+		}
+	}
+	for _, c := range n.Children {
+		e.Add(MarshalNode(c))
+	}
+	return e
+}
+
+func joinFields(fields []string) string {
+	out := ""
+	for i, f := range fields {
+		if i > 0 {
+			out += ","
+		}
+		out += f
+	}
+	return out
+}
+
+func splitFields(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}
+
+// UnmarshalNode converts an XML element back into an operator subtree.
+func UnmarshalNode(e *xmltree.Node) (*Node, error) {
+	n := &Node{}
+	switch e.Name {
+	case "data":
+		n.Kind = KindData
+	case "url":
+		n.Kind = KindURL
+		href, ok := e.Attr("href")
+		if !ok {
+			return nil, fmt.Errorf("algebra: <url> without href")
+		}
+		n.URL = href
+		n.PathExp = e.AttrDefault("path", "")
+	case "urn":
+		n.Kind = KindURN
+		name, ok := e.Attr("name")
+		if !ok {
+			return nil, fmt.Errorf("algebra: <urn> without name")
+		}
+		n.URN = name
+	case "select":
+		n.Kind = KindSelect
+		ps, ok := e.Attr("pred")
+		if !ok {
+			return nil, fmt.Errorf("algebra: <select> without pred")
+		}
+		pred, err := ParsePredicate(ps)
+		if err != nil {
+			return nil, err
+		}
+		n.Pred = pred
+	case "project":
+		n.Kind = KindProject
+		n.As = e.AttrDefault("as", "item")
+		n.Fields = splitFields(e.AttrDefault("fields", ""))
+	case "join":
+		n.Kind = KindJoin
+		n.LeftKey = e.AttrDefault("leftkey", "")
+		n.RightKey = e.AttrDefault("rightkey", "")
+		n.LeftName = e.AttrDefault("leftname", "l")
+		n.RightName = e.AttrDefault("rightname", "r")
+	case "union":
+		n.Kind = KindUnion
+	case "or":
+		n.Kind = KindOr
+	case "difference":
+		n.Kind = KindDifference
+	case "count":
+		n.Kind = KindCount
+	case "topn":
+		n.Kind = KindTopN
+		nv, err := strconv.Atoi(e.AttrDefault("n", "0"))
+		if err != nil {
+			return nil, fmt.Errorf("algebra: <topn> bad n: %w", err)
+		}
+		n.N = nv
+		n.OrderBy = e.AttrDefault("by", "")
+		n.Desc = e.AttrDefault("order", "asc") == "desc"
+	case "display":
+		n.Kind = KindDisplay
+	default:
+		return nil, fmt.Errorf("algebra: unknown operator element <%s>", e.Name)
+	}
+	for _, c := range e.Children {
+		if c.IsText() {
+			continue
+		}
+		if c.Name == annotationsElem {
+			for _, a := range c.ChildrenNamed("annot") {
+				k, _ := a.Attr("k")
+				v, _ := a.Attr("v")
+				if k != "" {
+					n.Annotate(k, v)
+				}
+			}
+			continue
+		}
+		if n.Kind == KindData {
+			n.Docs = append(n.Docs, c.Clone())
+			continue
+		}
+		child, err := UnmarshalNode(c)
+		if err != nil {
+			return nil, err
+		}
+		n.Children = append(n.Children, child)
+	}
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// Marshal converts a plan to its XML document form.
+func Marshal(p *Plan) *xmltree.Node {
+	doc := xmltree.Elem("mqp")
+	doc.SetAttr("id", p.ID)
+	doc.SetAttr("target", p.Target)
+	doc.Add(xmltree.Elem("plan", MarshalNode(p.Root)))
+	if p.Original != nil {
+		doc.Add(xmltree.Elem("original", MarshalNode(p.Original)))
+	}
+	keys := make([]string, 0, len(p.Extra))
+	for k := range p.Extra {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		doc.Add(p.Extra[k].Clone())
+	}
+	return doc
+}
+
+// Unmarshal parses an <mqp> document back into a Plan.
+func Unmarshal(doc *xmltree.Node) (*Plan, error) {
+	if doc.Name != "mqp" {
+		return nil, fmt.Errorf("algebra: expected <mqp>, got <%s>", doc.Name)
+	}
+	p := &Plan{
+		ID:     doc.AttrDefault("id", ""),
+		Target: doc.AttrDefault("target", ""),
+	}
+	for _, c := range doc.Children {
+		if c.IsText() {
+			continue
+		}
+		switch c.Name {
+		case "plan":
+			elems := c.Elements()
+			if len(elems) != 1 {
+				return nil, fmt.Errorf("algebra: <plan> must have exactly one operator, has %d", len(elems))
+			}
+			root, err := UnmarshalNode(elems[0])
+			if err != nil {
+				return nil, err
+			}
+			p.Root = root
+		case "original":
+			elems := c.Elements()
+			if len(elems) != 1 {
+				return nil, fmt.Errorf("algebra: <original> must have exactly one operator")
+			}
+			orig, err := UnmarshalNode(elems[0])
+			if err != nil {
+				return nil, err
+			}
+			p.Original = orig
+		default:
+			if p.Extra == nil {
+				p.Extra = map[string]*xmltree.Node{}
+			}
+			p.Extra[c.Name] = c.Clone()
+		}
+	}
+	if p.Root == nil {
+		return nil, fmt.Errorf("algebra: <mqp> without <plan>")
+	}
+	return p, nil
+}
+
+// Encode serializes the plan as canonical XML to w, returning bytes written.
+// This is the on-the-wire form shipped between peers; its size is what the
+// paper's optimization discussion (partial-result size) is about.
+func Encode(p *Plan, w io.Writer) (int64, error) {
+	return Marshal(p).WriteTo(w)
+}
+
+// EncodeString returns the plan's canonical XML serialization.
+func EncodeString(p *Plan) string {
+	return Marshal(p).String()
+}
+
+// WireSize returns the serialized byte size of the plan.
+func WireSize(p *Plan) int {
+	return Marshal(p).ByteSize()
+}
+
+// Decode parses a serialized plan.
+func Decode(r io.Reader) (*Plan, error) {
+	doc, err := xmltree.Parse(r)
+	if err != nil {
+		return nil, err
+	}
+	return Unmarshal(doc)
+}
+
+// DecodeString parses a plan from its XML string form.
+func DecodeString(s string) (*Plan, error) {
+	doc, err := xmltree.ParseString(s)
+	if err != nil {
+		return nil, err
+	}
+	return Unmarshal(doc)
+}

@@ -1,0 +1,175 @@
+package catalog
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/algebra"
+	"repro/internal/hierarchy"
+	"repro/internal/namespace"
+)
+
+// randAreaOver draws a random single-cell area over the test namespace.
+func randAreaOver(r *rand.Rand, ns *namespace.Namespace) namespace.Area {
+	pick := func(h *hierarchy.Hierarchy) hierarchy.Path {
+		all := h.All()
+		i := r.Intn(len(all) + 1)
+		if i == len(all) {
+			return hierarchy.Top
+		}
+		return all[i]
+	}
+	dims := ns.Dimensions()
+	return namespace.NewArea(namespace.NewCell(pick(dims[0]), pick(dims[1])))
+}
+
+// TestPropertyBindingSoundness: every URL leaf produced by Resolve belongs
+// to a registered collection whose area overlaps the query area, and every
+// registered overlapping collection appears (no false positives, no false
+// negatives) when no intensional statements are involved.
+func TestPropertyBindingSoundness(t *testing.T) {
+	ns := testNS()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := New(ns, "me:1")
+		type reg struct {
+			addr string
+			area namespace.Area
+		}
+		var regs []reg
+		n := 1 + r.Intn(8)
+		for i := 0; i < n; i++ {
+			a := randAreaOver(r, ns)
+			addr := fmt.Sprintf("s%d:1", i)
+			if err := c.Register(Registration{
+				Addr: addr, Role: RoleBase, Area: a,
+				Collections: []Collection{{Name: "c", PathExp: "/d", Area: a}},
+			}); err != nil {
+				return false
+			}
+			regs = append(regs, reg{addr: addr, area: a})
+		}
+		query := randAreaOver(r, ns)
+		b, err := c.Resolve(namespace.EncodeURN(query))
+		if err != nil {
+			return false
+		}
+		want := map[string]bool{}
+		for _, rg := range regs {
+			if rg.area.Overlaps(query) {
+				want[rg.addr] = true
+			}
+		}
+		got := map[string]bool{}
+		if b.Expr != nil {
+			for _, u := range b.Expr.URLs() {
+				got[u] = true
+			}
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for a := range want {
+			if !got[a] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyResolveDeterministic: repeated resolution yields identical
+// serialized bindings (with and without cache).
+func TestPropertyResolveDeterministic(t *testing.T) {
+	ns := testNS()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := New(ns, "me:1")
+		for i := 0; i < 1+r.Intn(5); i++ {
+			a := randAreaOver(r, ns)
+			_ = c.Register(Registration{
+				Addr: fmt.Sprintf("s%d:1", i), Role: RoleBase, Area: a,
+				Collections: []Collection{{Name: "c", PathExp: "/d", Area: a}},
+			})
+		}
+		query := namespace.EncodeURN(randAreaOver(r, ns))
+		b1, err1 := c.Resolve(query)
+		b2, err2 := c.Resolve(query) // cache hit path
+		c.EnableCache(false)
+		b3, err3 := c.Resolve(query) // uncached path
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		key := func(b Binding) string {
+			s := fmt.Sprintf("%v", b.Routes)
+			if b.Expr != nil {
+				s += "|" + algebra.EncodeString(algebra.NewPlan("x", "t", algebra.Display(b.Expr)))
+			}
+			return s
+		}
+		return key(b1) == key(b2) && key(b2) == key(b3)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyParsersNeverPanic: the surface-syntax parsers reject garbage
+// gracefully (no panics) for arbitrary byte strings.
+func TestPropertyParsersNeverPanic(t *testing.T) {
+	ns := testNS()
+	f := func(s string) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		_, _ = ParseStatement(ns, s)
+		_, _ = namespace.DecodeURN(s)
+		_, _ = namespace.DecodeURN("urn:InterestArea:" + s)
+		_, _ = algebra.ParsePredicate(s)
+		_, _ = ns.ParseArea(s)
+		_, _ = hierarchy.ParsePath(s)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyStatementRoundTrip: parse∘print is stable on generated
+// statements.
+func TestPropertyStatementRoundTrip(t *testing.T) {
+	ns := testNS()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		left := Term{
+			Level: Level(r.Intn(2)),
+			Area:  randAreaOver(r, ns),
+			Addr:  fmt.Sprintf("R%d:1", r.Intn(5)),
+		}
+		var right []Term
+		for i := 0; i <= r.Intn(3); i++ {
+			right = append(right, Term{
+				Level:    LevelBase,
+				Area:     randAreaOver(r, ns),
+				Addr:     fmt.Sprintf("S%d:1", i),
+				DelayMin: r.Intn(3) * 15,
+			})
+		}
+		st := Statement{Left: left, Op: StmtOp(r.Intn(2)), Right: right}
+		if st.Validate() != nil {
+			return true // skip invalid combinations
+		}
+		back, err := ParseStatement(ns, st.String())
+		return err == nil && back.String() == st.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,233 @@
+// Package catalog implements each peer's local catalog (§2, §3): mappings
+// from URNs to URLs or to servers that can resolve them, interest-area
+// registrations of base/index/meta-index servers, intensional statements
+// about replication and index coverage (§4), and the binding construction
+// that turns an interest-area URN into an algebra expression — including the
+// "|" (conjoint union) alternatives that let routing skip redundant servers
+// and trade currency against latency.
+package catalog
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/namespace"
+)
+
+// Level distinguishes what a catalog term talks about: a server's base data
+// or its index entries (§4.1 allows replication statements at either level).
+type Level int
+
+// Catalog term levels.
+const (
+	LevelBase Level = iota
+	LevelIndex
+)
+
+func (l Level) String() string {
+	if l == LevelIndex {
+		return "index"
+	}
+	return "base"
+}
+
+// Term is one side's atom in an intensional statement:
+// level[area]@server{delay}. Delay is the staleness bound in minutes
+// (§4.3); zero means current.
+type Term struct {
+	Level    Level
+	Area     namespace.Area
+	Addr     string
+	DelayMin int
+}
+
+// String renders the term in the paper's notation, e.g.
+// "base[USA/OR/Portland, *]@R{30}".
+func (t Term) String() string {
+	s := fmt.Sprintf("%s[%s]@%s", t.Level, cellList(t.Area), t.Addr)
+	if t.DelayMin > 0 {
+		s += "{" + strconv.Itoa(t.DelayMin) + "}"
+	}
+	return s
+}
+
+func cellList(a namespace.Area) string {
+	parts := make([]string, len(a.Cells))
+	for i, c := range a.Cells {
+		inner := c.String()
+		parts[i] = strings.TrimSuffix(strings.TrimPrefix(inner, "["), "]")
+	}
+	return strings.Join(parts, " + ")
+}
+
+// StmtOp is the relation between an intensional statement's sides.
+type StmtOp int
+
+// Statement operators: exact replication (=) and containment (⊇, rendered
+// ">=").
+const (
+	StmtEqual StmtOp = iota
+	StmtSuperset
+)
+
+func (op StmtOp) String() string {
+	if op == StmtSuperset {
+		return ">="
+	}
+	return "="
+}
+
+// Statement is an intensional statement (§4.1): Left op Right1 ∪ Right2 ∪ …
+// Examples from the paper:
+//
+//	base[Portland, *]@R = base[Portland, *]@S
+//	index[Oregon, Golf Clubs]@R = base[Oregon, Golf Clubs]@S ∪
+//	                              base[Oregon, Golf Clubs]@T
+//	base[Portland, *]@R >= base[Portland, *]@S{30}
+type Statement struct {
+	Left  Term
+	Op    StmtOp
+	Right []Term
+}
+
+// String renders the statement in (ASCII) paper notation.
+func (s Statement) String() string {
+	parts := make([]string, len(s.Right))
+	for i, t := range s.Right {
+		parts[i] = t.String()
+	}
+	return s.Left.String() + " " + s.Op.String() + " " + strings.Join(parts, " U ")
+}
+
+// Validate checks structural sanity.
+func (s Statement) Validate() error {
+	if s.Left.Addr == "" {
+		return fmt.Errorf("catalog: statement with empty left server")
+	}
+	if len(s.Right) == 0 {
+		return fmt.Errorf("catalog: statement with empty right side")
+	}
+	for _, t := range s.Right {
+		if t.Addr == "" {
+			return fmt.Errorf("catalog: statement with empty right server")
+		}
+		if t.DelayMin < 0 {
+			return fmt.Errorf("catalog: negative delay factor")
+		}
+	}
+	if s.Left.DelayMin != 0 {
+		return fmt.Errorf("catalog: delay factor belongs on the right side")
+	}
+	return nil
+}
+
+// ParseStatement parses the ASCII surface syntax:
+//
+//	base[USA/OR/Portland, *]@R = base[USA/OR/Portland, *]@S{30}
+//	index[USA/OR, SG/GolfClubs]@R = base[USA/OR, SG/GolfClubs]@S U base[...]@T
+//
+// The area inside [...] is a cell list "cell + cell" where each cell is a
+// comma-separated coordinate list over ns. "U" (or "∪") separates union
+// terms on the right.
+func ParseStatement(ns *namespace.Namespace, s string) (Statement, error) {
+	opIdx, opLen, op := -1, 0, StmtEqual
+	if i := strings.Index(s, ">="); i >= 0 {
+		opIdx, opLen, op = i, 2, StmtSuperset
+	} else if i := strings.Index(s, "="); i >= 0 {
+		opIdx, opLen, op = i, 1, StmtEqual
+	}
+	if opIdx < 0 {
+		return Statement{}, fmt.Errorf("catalog: statement %q has no operator", s)
+	}
+	left, err := parseTerm(ns, s[:opIdx])
+	if err != nil {
+		return Statement{}, fmt.Errorf("catalog: statement %q: %w", s, err)
+	}
+	rightSrc := strings.ReplaceAll(s[opIdx+opLen:], "∪", " U ")
+	var right []Term
+	for _, part := range splitUnion(rightSrc) {
+		t, err := parseTerm(ns, part)
+		if err != nil {
+			return Statement{}, fmt.Errorf("catalog: statement %q: %w", s, err)
+		}
+		right = append(right, t)
+	}
+	st := Statement{Left: left, Op: op, Right: right}
+	if err := st.Validate(); err != nil {
+		return Statement{}, err
+	}
+	return st, nil
+}
+
+// splitUnion splits on the token "U" at word boundaries outside brackets.
+func splitUnion(s string) []string {
+	var parts []string
+	depth := 0
+	start := 0
+	fields := []rune(s)
+	for i := 0; i < len(fields); i++ {
+		switch fields[i] {
+		case '[':
+			depth++
+		case ']':
+			depth--
+		case 'U':
+			if depth == 0 &&
+				(i == 0 || fields[i-1] == ' ') &&
+				(i == len(fields)-1 || fields[i+1] == ' ') {
+				parts = append(parts, string(fields[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	parts = append(parts, string(fields[start:]))
+	return parts
+}
+
+func parseTerm(ns *namespace.Namespace, s string) (Term, error) {
+	s = strings.TrimSpace(s)
+	var level Level
+	switch {
+	case strings.HasPrefix(s, "base"):
+		level, s = LevelBase, s[4:]
+	case strings.HasPrefix(s, "index"):
+		level, s = LevelIndex, s[5:]
+	default:
+		return Term{}, fmt.Errorf("term %q must start with base or index", s)
+	}
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "[") {
+		return Term{}, fmt.Errorf("term missing [area]")
+	}
+	close := strings.IndexByte(s, ']')
+	if close < 0 {
+		return Term{}, fmt.Errorf("term missing closing ]")
+	}
+	area, err := ns.ParseArea(s[1:close])
+	if err != nil {
+		return Term{}, err
+	}
+	rest := strings.TrimSpace(s[close+1:])
+	if !strings.HasPrefix(rest, "@") {
+		return Term{}, fmt.Errorf("term missing @server")
+	}
+	rest = rest[1:]
+	delay := 0
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		if !strings.HasSuffix(rest, "}") {
+			return Term{}, fmt.Errorf("term has malformed delay factor")
+		}
+		d, err := strconv.Atoi(rest[i+1 : len(rest)-1])
+		if err != nil || d < 0 {
+			return Term{}, fmt.Errorf("term has bad delay %q", rest[i+1:len(rest)-1])
+		}
+		delay = d
+		rest = rest[:i]
+	}
+	addr := strings.TrimSpace(rest)
+	if addr == "" {
+		return Term{}, fmt.Errorf("term missing server address")
+	}
+	return Term{Level: level, Area: area, Addr: addr, DelayMin: delay}, nil
+}

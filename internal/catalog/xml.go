@@ -1,0 +1,115 @@
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"repro/internal/namespace"
+	"repro/internal/xmltree"
+)
+
+// XML wire forms for registrations and statements, used by the peer
+// protocol when base servers push their existence to authoritative servers
+// (§3.3) and when index servers exchange catalog entries.
+//
+//	<registration addr="10.1.2.3:9020" role="base" authoritative="true"
+//	              area="urn:InterestArea:...">
+//	  <collection name="cds" path="/data[id=245]" area="urn:InterestArea:..."/>
+//	  <statement>base[...]@R = base[...]@S{30}</statement>
+//	</registration>
+
+// MarshalRegistration renders a registration as XML.
+func MarshalRegistration(r Registration) *xmltree.Node {
+	e := xmltree.Elem("registration")
+	e.SetAttr("addr", r.Addr)
+	e.SetAttr("role", r.Role.String())
+	e.SetAttr("area", namespace.EncodeURN(r.Area))
+	if r.Authoritative {
+		e.SetAttr("authoritative", "true")
+	}
+	for _, c := range r.Collections {
+		ce := xmltree.Elem("collection")
+		ce.SetAttr("name", c.Name)
+		ce.SetAttr("path", c.PathExp)
+		ce.SetAttr("area", namespace.EncodeURN(c.Area))
+		keys := make([]string, 0, len(c.Annotations))
+		for k := range c.Annotations {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			ae := xmltree.Elem("annot")
+			ae.SetAttr("k", k)
+			ae.SetAttr("v", c.Annotations[k])
+			ce.Add(ae)
+		}
+		e.Add(ce)
+	}
+	for _, s := range r.Statements {
+		e.Add(xmltree.ElemText("statement", s.String()))
+	}
+	return e
+}
+
+// UnmarshalRegistration parses the XML wire form. Statements are parsed
+// against ns.
+func UnmarshalRegistration(ns *namespace.Namespace, e *xmltree.Node) (Registration, error) {
+	if e.Name != "registration" {
+		return Registration{}, fmt.Errorf("catalog: expected <registration>, got <%s>", e.Name)
+	}
+	addr, ok := e.Attr("addr")
+	if !ok || addr == "" {
+		return Registration{}, fmt.Errorf("catalog: registration without addr")
+	}
+	var role Role
+	switch e.AttrDefault("role", "") {
+	case "base":
+		role = RoleBase
+	case "index":
+		role = RoleIndex
+	case "meta-index":
+		role = RoleMetaIndex
+	case "category":
+		role = RoleCategory
+	default:
+		return Registration{}, fmt.Errorf("catalog: registration with unknown role %q", e.AttrDefault("role", ""))
+	}
+	area, err := namespace.DecodeURN(e.AttrDefault("area", ""))
+	if err != nil {
+		return Registration{}, fmt.Errorf("catalog: registration area: %w", err)
+	}
+	auth, err := strconv.ParseBool(e.AttrDefault("authoritative", "false"))
+	if err != nil {
+		return Registration{}, fmt.Errorf("catalog: registration authoritative flag: %w", err)
+	}
+	reg := Registration{Addr: addr, Role: role, Area: area, Authoritative: auth}
+	for _, ce := range e.ChildrenNamed("collection") {
+		ca, err := namespace.DecodeURN(ce.AttrDefault("area", ""))
+		if err != nil {
+			return Registration{}, fmt.Errorf("catalog: collection area: %w", err)
+		}
+		coll := Collection{
+			Name:    ce.AttrDefault("name", ""),
+			PathExp: ce.AttrDefault("path", ""),
+			Area:    ca,
+		}
+		for _, ae := range ce.ChildrenNamed("annot") {
+			if k, ok := ae.Attr("k"); ok {
+				if coll.Annotations == nil {
+					coll.Annotations = map[string]string{}
+				}
+				coll.Annotations[k] = ae.AttrDefault("v", "")
+			}
+		}
+		reg.Collections = append(reg.Collections, coll)
+	}
+	for _, se := range e.ChildrenNamed("statement") {
+		st, err := ParseStatement(ns, se.InnerText())
+		if err != nil {
+			return Registration{}, err
+		}
+		reg.Statements = append(reg.Statements, st)
+	}
+	return reg, nil
+}

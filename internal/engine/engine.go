@@ -1,0 +1,291 @@
+// Package engine evaluates algebra sub-plans whose leaves are verbatim XML
+// data. It plays the role NIAGARA played in the paper's prototype (§2): the
+// local XML query engine a peer's policy manager hands locally-evaluable
+// sub-plans to.
+//
+// Item model: every collection is a slice of *xmltree.Node items. A join
+// emits <tuple> items whose children are one element per join component
+// (named by the join's LeftName/RightName), each holding the fields of the
+// source item. Key and predicate paths address items relative to their root
+// element, so "listing/song" reaches into the "listing" component of a
+// joined tuple.
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/algebra"
+	"repro/internal/xmltree"
+)
+
+// Evaluate computes the result collection of a locally-evaluable sub-plan.
+// It returns an error if the subtree contains URL or URN leaves (those must
+// be resolved by the MQP processor first) or is otherwise malformed.
+func Evaluate(n *algebra.Node) ([]*xmltree.Node, error) {
+	switch n.Kind {
+	case algebra.KindData:
+		return n.Docs, nil
+	case algebra.KindURL:
+		return nil, fmt.Errorf("engine: unresolved URL leaf %q", n.URL)
+	case algebra.KindURN:
+		return nil, fmt.Errorf("engine: unresolved URN leaf %q", n.URN)
+	case algebra.KindSelect:
+		return evalSelect(n)
+	case algebra.KindProject:
+		return evalProject(n)
+	case algebra.KindJoin:
+		return evalJoin(n)
+	case algebra.KindUnion:
+		return evalUnion(n)
+	case algebra.KindOr:
+		// All alternatives hold the necessary data (§4.2); evaluate the
+		// first. Routing policies should already have chosen an alternative.
+		if len(n.Children) == 0 {
+			return nil, fmt.Errorf("engine: empty or")
+		}
+		return Evaluate(n.Children[0])
+	case algebra.KindDifference:
+		return evalDifference(n)
+	case algebra.KindCount:
+		return evalCount(n)
+	case algebra.KindTopN:
+		return evalTopN(n)
+	case algebra.KindDisplay:
+		if len(n.Children) != 1 {
+			return nil, fmt.Errorf("engine: display expects one child")
+		}
+		return Evaluate(n.Children[0])
+	default:
+		return nil, fmt.Errorf("engine: cannot evaluate %s", n.Kind)
+	}
+}
+
+// LocallyEvaluable reports whether a sub-plan can be evaluated with no
+// further resolution: all its leaves are verbatim data (§2: "a sub-plan is
+// locally evaluable if all its leaves are verbatim XML data, URLs, or
+// resolvable URNs" — URL/URN resolvability is the MQP processor's job; by
+// the time the engine sees a sub-plan, data is the only admissible leaf).
+func LocallyEvaluable(n *algebra.Node) bool {
+	ok := true
+	n.Walk(func(m *algebra.Node) bool {
+		switch m.Kind {
+		case algebra.KindURL, algebra.KindURN:
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}
+
+// Reduce evaluates a locally-evaluable sub-plan and returns a Data node
+// holding the materialized result, annotated with its exact cardinality —
+// the paper's reduction step ("substituting the results in place of the
+// sub-plan").
+func Reduce(n *algebra.Node) (*algebra.Node, error) {
+	items, err := Evaluate(n)
+	if err != nil {
+		return nil, err
+	}
+	out := algebra.Data(items...)
+	out.SetCard(len(items))
+	return out, nil
+}
+
+func evalSelect(n *algebra.Node) ([]*xmltree.Node, error) {
+	in, err := Evaluate(n.Children[0])
+	if err != nil {
+		return nil, err
+	}
+	var out []*xmltree.Node
+	for _, it := range in {
+		if n.Pred.Eval(it) {
+			out = append(out, it)
+		}
+	}
+	return out, nil
+}
+
+func evalProject(n *algebra.Node) ([]*xmltree.Node, error) {
+	in, err := Evaluate(n.Children[0])
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*xmltree.Node, 0, len(in))
+	for _, it := range in {
+		e := xmltree.Elem(n.As)
+		for _, f := range n.Fields {
+			if m := it.Find(f); m != nil {
+				if m.IsText() {
+					// Attribute access synthesizes text nodes; wrap them so
+					// the projected field keeps a name.
+					name := f[strings.LastIndexByte(f, '/')+1:]
+					name = strings.TrimPrefix(name, "@")
+					e.Add(xmltree.ElemText(name, m.Text))
+				} else {
+					e.Add(m.Clone())
+				}
+			}
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// keyOf extracts a join key: the trimmed inner text of the first match.
+// Items with no match carry no key and never join (SQL NULL-like).
+func keyOf(it *xmltree.Node, path string) (string, bool) {
+	m := it.Find(path)
+	if m == nil {
+		return "", false
+	}
+	return strings.TrimSpace(m.InnerText()), true
+}
+
+// component wraps an item's fields under an element named name; join
+// outputs are <tuple> elements with one component per side.
+func component(name string, it *xmltree.Node) *xmltree.Node {
+	e := xmltree.Elem(name)
+	for _, c := range it.Children {
+		e.Add(c.Clone())
+	}
+	return e
+}
+
+func evalJoin(n *algebra.Node) ([]*xmltree.Node, error) {
+	left, err := Evaluate(n.Children[0])
+	if err != nil {
+		return nil, err
+	}
+	right, err := Evaluate(n.Children[1])
+	if err != nil {
+		return nil, err
+	}
+	// Classic hash join: build on the smaller side.
+	build, probe := left, right
+	buildKey, probeKey := n.LeftKey, n.RightKey
+	swapped := false
+	if len(right) < len(left) {
+		build, probe = right, left
+		buildKey, probeKey = n.RightKey, n.LeftKey
+		swapped = true
+	}
+	table := make(map[string][]*xmltree.Node, len(build))
+	for _, it := range build {
+		if k, ok := keyOf(it, buildKey); ok {
+			table[k] = append(table[k], it)
+		}
+	}
+	var out []*xmltree.Node
+	for _, p := range probe {
+		k, ok := keyOf(p, probeKey)
+		if !ok {
+			continue
+		}
+		for _, b := range table[k] {
+			// Restore left/right orientation: the build side is the left
+			// input unless the inputs were swapped above.
+			l, r := b, p
+			if swapped {
+				l, r = p, b
+			}
+			tuple := xmltree.Elem("tuple",
+				component(n.LeftName, l),
+				component(n.RightName, r),
+			)
+			out = append(out, tuple)
+		}
+	}
+	return out, nil
+}
+
+func evalUnion(n *algebra.Node) ([]*xmltree.Node, error) {
+	var out []*xmltree.Node
+	for _, c := range n.Children {
+		items, err := Evaluate(c)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, items...)
+	}
+	return out, nil
+}
+
+func evalDifference(n *algebra.Node) ([]*xmltree.Node, error) {
+	left, err := Evaluate(n.Children[0])
+	if err != nil {
+		return nil, err
+	}
+	right, err := Evaluate(n.Children[1])
+	if err != nil {
+		return nil, err
+	}
+	drop := make(map[string]bool, len(right))
+	for _, it := range right {
+		drop[it.String()] = true
+	}
+	var out []*xmltree.Node
+	for _, it := range left {
+		if !drop[it.String()] {
+			out = append(out, it)
+		}
+	}
+	return out, nil
+}
+
+func evalCount(n *algebra.Node) ([]*xmltree.Node, error) {
+	in, err := Evaluate(n.Children[0])
+	if err != nil {
+		return nil, err
+	}
+	return []*xmltree.Node{xmltree.ElemText("count", strconv.Itoa(len(in)))}, nil
+}
+
+func evalTopN(n *algebra.Node) ([]*xmltree.Node, error) {
+	in, err := Evaluate(n.Children[0])
+	if err != nil {
+		return nil, err
+	}
+	items := make([]*xmltree.Node, len(in))
+	copy(items, in)
+	less := func(a, b *xmltree.Node) bool {
+		av := strings.TrimSpace(a.Value(n.OrderBy))
+		bv := strings.TrimSpace(b.Value(n.OrderBy))
+		af, aerr := strconv.ParseFloat(av, 64)
+		bf, berr := strconv.ParseFloat(bv, 64)
+		var cmp int
+		if aerr == nil && berr == nil {
+			switch {
+			case af < bf:
+				cmp = -1
+			case af > bf:
+				cmp = 1
+			}
+		} else {
+			cmp = strings.Compare(av, bv)
+		}
+		if n.Desc {
+			return cmp > 0
+		}
+		return cmp < 0
+	}
+	sort.SliceStable(items, func(i, j int) bool { return less(items[i], items[j]) })
+	if len(items) > n.N {
+		items = items[:n.N]
+	}
+	return items, nil
+}
+
+// ResultBytes returns the total canonical-XML byte size of a collection —
+// the "size of partial results" quantity the paper's MQP optimization
+// discussion centers on (§2).
+func ResultBytes(items []*xmltree.Node) int {
+	total := 0
+	for _, it := range items {
+		total += it.ByteSize()
+	}
+	return total
+}

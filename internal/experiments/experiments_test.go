@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsRun executes every experiment end to end; each Run
+// already contains its own shape assertions (who wins, crossovers, recall)
+// and fails loudly when the paper's qualitative claims do not hold.
+func TestAllExperimentsRun(t *testing.T) {
+	for _, r := range All() {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			tab, err := r.Run()
+			if err != nil {
+				t.Fatalf("%s: %v", r.ID, err)
+			}
+			if len(tab.Rows) == 0 {
+				t.Fatalf("%s: no rows", r.ID)
+			}
+			out := tab.Render()
+			if !strings.Contains(out, r.ID) {
+				t.Fatalf("%s: render missing id:\n%s", r.ID, out)
+			}
+		})
+	}
+}
+
+func TestTableRenderAlignment(t *testing.T) {
+	tab := &Table{ID: "T", Title: "demo", Columns: []string{"a", "longcol"}}
+	tab.AddRow("xxxxxx", 1)
+	tab.AddRow(2.5, "y")
+	tab.Note("hello %d", 7)
+	out := tab.Render()
+	for _, want := range []string{"== T: demo ==", "xxxxxx", "2.50", "note: hello 7"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Header and separator must be same width.
+	if len(lines) < 3 || len(lines[1]) != len(lines[2]) {
+		t.Fatalf("alignment broken:\n%s", out)
+	}
+}
+
+func TestRunnersDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for _, r := range All() {
+		if seen[r.ID] {
+			t.Fatalf("duplicate experiment id %s", r.ID)
+		}
+		seen[r.ID] = true
+		if r.Run == nil || r.Name == "" {
+			t.Fatalf("experiment %s incomplete", r.ID)
+		}
+	}
+	if len(seen) != 13 {
+		t.Fatalf("expected 13 experiments, have %d", len(seen))
+	}
+}

@@ -1,0 +1,104 @@
+// Package experiments regenerates every figure-level scenario and
+// performance claim of the paper as a measured table (see DESIGN.md §3 for
+// the experiment index E1–E12). Each experiment is deterministic: seeded
+// workloads, virtual time, no wall-clock dependence. cmd/experiments prints
+// the tables; bench_test.go wraps each experiment in a testing.B benchmark.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one experiment's output: paper-style rows.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a row; values are formatted with %v.
+func (t *Table) AddRow(vals ...interface{}) {
+	row := make([]string, len(vals))
+	for i, v := range vals {
+		switch x := v.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", x)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Note appends a free-text note shown under the table.
+func (t *Table) Note(format string, args ...interface{}) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render formats the table as aligned text.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, v := range r {
+			if i < len(widths) && len(v) > widths[i] {
+				widths[i] = len(v)
+			}
+		}
+	}
+	writeRow := func(vals []string) {
+		for i, v := range vals {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], v)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Runner is one experiment entry point.
+type Runner struct {
+	ID   string
+	Name string
+	Run  func() (*Table, error)
+}
+
+// All returns every experiment in DESIGN.md order.
+func All() []Runner {
+	return []Runner{
+		{"E1", "Fig. 3+4 CD query mutation trace", E1Fig34},
+		{"E2", "Fig. 1 gene-expression routing", E2GeneRouting},
+		{"E3", "Fig. 5 cover/overlap matrix", E3CoverOverlap},
+		{"E4", "Routing: catalog vs flooding vs central", E4RoutingComparison},
+		{"E5", "MQP vs coordinator execution", E5MQPvsCoordinator},
+		{"E6", "Intensional statements (Examples 1-3)", E6Intensional},
+		{"E7", "Currency vs latency tradeoff", E7CurrencyLatency},
+		{"E8", "Absorption rewrite ablation", E8AbsorptionRewrite},
+		{"E9", "Catalog scaling and caches", E9CatalogScaling},
+		{"E10", "Provenance and spoof detection", E10Provenance},
+		{"E11", "Statistics annotations", E11Annotations},
+		{"E12", "Privacy-preserving join", E12PrivateJoin},
+		{"E13", "Optimization ablations", E13Ablations},
+	}
+}

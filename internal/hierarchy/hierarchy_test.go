@@ -1,0 +1,335 @@
+package hierarchy
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestParsePath(t *testing.T) {
+	p, err := ParsePath("USA/OR/Portland")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.String() != "USA/OR/Portland" || p.Depth() != 3 || p.Leaf() != "Portland" {
+		t.Fatalf("parsed %v depth=%d leaf=%s", p, p.Depth(), p.Leaf())
+	}
+	top, err := ParsePath("*")
+	if err != nil || !top.IsTop() {
+		t.Fatalf("top parse: %v %v", top, err)
+	}
+	if top.String() != "*" {
+		t.Fatalf("top string = %q", top.String())
+	}
+	for _, bad := range []string{"USA//Portland", "a/*", "*/b", "a//"} {
+		if _, err := ParsePath(bad); err == nil {
+			t.Errorf("ParsePath(%q): want error", bad)
+		}
+	}
+}
+
+func TestCovers(t *testing.T) {
+	usa := MustParsePath("USA")
+	or := MustParsePath("USA/OR")
+	pdx := MustParsePath("USA/OR/Portland")
+	eug := MustParsePath("USA/OR/Eugene")
+	fr := MustParsePath("France")
+
+	cases := []struct {
+		a, b Path
+		want bool
+	}{
+		{Top, pdx, true},
+		{usa, pdx, true},
+		{or, pdx, true},
+		{pdx, pdx, true},
+		{pdx, or, false},
+		{eug, pdx, false},
+		{fr, pdx, false},
+		{pdx, Top, false},
+	}
+	for _, c := range cases {
+		if got := c.a.Covers(c.b); got != c.want {
+			t.Errorf("%v covers %v = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestOverlapsAndMeet(t *testing.T) {
+	or := MustParsePath("USA/OR")
+	pdx := MustParsePath("USA/OR/Portland")
+	wa := MustParsePath("USA/WA")
+	if !or.Overlaps(pdx) || !pdx.Overlaps(or) {
+		t.Fatal("ancestor/descendant must overlap")
+	}
+	if or.Overlaps(wa) {
+		t.Fatal("siblings must not overlap")
+	}
+	m, ok := or.Meet(pdx)
+	if !ok || !m.Equal(pdx) {
+		t.Fatalf("Meet = %v, %v", m, ok)
+	}
+	if _, ok := or.Meet(wa); ok {
+		t.Fatal("disjoint meet should fail")
+	}
+}
+
+func TestLCA(t *testing.T) {
+	pdx := MustParsePath("USA/OR/Portland")
+	eug := MustParsePath("USA/OR/Eugene")
+	sea := MustParsePath("USA/WA/Seattle")
+	fr := MustParsePath("France")
+	if got := pdx.LCA(eug); got.String() != "USA/OR" {
+		t.Fatalf("LCA = %v", got)
+	}
+	if got := pdx.LCA(sea); got.String() != "USA" {
+		t.Fatalf("LCA = %v", got)
+	}
+	if got := pdx.LCA(fr); !got.IsTop() {
+		t.Fatalf("LCA = %v", got)
+	}
+}
+
+func TestParentChildTruncate(t *testing.T) {
+	pdx := MustParsePath("USA/OR/Portland")
+	if pdx.Parent().String() != "USA/OR" {
+		t.Fatalf("parent = %v", pdx.Parent())
+	}
+	if !MustParsePath("USA").Parent().IsTop() {
+		t.Fatal("parent of depth-1 must be top")
+	}
+	if !Top.Parent().IsTop() {
+		t.Fatal("parent of top is top")
+	}
+	if got := pdx.Truncate(2).String(); got != "USA/OR" {
+		t.Fatalf("truncate = %v", got)
+	}
+	if got := pdx.Truncate(10); !got.Equal(pdx) {
+		t.Fatalf("truncate beyond depth changed path: %v", got)
+	}
+	if got := pdx.Truncate(-1); !got.IsTop() {
+		t.Fatalf("truncate(-1) = %v", got)
+	}
+	if got := MustParsePath("USA/OR").Child("Portland"); !got.Equal(pdx) {
+		t.Fatalf("child = %v", got)
+	}
+}
+
+func TestCompareOrdering(t *testing.T) {
+	a := MustParsePath("USA")
+	b := MustParsePath("USA/OR")
+	c := MustParsePath("USA/WA")
+	if a.Compare(b) >= 0 || b.Compare(c) >= 0 || b.Compare(b) != 0 {
+		t.Fatal("compare ordering broken")
+	}
+	if Top.Compare(a) >= 0 {
+		t.Fatal("top must sort first")
+	}
+}
+
+func newLocation() *Hierarchy {
+	h := New("Location")
+	for _, p := range []string{
+		"USA/OR/Portland", "USA/OR/Eugene",
+		"USA/WA/Seattle", "USA/WA/Vancouver",
+		"USA/CA", "France",
+	} {
+		h.MustAdd(p)
+	}
+	return h
+}
+
+func TestHierarchyContainsChildren(t *testing.T) {
+	h := newLocation()
+	if !h.Contains(MustParsePath("USA/OR")) {
+		t.Fatal("intermediate category must exist")
+	}
+	if !h.Contains(Top) {
+		t.Fatal("top must exist")
+	}
+	if h.Contains(MustParsePath("USA/TX")) {
+		t.Fatal("unknown category should not exist")
+	}
+	kids, err := h.Children(MustParsePath("USA"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"USA/CA", "USA/OR", "USA/WA"}
+	if len(kids) != len(want) {
+		t.Fatalf("children = %v", kids)
+	}
+	for i := range want {
+		if kids[i].String() != want[i] {
+			t.Fatalf("children[%d] = %v, want %v", i, kids[i], want[i])
+		}
+	}
+	if _, err := h.Children(MustParsePath("Narnia")); err == nil {
+		t.Fatal("children of unknown category should error")
+	}
+}
+
+func TestGeneralize(t *testing.T) {
+	h := newLocation()
+	got := h.Generalize(MustParsePath("USA/OR/Beaverton"))
+	if got.String() != "USA/OR" {
+		t.Fatalf("generalize = %v", got)
+	}
+	got = h.Generalize(MustParsePath("Atlantis/Deep"))
+	if !got.IsTop() {
+		t.Fatalf("generalize unknown root = %v", got)
+	}
+	known := MustParsePath("USA/OR/Portland")
+	if !h.Generalize(known).Equal(known) {
+		t.Fatal("known path must generalize to itself")
+	}
+}
+
+func TestLeavesAllSize(t *testing.T) {
+	h := newLocation()
+	leaves := h.Leaves()
+	if len(leaves) != 6 { // Portland, Eugene, Seattle, Vancouver, CA, France
+		t.Fatalf("leaves = %v", leaves)
+	}
+	if h.Size() != 9 { // USA,OR,WA,CA,France + 4 cities
+		t.Fatalf("size = %d", h.Size())
+	}
+	if len(h.All()) != h.Size() {
+		t.Fatalf("All() = %d, Size() = %d", len(h.All()), h.Size())
+	}
+}
+
+func TestServerDelegation(t *testing.T) {
+	h := newLocation()
+	s := NewServer(h)
+	if err := s.Delegate("Location", MustParsePath("USA"), "cat-usa:1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delegate("Location", MustParsePath("USA/OR"), "cat-or:1"); err != nil {
+		t.Fatal(err)
+	}
+	// Most specific delegation wins.
+	if got := s.Resolve("Location", MustParsePath("USA/OR/Portland")); got != "cat-or:1" {
+		t.Fatalf("resolve = %q", got)
+	}
+	if got := s.Resolve("Location", MustParsePath("USA/WA")); got != "cat-usa:1" {
+		t.Fatalf("resolve = %q", got)
+	}
+	if got := s.Resolve("Location", MustParsePath("France")); got != "" {
+		t.Fatalf("resolve = %q, want local", got)
+	}
+	if err := s.Delegate("Location", MustParsePath("Mars"), "x"); err == nil {
+		t.Fatal("delegating unknown category should error")
+	}
+	if err := s.Delegate("Time", Top, "x"); err == nil {
+		t.Fatal("delegating unknown dimension should error")
+	}
+}
+
+func TestServerValidateAndSubcategories(t *testing.T) {
+	s := NewServer(newLocation())
+	exact, nearest, err := s.Validate("Location", MustParsePath("USA/OR/Beaverton"))
+	if err != nil || exact || nearest.String() != "USA/OR" {
+		t.Fatalf("validate = %v %v %v", exact, nearest, err)
+	}
+	exact, _, err = s.Validate("Location", MustParsePath("USA/OR"))
+	if err != nil || !exact {
+		t.Fatalf("validate exact = %v %v", exact, err)
+	}
+	if _, _, err := s.Validate("Bogus", Top); err == nil {
+		t.Fatal("unknown dimension should error")
+	}
+	kids, err := s.Subcategories("Location", MustParsePath("USA/WA"))
+	if err != nil || len(kids) != 2 {
+		t.Fatalf("subcategories = %v %v", kids, err)
+	}
+	if s.Hierarchy("Location") == nil || s.Hierarchy("X") != nil {
+		t.Fatal("Hierarchy lookup broken")
+	}
+	if d := s.Dimensions(); len(d) != 1 || d[0] != "Location" {
+		t.Fatalf("dimensions = %v", d)
+	}
+	if s.Describe() == "" {
+		t.Fatal("describe empty")
+	}
+}
+
+func randPath(r *rand.Rand) Path {
+	segs := []string{"USA", "OR", "Portland", "WA", "Seattle", "France"}
+	depth := r.Intn(4)
+	out := make([]string, depth)
+	for i := range out {
+		out[i] = segs[r.Intn(len(segs))]
+	}
+	return NewPath(out...)
+}
+
+// Property: Covers is a partial order — reflexive, antisymmetric (up to
+// Equal), transitive.
+func TestPropertyCoversPartialOrder(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := randPath(r), randPath(r), randPath(r)
+		if !a.Covers(a) {
+			return false
+		}
+		if a.Covers(b) && b.Covers(a) && !a.Equal(b) {
+			return false
+		}
+		if a.Covers(b) && b.Covers(c) && !a.Covers(c) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: LCA covers both arguments and is covered by any common ancestor
+// prefix (here: checks LCA is the deepest common prefix).
+func TestPropertyLCA(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randPath(r), randPath(r)
+		l := a.LCA(b)
+		if !l.Covers(a) || !l.Covers(b) {
+			return false
+		}
+		// Deepest: extending l by the next segment of a must not cover b
+		// (unless a itself is exhausted).
+		if l.Depth() < a.Depth() {
+			ext := NewPath(append(l.Segments(), a.Segments()[l.Depth()])...)
+			if ext.Covers(b) && ext.Covers(a) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: string round trip.
+func TestPropertyPathRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := randPath(r)
+		q, err := ParsePath(p.String())
+		return err == nil && p.Equal(q)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCovers(b *testing.B) {
+	p := MustParsePath("USA/OR")
+	q := MustParsePath("USA/OR/Portland")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !p.Covers(q) {
+			b.Fatal("cover failed")
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package mqp
+
+import (
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/catalog"
+	"repro/internal/namespace"
+)
+
+// TestAuthoritativeEmptyBind: an authoritative server with no matching
+// registrations answers an area URN with the empty collection instead of
+// declaring the plan stuck (§3.3: it "strives to know about all base
+// servers within its area of interest").
+func TestAuthoritativeEmptyBind(t *testing.T) {
+	ns := testNS()
+	cat := catalog.New(ns, "idx:1")
+	p := mustProc(t, Config{
+		Self: "idx:1", Catalog: cat,
+		Authority: ns.MustParseArea("[USA/OR, *]"),
+	})
+	urn := namespace.EncodeURN(ns.MustParseArea("[USA/OR/Portland, Furniture/Chairs]"))
+	plan := algebra.NewPlan("q", "c:1", algebra.Display(algebra.Count(algebra.URN(urn))))
+	out, err := p.Step(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Done || out.Bound != 1 {
+		t.Fatalf("outcome = %+v", out)
+	}
+	results, err := plan.Results()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].InnerText() != "0" {
+		t.Fatalf("count = %s, want 0", results[0].InnerText())
+	}
+}
+
+// TestAuthorityDoesNotCoverQuery: an authoritative server must not claim
+// emptiness for areas outside its authority.
+func TestAuthorityDoesNotCoverQuery(t *testing.T) {
+	ns := testNS()
+	cat := catalog.New(ns, "idx:1")
+	p := mustProc(t, Config{
+		Self: "idx:1", Catalog: cat,
+		Authority: ns.MustParseArea("[USA/OR, *]"),
+	})
+	urn := namespace.EncodeURN(ns.MustParseArea("[USA/WA/Seattle, Music/CDs]"))
+	plan := algebra.NewPlan("q", "c:1", algebra.Display(algebra.URN(urn)))
+	if _, err := p.Step(plan); err == nil {
+		t.Fatal("out-of-authority area with no routes must be stuck, not empty")
+	}
+}
+
+// TestAuthorityRemainderBinding: a multi-cell area partially covered by the
+// authority binds the covered cells and re-emits the remainder as a URN.
+func TestAuthorityRemainderBinding(t *testing.T) {
+	ns := testNS()
+	cat := catalog.New(ns, "idx:1")
+	orArea := ns.MustParseArea("[USA/OR, *]")
+	// One base server in Oregon.
+	if err := cat.Register(catalog.Registration{
+		Addr: "s1:1", Role: catalog.RoleBase,
+		Area: ns.MustParseArea("[USA/OR/Portland, Music/CDs]"),
+		Collections: []catalog.Collection{
+			{Name: "cds", PathExp: "/d", Area: ns.MustParseArea("[USA/OR/Portland, Music/CDs]")},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	p := mustProc(t, Config{Self: "idx:1", Catalog: cat, Authority: orArea})
+	area := ns.MustParseArea("[USA/OR/Portland, Music/CDs] + [USA/WA/Seattle, Music/CDs]")
+	plan := algebra.NewPlan("q", "c:1", algebra.Display(algebra.URN(namespace.EncodeURN(area))))
+	out, err := p.Step(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Done {
+		t.Fatal("partially bound plan cannot be done")
+	}
+	if out.NextHop != "s1:1" {
+		t.Fatalf("next hop = %s (the bound base server should be visited first)", out.NextHop)
+	}
+	// The plan should now contain the Oregon URL and a Seattle-only URN.
+	urls := plan.Root.URLs()
+	urns := plan.Root.URNs()
+	if len(urls) != 1 || urls[0] != "s1:1" {
+		t.Fatalf("urls = %v", urls)
+	}
+	if len(urns) != 1 {
+		t.Fatalf("urns = %v", urns)
+	}
+	rem, err := namespace.DecodeURN(urns[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ns.MustParseArea("[USA/WA/Seattle, Music/CDs]")
+	if !rem.Equal(want) {
+		t.Fatalf("remainder = %v, want %v", rem, want)
+	}
+}
+
+// TestNextHopsOrderingAndDedup verifies the fallback candidate list.
+func TestNextHopsOrderingAndDedup(t *testing.T) {
+	ns := testNS()
+	cat := catalog.New(ns, "s:1")
+	if err := cat.Register(catalog.Registration{
+		Addr: "meta:1", Role: catalog.RoleMetaIndex,
+		Area: ns.MustParseArea("[USA, *]"), Authoritative: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	p := mustProc(t, Config{Self: "s:1", Catalog: cat})
+	routed := algebra.URN("urn:InterestArea:(USA.OR.Portland,Music.CDs)")
+	routed.Annotate(catalog.AnnotRoute, "idx:1")
+	plan := algebra.NewPlan("q", "c:1", algebra.Display(algebra.Union(
+		routed,
+		algebra.URN(namespace.EncodeURN(ns.MustParseArea("[USA/WA/Seattle, *]"))),
+		algebra.URL("other:1", ""),
+		algebra.URL("other:1", ""), // duplicate
+		algebra.URL("s:1", "/d"),   // self — excluded
+	)))
+	out, err := p.Step(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"idx:1", "meta:1", "other:1"}
+	if len(out.NextHops) != len(want) {
+		t.Fatalf("next hops = %v, want %v", out.NextHops, want)
+	}
+	for i := range want {
+		if out.NextHops[i] != want[i] {
+			t.Fatalf("next hops = %v, want %v", out.NextHops, want)
+		}
+	}
+	if out.NextHop != "idx:1" {
+		t.Fatalf("preferred hop = %s", out.NextHop)
+	}
+}

@@ -1,0 +1,592 @@
+// Package mqp implements the mutant query plan processor — the paper's
+// primary contribution (§2, Fig. 2). A Processor is one server's processing
+// station: it parses an incoming plan, binds URNs through the local catalog,
+// rewrites the plan (push-select-through-union, or-choice, flattening),
+// resolves URLs to data, reduces locally-evaluable sub-plans with the query
+// engine, and decides where the mutated plan travels next.
+//
+// Processors are deliberately independent of the transport: the peer package
+// wires them to simnet, and cmd/mqpd wires the same code to real TCP
+// sockets.
+package mqp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/algebra"
+	"repro/internal/catalog"
+	"repro/internal/engine"
+	"repro/internal/namespace"
+	"repro/internal/provenance"
+	"repro/internal/xmltree"
+)
+
+// Fetcher resolves a URL leaf to data. pathExp identifies the collection at
+// the server (§3.2). It returns the items and their staleness bound in
+// minutes.
+type Fetcher func(addr, pathExp string) (items []*xmltree.Node, stalenessMin int, err error)
+
+// Policy is the policy manager of Fig. 2: it decides which locally
+// evaluable sub-plans to evaluate, which Or alternative to keep, and
+// whether to pull a remote URL's data or leave the leaf for forwarding.
+type Policy interface {
+	// ShouldReduce reports whether a locally evaluable sub-plan with the
+	// given estimated output cardinality should be evaluated here.
+	ShouldReduce(sub *algebra.Node, estCard int) bool
+	// ChooseOr picks the Or alternative to keep (index), or -1 to defer
+	// the choice to a later server.
+	ChooseOr(alts []*algebra.Node, prefs Prefs) int
+	// ShouldFetch reports whether the processor should pull the remote
+	// URL's data instead of leaving the leaf as a forwarding candidate.
+	ShouldFetch(addr, pathExp string, estCard int) bool
+}
+
+// Prefs is the query-level tradeoff control of §4.3: a target evaluation
+// time plus a binary preference for complete versus current answers. Prefs
+// travel as annotations on the plan root.
+type Prefs struct {
+	BudgetMS      int
+	PreferCurrent bool
+}
+
+// Annotation keys for Prefs on the plan root.
+const (
+	annotBudgetMS      = "budget-ms"
+	annotPreferCurrent = "prefer-current"
+)
+
+// SetPrefs stores prefs on the plan root.
+func SetPrefs(p *algebra.Plan, prefs Prefs) {
+	p.Root.Annotate(annotBudgetMS, strconv.Itoa(prefs.BudgetMS))
+	p.Root.Annotate(annotPreferCurrent, strconv.FormatBool(prefs.PreferCurrent))
+}
+
+// GetPrefs reads prefs from the plan root; missing annotations yield zero
+// values.
+func GetPrefs(p *algebra.Plan) Prefs {
+	prefs := Prefs{}
+	if v, ok := p.Root.Annotation(annotBudgetMS); ok {
+		if n, err := strconv.Atoi(v); err == nil {
+			prefs.BudgetMS = n
+		}
+	}
+	if v, ok := p.Root.Annotation(annotPreferCurrent); ok {
+		prefs.PreferCurrent = v == "true"
+	}
+	return prefs
+}
+
+// DefaultPolicy implements Policy with the simple scheme the paper sketches:
+// evaluate everything up to a cardinality ceiling, choose alternatives by
+// the complete-vs-current preference under the time budget, and always pull
+// data (set FetchCeiling to bound pulls).
+type DefaultPolicy struct {
+	// MaxReduceCard declines evaluation of sub-plans whose estimated output
+	// exceeds it (§5.1: "S may decline to evaluate B at this point, because
+	// of the size of res(B)"). Zero means no ceiling.
+	MaxReduceCard int
+	// FetchCeiling declines pulling URLs whose annotated cardinality
+	// exceeds it; the plan travels to the data instead. Zero means always
+	// fetch.
+	FetchCeiling int
+	// HopCostMS estimates per-site latency when checking alternatives
+	// against the budget. Zero defaults to 50.
+	HopCostMS int
+}
+
+// ShouldReduce implements Policy.
+func (d DefaultPolicy) ShouldReduce(_ *algebra.Node, estCard int) bool {
+	return d.MaxReduceCard <= 0 || estCard < 0 || estCard <= d.MaxReduceCard
+}
+
+// ChooseOr implements Policy: pick the most-current alternative the budget
+// allows when the query prefers currency, otherwise the fewest-sites
+// alternative.
+func (d DefaultPolicy) ChooseOr(alts []*algebra.Node, prefs Prefs) int {
+	hop := d.HopCostMS
+	if hop <= 0 {
+		hop = 50
+	}
+	if prefs.PreferCurrent {
+		idx := algebra.PickMostCurrent(alts)
+		if idx >= 0 && prefs.BudgetMS > 0 {
+			sites := len(alts[idx].URLs()) + len(alts[idx].URNs())
+			if sites*hop > prefs.BudgetMS {
+				// The current alternative does not fit the budget; fall
+				// back to the cheapest one.
+				return algebra.PickFewestSites(alts)
+			}
+		}
+		return idx
+	}
+	return algebra.PickFewestSites(alts)
+}
+
+// ShouldFetch implements Policy.
+func (d DefaultPolicy) ShouldFetch(_, _ string, estCard int) bool {
+	return d.FetchCeiling <= 0 || estCard < 0 || estCard <= d.FetchCeiling
+}
+
+// ForwardOnlyPolicy never pulls remote data: plans always travel to the
+// data, the purest form of mutant query evaluation.
+type ForwardOnlyPolicy struct {
+	DefaultPolicy
+}
+
+// ShouldFetch implements Policy.
+func (ForwardOnlyPolicy) ShouldFetch(_, _ string, _ int) bool { return false }
+
+// Config assembles a Processor.
+type Config struct {
+	// Self is this server's address; URL leaves addressed here resolve via
+	// FetchLocal.
+	Self string
+	// Catalog is the local catalog used to bind URNs.
+	Catalog *catalog.Catalog
+	// FetchLocal serves this server's own collections.
+	FetchLocal Fetcher
+	// FetchRemote pulls data from another server, or nil when the
+	// deployment forwards plans instead of pulling data.
+	FetchRemote Fetcher
+	// Policy defaults to DefaultPolicy{}.
+	Policy Policy
+	// PushSelect enables the select-through-union rewrite (Fig. 4a);
+	// the E1/E5 ablation toggles it.
+	PushSelect bool
+	// PruneStats enables histogram-based pruning of provably-empty union
+	// branches (§3.2 attribute indices; see sqo.go).
+	PruneStats bool
+	// Key signs provenance visits; nil disables provenance recording.
+	Key []byte
+	// Now supplies virtual time for provenance records.
+	Now func() time.Duration
+	// Authority is the interest area this server is authoritative for
+	// (§3.3): it "strives to know about all base servers within its area
+	// of interest". An area URN fully covered by Authority that matches no
+	// registration binds to the empty collection instead of leaving the
+	// plan stuck; a partially covered URN binds the covered cells and
+	// re-emits the remainder as a new URN. Empty disables both behaviors.
+	Authority namespace.Area
+	// SizeOf reports the item count of a local collection, letting the
+	// policy decline materializing an oversized one (§5.1). Nil means
+	// sizes are unknown and local URLs always materialize.
+	SizeOf func(pathExp string) int
+	// StatsFor returns the annotations (cardinality, histograms, distinct
+	// counts) a server publishes on a collection it declined to
+	// materialize (§5.1). Nil disables.
+	StatsFor func(pathExp string) map[string]string
+}
+
+// Processor is one server's MQP processing station.
+type Processor struct {
+	cfg Config
+	// declineAllowed is recomputed per Step: a server may only decline to
+	// materialize a local collection while the plan still has other
+	// unresolved work elsewhere; once this server's collections are the
+	// last leaves standing, it must materialize so the plan can finish.
+	declineAllowed bool
+}
+
+// New creates a Processor, applying defaults.
+func New(cfg Config) (*Processor, error) {
+	if cfg.Self == "" {
+		return nil, fmt.Errorf("mqp: config needs Self address")
+	}
+	if cfg.Catalog == nil {
+		return nil, fmt.Errorf("mqp: config needs a Catalog")
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = DefaultPolicy{}
+	}
+	if cfg.Now == nil {
+		cfg.Now = func() time.Duration { return 0 }
+	}
+	return &Processor{cfg: cfg}, nil
+}
+
+// Outcome reports what one processing step did and where the plan goes.
+type Outcome struct {
+	// Done means the plan reduced to a constant; ship it to plan.Target.
+	Done bool
+	// NextHop is the preferred server to forward the plan to when not done.
+	NextHop string
+	// NextHops lists every forwarding candidate in preference order
+	// (NextHop first). Transports fall back along the tail when a
+	// destination is unreachable — the paper's fault-tolerance claim (§1).
+	NextHops []string
+	// Bound, Fetched, Reduced, Rewrites count the mutations applied.
+	Bound    int
+	Fetched  int
+	Reduced  int
+	Rewrites int
+}
+
+// AddrOf extracts the peer address from a URL leaf value: it accepts both
+// bare "host:port" strings and "http://host:port/..." forms.
+func AddrOf(url string) string {
+	s := strings.TrimPrefix(url, "http://")
+	s = strings.TrimPrefix(s, "https://")
+	if i := strings.IndexByte(s, '/'); i >= 0 {
+		s = s[:i]
+	}
+	return s
+}
+
+// Step performs one server's processing cycle on the plan, mutating it in
+// place, and returns the outcome. The plan's provenance section is extended
+// when the processor has a signing key.
+func (p *Processor) Step(plan *algebra.Plan) (Outcome, error) {
+	if err := plan.Validate(); err != nil {
+		return Outcome{}, err
+	}
+	if err := p.checkTransferPolicy(plan); err != nil {
+		return Outcome{}, err
+	}
+	trail, err := provenance.FromPlan(plan)
+	if err != nil {
+		return Outcome{}, err
+	}
+	record := func(action provenance.Action, detail string, stale int) {
+		if p.cfg.Key == nil {
+			return
+		}
+		trail.Append(provenance.Visit{
+			Server:       p.cfg.Self,
+			Action:       action,
+			Detail:       detail,
+			At:           p.cfg.Now(),
+			StalenessMin: stale,
+		}, p.cfg.Key)
+	}
+
+	out := Outcome{}
+	prefs := GetPrefs(plan)
+	var routeCandidates []string
+
+	// 1. Bind URNs through the catalog, honoring §5.2 ordering policies.
+	root, err := p.bindURNs(plan, plan.Root, &out, record, &routeCandidates)
+	if err != nil {
+		return Outcome{}, err
+	}
+	plan.Root = root
+
+	// 2. Rewrites. Semantic pruning first (it needs the select still above
+	// the union): drop union branches whose published attribute indices
+	// prove the selection empty there (§3.2). Then flatten and push the
+	// (remaining) selections through unions/ors.
+	out.Rewrites += algebra.FlattenUnions(plan.Root)
+	if p.cfg.PruneStats {
+		if n := PruneByStats(plan.Root); n > 0 {
+			out.Rewrites += n
+			record(provenance.ActionOptimize, "prune-stats", 0)
+		}
+	}
+	if p.cfg.PushSelect {
+		if n := algebra.PushSelectThroughUnion(plan.Root); n > 0 {
+			out.Rewrites += n
+			record(provenance.ActionOptimize, "push-select", 0)
+		}
+	}
+
+	// 3. Resolve Or alternatives per policy and preferences.
+	if n := algebra.OrChoice(plan.Root, func(alts []*algebra.Node) int {
+		return p.cfg.Policy.ChooseOr(alts, prefs)
+	}); n > 0 {
+		out.Rewrites += n
+		record(provenance.ActionOptimize, "or-choice", 0)
+	}
+
+	// 4. Resolve URLs: local ones always (unless declined while work
+	// remains elsewhere), remote ones per policy.
+	p.declineAllowed = p.hasForeignWork(plan.Root)
+	root, err = p.resolveURLs(plan.Root, &out, record, &routeCandidates)
+	if err != nil {
+		return Outcome{}, err
+	}
+	plan.Root = root
+
+	// 4b. A second binding pass: materializing local data may have
+	// satisfied §5.2 ordering prerequisites, unblocking URNs the first
+	// pass deferred.
+	root, err = p.bindURNs(plan, plan.Root, &out, record, &routeCandidates)
+	if err != nil {
+		return Outcome{}, err
+	}
+	plan.Root = root
+
+	// 5. Reduce maximal locally-evaluable sub-plans. Declining is only
+	// legitimate while the plan has work elsewhere; once this server is
+	// the last stop, it must evaluate (§5.1's "until there was enough
+	// additional data in P to give a smaller result at S").
+	p.declineAllowed = p.hasForeignWork(plan.Root)
+	plan.Root = p.reduce(plan.Root, true, &out, record)
+
+	if out.Bound+out.Fetched+out.Reduced+out.Rewrites == 0 {
+		record(provenance.ActionForward, "", 0)
+	}
+	if p.cfg.Key != nil {
+		provenance.ToPlan(plan, trail)
+	}
+
+	// 6. Routing decision.
+	if plan.IsConstant() {
+		out.Done = true
+		return out, nil
+	}
+	out.NextHops = filterHopsByPolicy(plan, p.nextHops(plan.Root, routeCandidates))
+	if len(out.NextHops) == 0 {
+		return out, fmt.Errorf("mqp: plan %q stuck at %s: no binding, no route", plan.ID, p.cfg.Self)
+	}
+	out.NextHop = out.NextHops[0]
+	return out, nil
+}
+
+// bindURNs replaces resolvable URN leaves with catalog bindings (post-order
+// so nested structures bind in one pass).
+func (p *Processor) bindURNs(plan *algebra.Plan, n *algebra.Node, out *Outcome, record func(provenance.Action, string, int), routes *[]string) (*algebra.Node, error) {
+	for i, c := range n.Children {
+		nc, err := p.bindURNs(plan, c, out, record, routes)
+		if err != nil {
+			return nil, err
+		}
+		n.Children[i] = nc
+	}
+	if n.Kind != algebra.KindURN {
+		return n, nil
+	}
+	// §5.2 ordering policy: this URN may not bind until its prerequisite
+	// has been bound elsewhere.
+	if bindDeferred(plan, n.URN) {
+		return n, nil
+	}
+	// A leaf already routed to another server is left for forwarding.
+	if route, ok := n.Annotation(catalog.AnnotRoute); ok && route != p.cfg.Self {
+		*routes = append(*routes, route)
+		return n, nil
+	}
+	b, err := p.cfg.Catalog.Resolve(n.URN)
+	if err != nil {
+		return nil, err
+	}
+	if expr, ok := p.authoritativeBind(n.URN, b); ok {
+		out.Bound++
+		record(provenance.ActionBind, n.URN, 0)
+		markOrigin(expr, n.URN)
+		return expr, nil
+	}
+	if b.Expr != nil {
+		out.Bound++
+		record(provenance.ActionBind, n.URN, 0)
+		markOrigin(b.Expr, n.URN)
+		return b.Expr, nil
+	}
+	*routes = append(*routes, b.Routes...)
+	return n, nil
+}
+
+// authoritativeBind applies the §3.3 authoritative-server semantics to an
+// area URN: full coverage with no matching registrations binds to the empty
+// collection; partial coverage binds the covered cells and re-emits the
+// uncovered remainder as a new URN for other servers. It reports whether it
+// produced a binding.
+func (p *Processor) authoritativeBind(urn string, b catalog.Binding) (*algebra.Node, bool) {
+	if p.cfg.Authority.Empty() || !namespace.IsAreaURN(urn) {
+		return nil, false
+	}
+	area, err := namespace.DecodeURN(urn)
+	if err != nil {
+		return nil, false
+	}
+	var covered, uncovered []namespace.Cell
+	for _, cell := range area.Cells {
+		if p.cfg.Authority.CoversCell(cell) {
+			covered = append(covered, cell)
+		} else {
+			uncovered = append(uncovered, cell)
+		}
+	}
+	switch {
+	case len(uncovered) == 0 && b.Expr == nil && len(b.Routes) == 0:
+		// Authoritative and empty: the answer is the empty collection.
+		empty := algebra.Data()
+		empty.SetCard(0)
+		return empty, true
+	case len(covered) > 0 && len(uncovered) > 0 && b.Expr != nil:
+		// Bind the covered part here; the remainder travels on as its own
+		// URN. Progress is guaranteed: each such hop removes at least one
+		// cell from the outstanding area.
+		rem := algebra.URN(namespace.EncodeURN(namespace.NewArea(uncovered...)))
+		return algebra.Union(b.Expr, rem), true
+	default:
+		return nil, false
+	}
+}
+
+// resolveURLs substitutes data for URL leaves served here (and for remote
+// ones when the policy pulls).
+func (p *Processor) resolveURLs(n *algebra.Node, out *Outcome, record func(provenance.Action, string, int), routes *[]string) (*algebra.Node, error) {
+	for i, c := range n.Children {
+		nc, err := p.resolveURLs(c, out, record, routes)
+		if err != nil {
+			return nil, err
+		}
+		n.Children[i] = nc
+	}
+	if n.Kind != algebra.KindURL {
+		return n, nil
+	}
+	addr := AddrOf(n.URL)
+	var fetch Fetcher
+	switch {
+	case addr == p.cfg.Self && p.cfg.FetchLocal != nil:
+		// §5.1: a server may decline to materialize an oversized local
+		// collection, annotating the leaf with statistics instead so later
+		// servers can plan around it. Materializing local data is the first
+		// step of reduction, so the reduction ceiling governs.
+		if p.cfg.SizeOf != nil && p.declineAllowed {
+			if est := p.cfg.SizeOf(n.PathExp); est >= 0 && !p.cfg.Policy.ShouldReduce(n, est) {
+				n.SetCard(est)
+				if p.cfg.StatsFor != nil {
+					for k, v := range p.cfg.StatsFor(n.PathExp) {
+						n.Annotate(k, v)
+					}
+				}
+				record(provenance.ActionAnnotate, n.URL+n.PathExp, 0)
+				return n, nil
+			}
+		}
+		fetch = p.cfg.FetchLocal
+	case addr != p.cfg.Self && p.cfg.FetchRemote != nil &&
+		p.cfg.Policy.ShouldFetch(addr, n.PathExp, n.Card()):
+		fetch = p.cfg.FetchRemote
+	default:
+		if addr != p.cfg.Self {
+			*routes = append(*routes, addr)
+		}
+		return n, nil
+	}
+	items, stale, err := fetch(addr, n.PathExp)
+	if err != nil {
+		// Paper §4.2: a bound server may be unavailable; leave the leaf so
+		// a later hop (or alternative) can take over. A failed local fetch
+		// must not route the plan back to ourselves.
+		if addr != p.cfg.Self {
+			*routes = append(*routes, addr)
+		}
+		return n, nil
+	}
+	d := algebra.Data(items...)
+	d.SetCard(len(items))
+	if stale > 0 {
+		d.SetStaleness(stale)
+	}
+	d.Annotate(algebra.AnnotSource, addr)
+	out.Fetched++
+	record(provenance.ActionData, n.URL+n.PathExp, stale)
+	return d, nil
+}
+
+// reduce replaces maximal locally-evaluable sub-plans with their results.
+// isRoot tracks whether n is the plan root (Display stays in place).
+func (p *Processor) reduce(n *algebra.Node, isRoot bool, out *Outcome, record func(provenance.Action, string, int)) *algebra.Node {
+	if n.Kind == algebra.KindDisplay {
+		n.Children[0] = p.reduce(n.Children[0], false, out, record)
+		return n
+	}
+	if n.Kind == algebra.KindData {
+		return n
+	}
+	if engine.LocallyEvaluable(n) {
+		est := algebra.EstimateCard(n)
+		if !p.declineAllowed || p.cfg.Policy.ShouldReduce(n, est) {
+			d, err := engine.Reduce(n)
+			if err == nil {
+				// Preserve the worst staleness of the inputs on the result.
+				if st := maxStaleness(n); st > 0 {
+					d.SetStaleness(st)
+				}
+				out.Reduced++
+				record(provenance.ActionReduce, n.Kind.String(), maxStaleness(n))
+				return d
+			}
+		} else {
+			// Decline, but leave statistics behind for later servers
+			// (§5.1: annotate with cardinality instead of evaluating).
+			if est >= 0 {
+				n.SetCard(est)
+			}
+			record(provenance.ActionAnnotate, n.Kind.String(), 0)
+			return n
+		}
+	}
+	for i, c := range n.Children {
+		n.Children[i] = p.reduce(c, false, out, record)
+	}
+	return n
+}
+
+// hasForeignWork reports whether the plan still references resources not
+// served here (URNs, or URLs at other servers).
+func (p *Processor) hasForeignWork(root *algebra.Node) bool {
+	foreign := false
+	root.Walk(func(m *algebra.Node) bool {
+		switch m.Kind {
+		case algebra.KindURN:
+			foreign = true
+			return false
+		case algebra.KindURL:
+			if AddrOf(m.URL) != p.cfg.Self {
+				foreign = true
+				return false
+			}
+		}
+		return true
+	})
+	return foreign
+}
+
+func maxStaleness(n *algebra.Node) int {
+	max := 0
+	n.Walk(func(m *algebra.Node) bool {
+		if st := m.Staleness(); st > max {
+			max = st
+		}
+		return true
+	})
+	return max
+}
+
+// nextHops collects forwarding candidates in preference order: explicit
+// route annotations on URN leaves first, then catalog route candidates,
+// then servers owning unresolved URL leaves. Duplicates and self are
+// dropped.
+func (p *Processor) nextHops(root *algebra.Node, catalogRoutes []string) []string {
+	var annotated, urls []string
+	root.Walk(func(m *algebra.Node) bool {
+		switch m.Kind {
+		case algebra.KindURN:
+			if r, ok := m.Annotation(catalog.AnnotRoute); ok && r != p.cfg.Self {
+				annotated = append(annotated, r)
+			}
+		case algebra.KindURL:
+			if a := AddrOf(m.URL); a != p.cfg.Self {
+				urls = append(urls, a)
+			}
+		}
+		return true
+	})
+	seen := map[string]bool{p.cfg.Self: true, "": true}
+	var out []string
+	for _, cands := range [][]string{annotated, catalogRoutes, urls} {
+		for _, c := range cands {
+			if !seen[c] {
+				seen[c] = true
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,363 @@
+package namespace
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hierarchy"
+)
+
+// paperNamespace builds the Location × Merchandise namespace of paper Fig. 5.
+func paperNamespace() *Namespace {
+	loc := hierarchy.New("Location")
+	for _, p := range []string{
+		"USA/OR/Portland", "USA/OR/Eugene",
+		"USA/WA/Seattle", "USA/WA/Vancouver",
+		"USA/CA", "France",
+	} {
+		loc.MustAdd(p)
+	}
+	merch := hierarchy.New("Merchandise")
+	for _, p := range []string{
+		"Electronics/TV", "Electronics/VCR",
+		"Furniture/Tables", "Furniture/Chairs",
+		"Music/CDs", "SportingGoods/GolfClubs/Putters",
+	} {
+		merch.MustAdd(p)
+	}
+	return MustNew(loc, merch)
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(); err == nil {
+		t.Fatal("empty namespace should error")
+	}
+	h := hierarchy.New("X")
+	if _, err := New(h, h); err == nil {
+		t.Fatal("duplicate dimension should error")
+	}
+	if _, err := New(nil); err == nil {
+		t.Fatal("nil dimension should error")
+	}
+}
+
+func TestParseCell(t *testing.T) {
+	ns := paperNamespace()
+	c, err := ns.ParseCell("[USA/OR/Portland, Furniture/Chairs]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.String() != "[USA/OR/Portland, Furniture/Chairs]" {
+		t.Fatalf("cell = %v", c)
+	}
+	if _, err := ns.ParseCell("[USA]"); err == nil {
+		t.Fatal("wrong arity should error")
+	}
+	top := ns.MustParseCell("[*, *]")
+	if !top.Coords[0].IsTop() || !top.Coords[1].IsTop() {
+		t.Fatalf("top cell = %v", top)
+	}
+}
+
+func TestCellCoversOverlap(t *testing.T) {
+	ns := paperNamespace()
+	usaFurn := ns.MustParseCell("[USA, Furniture]")
+	pdxChairs := ns.MustParseCell("[USA/OR/Portland, Furniture/Chairs]")
+	pdxAll := ns.MustParseCell("[USA/OR/Portland, *]")
+	waTV := ns.MustParseCell("[USA/WA, Electronics/TV]")
+
+	if !usaFurn.Covers(pdxChairs) {
+		t.Fatal("[USA,Furniture] must cover [Portland,Chairs]")
+	}
+	if pdxChairs.Covers(usaFurn) {
+		t.Fatal("cover must not be symmetric here")
+	}
+	if !pdxAll.Overlaps(pdxChairs) || !pdxChairs.Overlaps(pdxAll) {
+		t.Fatal("overlap expected")
+	}
+	if pdxAll.Overlaps(waTV) {
+		t.Fatal("different cities should not overlap")
+	}
+	m, ok := pdxAll.Meet(usaFurn)
+	if !ok || m.String() != "[USA/OR/Portland, Furniture]" {
+		t.Fatalf("meet = %v %v", m, ok)
+	}
+}
+
+// TestFig5 reproduces the cover/overlap facts depicted in paper Fig. 5:
+// area (a) = Vancouver furniture + Portland furniture; area (b) = all items
+// in Portland.
+func TestFig5(t *testing.T) {
+	ns := paperNamespace()
+	a := NewArea(
+		ns.MustParseCell("[USA/WA/Vancouver, Furniture]"),
+		ns.MustParseCell("[USA/OR/Portland, Furniture]"),
+	)
+	b := NewArea(ns.MustParseCell("[USA/OR/Portland, *]"))
+
+	// (a) and (b) overlap on Portland furniture.
+	if !a.Overlaps(b) {
+		t.Fatal("areas (a) and (b) must overlap")
+	}
+	// Neither covers the other.
+	if a.Covers(b) || b.Covers(a) {
+		t.Fatal("neither area covers the other in Fig. 5")
+	}
+	// Their intersection is exactly Portland furniture.
+	want := NewArea(ns.MustParseCell("[USA/OR/Portland, Furniture]"))
+	if got := a.Intersect(b); !got.Equal(want) {
+		t.Fatalf("intersection = %v, want %v", got, want)
+	}
+	// A chairs query in Portland overlaps both.
+	q := NewArea(ns.MustParseCell("[USA/OR/Portland, Furniture/Chairs]"))
+	if !a.Overlaps(q) || !b.Overlaps(q) {
+		t.Fatal("chairs-in-Portland query must overlap both areas")
+	}
+	// ... and is covered by both.
+	if !a.Covers(q) || !b.Covers(q) {
+		t.Fatal("chairs-in-Portland query must be covered by both areas")
+	}
+	// A Seattle TV query overlaps only (neither).
+	s := NewArea(ns.MustParseCell("[USA/WA/Seattle, Electronics/TV]"))
+	if a.Overlaps(s) || b.Overlaps(s) {
+		t.Fatal("Seattle TVs must not overlap either area")
+	}
+}
+
+func TestAreaNormalization(t *testing.T) {
+	ns := paperNamespace()
+	// The second cell is covered by the first and must be dropped.
+	a := NewArea(
+		ns.MustParseCell("[USA, Furniture]"),
+		ns.MustParseCell("[USA/OR/Portland, Furniture/Chairs]"),
+	)
+	if len(a.Cells) != 1 {
+		t.Fatalf("normalized cells = %v", a.Cells)
+	}
+	// Duplicates collapse.
+	b := NewArea(
+		ns.MustParseCell("[USA, Furniture]"),
+		ns.MustParseCell("[USA, Furniture]"),
+	)
+	if len(b.Cells) != 1 {
+		t.Fatalf("duplicate cells kept: %v", b.Cells)
+	}
+}
+
+func TestAreaUnionIntersect(t *testing.T) {
+	ns := paperNamespace()
+	or := ns.MustParseArea("[USA/OR, *]")
+	furn := ns.MustParseArea("[*, Furniture]")
+	u := or.Union(furn)
+	if len(u.Cells) != 2 {
+		t.Fatalf("union = %v", u)
+	}
+	i := or.Intersect(furn)
+	want := ns.MustParseArea("[USA/OR, Furniture]")
+	if !i.Equal(want) {
+		t.Fatalf("intersect = %v, want %v", i, want)
+	}
+	empty := or.Intersect(ns.MustParseArea("[France, *]"))
+	if !empty.Empty() {
+		t.Fatalf("disjoint intersect = %v", empty)
+	}
+}
+
+func TestAreaCoversCell(t *testing.T) {
+	ns := paperNamespace()
+	a := ns.MustParseArea("[USA/OR, *] + [USA/WA, Furniture]")
+	if !a.CoversCell(ns.MustParseCell("[USA/OR/Portland, Music/CDs]")) {
+		t.Fatal("should cover Portland CDs")
+	}
+	if a.CoversCell(ns.MustParseCell("[USA/WA/Seattle, Music/CDs]")) {
+		t.Fatal("should not cover Seattle CDs")
+	}
+}
+
+func TestValidateAndGeneralize(t *testing.T) {
+	ns := paperNamespace()
+	good := ns.MustParseArea("[USA/OR, Furniture]")
+	if err := ns.Validate(good); err != nil {
+		t.Fatal(err)
+	}
+	bad := ns.MustParseArea("[USA/TX, Furniture]")
+	if err := ns.Validate(bad); err == nil {
+		t.Fatal("unknown category should fail validation")
+	}
+	gen := ns.Generalize(bad)
+	want := ns.MustParseArea("[USA, Furniture]")
+	if !gen.Equal(want) {
+		t.Fatalf("generalize = %v, want %v", gen, want)
+	}
+	// Wrong arity cell: Validate errors.
+	if err := ns.Validate(Area{Cells: []Cell{NewCell(hierarchy.Top)}}); err == nil {
+		t.Fatal("wrong arity should fail validation")
+	}
+}
+
+func TestURNRoundTrip(t *testing.T) {
+	ns := paperNamespace()
+	a := NewArea(
+		ns.MustParseCell("[USA/OR/Portland, Furniture]"),
+		ns.MustParseCell("[USA/WA/Vancouver, Furniture]"),
+	)
+	urn := EncodeURN(a)
+	// The paper's example encoding, §3.4.
+	want := "urn:InterestArea:(USA.OR.Portland,Furniture)+(USA.WA.Vancouver,Furniture)"
+	if urn != want {
+		t.Fatalf("urn = %q, want %q", urn, want)
+	}
+	back, err := DecodeURN(urn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(a) {
+		t.Fatalf("decode = %v, want %v", back, a)
+	}
+}
+
+func TestURNTopAndErrors(t *testing.T) {
+	ns := paperNamespace()
+	a := NewArea(ns.MustParseCell("[USA/OR/Portland, *]"))
+	urn := EncodeURN(a)
+	if urn != "urn:InterestArea:(USA.OR.Portland,*)" {
+		t.Fatalf("urn = %q", urn)
+	}
+	back, err := DecodeURN(urn)
+	if err != nil || !back.Equal(a) {
+		t.Fatalf("decode: %v %v", back, err)
+	}
+	for _, bad := range []string{
+		"urn:Other:x",
+		"urn:InterestArea:",
+		"urn:InterestArea:USA.OR",
+		"urn:InterestArea:(USA..OR,*)",
+	} {
+		if _, err := DecodeURN(bad); err == nil {
+			t.Errorf("DecodeURN(%q): want error", bad)
+		}
+	}
+	if IsAreaURN("urn:ForSale:Portland-CDs") {
+		t.Fatal("named URN misidentified as area URN")
+	}
+}
+
+func randCell(r *rand.Rand, ns *Namespace) Cell {
+	pick := func(h *hierarchy.Hierarchy) hierarchy.Path {
+		all := h.All()
+		i := r.Intn(len(all) + 1)
+		if i == len(all) {
+			return hierarchy.Top
+		}
+		return all[i]
+	}
+	dims := ns.Dimensions()
+	coords := make([]hierarchy.Path, len(dims))
+	for i, d := range dims {
+		coords[i] = pick(d)
+	}
+	return Cell{Coords: coords}
+}
+
+func randArea(r *rand.Rand, ns *Namespace) Area {
+	n := 1 + r.Intn(3)
+	cells := make([]Cell, n)
+	for i := range cells {
+		cells[i] = randCell(r, ns)
+	}
+	return NewArea(cells...)
+}
+
+// Property: URN encode/decode is the identity on normalized areas.
+func TestPropertyURNRoundTrip(t *testing.T) {
+	ns := paperNamespace()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randArea(r, ns)
+		back, err := DecodeURN(EncodeURN(a))
+		return err == nil && back.Equal(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Covers implies Overlaps for non-empty areas.
+func TestPropertyCoversImpliesOverlaps(t *testing.T) {
+	ns := paperNamespace()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randArea(r, ns), randArea(r, ns)
+		if a.Covers(b) && !b.Empty() && !a.Overlaps(b) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Intersect is covered by both operands; Union covers both.
+func TestPropertyIntersectUnion(t *testing.T) {
+	ns := paperNamespace()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randArea(r, ns), randArea(r, ns)
+		i := a.Intersect(b)
+		if !a.Covers(i) || !b.Covers(i) {
+			return false
+		}
+		u := a.Union(b)
+		return u.Covers(a) && u.Covers(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: overlap is symmetric.
+func TestPropertyOverlapSymmetric(t *testing.T) {
+	ns := paperNamespace()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randArea(r, ns), randArea(r, ns)
+		return a.Overlaps(b) == b.Overlaps(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDimIndex(t *testing.T) {
+	ns := paperNamespace()
+	if ns.DimIndex("Location") != 0 || ns.DimIndex("Merchandise") != 1 || ns.DimIndex("X") != -1 {
+		t.Fatal("DimIndex broken")
+	}
+	if ns.NumDims() != 2 {
+		t.Fatal("NumDims broken")
+	}
+}
+
+func TestAreaString(t *testing.T) {
+	ns := paperNamespace()
+	a := ns.MustParseArea("[USA/OR, *] + [France, Furniture]")
+	s := a.String()
+	if !strings.Contains(s, "France") || !strings.Contains(s, "USA/OR") {
+		t.Fatalf("area string = %q", s)
+	}
+}
+
+func BenchmarkAreaOverlaps(b *testing.B) {
+	ns := paperNamespace()
+	a1 := ns.MustParseArea("[USA/OR, *] + [USA/WA, Furniture] + [France, Music]")
+	a2 := ns.MustParseArea("[USA/WA/Vancouver, Furniture/Chairs]")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !a1.Overlaps(a2) {
+			b.Fatal("expected overlap")
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package namespace
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/hierarchy"
+)
+
+// URN handling (§3.4). Interest areas are encoded into the namespace-
+// specific string of a URN by a purely lexical transliteration:
+//
+//	urn:InterestArea:(USA.OR.Portland,Furniture)+(USA.WA.Vancouver,Furniture)
+//
+// Inside the URN, "." replaces "/" within a category path, "," separates
+// dimensions within a cell, and "+" separates cells. "*" denotes a
+// dimension's top category.
+//
+// The paper also uses named-collection URNs such as
+// urn:ForSale:Portland-CDs; those are opaque names resolved through catalog
+// alias entries (see internal/catalog), which may map them to interest-area
+// URNs or directly to URLs.
+
+// URNPrefix is the scheme+namespace-identifier prefix for interest areas.
+const URNPrefix = "urn:InterestArea:"
+
+// EncodeURN encodes an interest area as a URN string.
+func EncodeURN(a Area) string {
+	parts := make([]string, len(a.Cells))
+	for i, c := range a.Cells {
+		coords := make([]string, len(c.Coords))
+		for j, p := range c.Coords {
+			if p.IsTop() {
+				coords[j] = "*"
+			} else {
+				coords[j] = strings.Join(p.Segments(), ".")
+			}
+		}
+		parts[i] = "(" + strings.Join(coords, ",") + ")"
+	}
+	return URNPrefix + strings.Join(parts, "+")
+}
+
+// IsAreaURN reports whether the string is an interest-area URN.
+func IsAreaURN(urn string) bool {
+	return strings.HasPrefix(urn, URNPrefix)
+}
+
+// DecodeURN parses an interest-area URN back into an Area. It is the exact
+// inverse of EncodeURN on normalized areas.
+func DecodeURN(urn string) (Area, error) {
+	if !IsAreaURN(urn) {
+		return Area{}, fmt.Errorf("namespace: not an interest-area URN: %q", urn)
+	}
+	body := urn[len(URNPrefix):]
+	if body == "" {
+		return Area{}, fmt.Errorf("namespace: empty interest-area URN")
+	}
+	var cells []Cell
+	for _, part := range strings.Split(body, "+") {
+		part = strings.TrimSpace(part)
+		if !strings.HasPrefix(part, "(") || !strings.HasSuffix(part, ")") {
+			return Area{}, fmt.Errorf("namespace: malformed cell %q in URN", part)
+		}
+		inner := part[1 : len(part)-1]
+		coordStrs := strings.Split(inner, ",")
+		coords := make([]hierarchy.Path, len(coordStrs))
+		for i, cs := range coordStrs {
+			cs = strings.TrimSpace(cs)
+			if cs == "*" || cs == "" {
+				coords[i] = hierarchy.Top
+				continue
+			}
+			p, err := hierarchy.ParsePath(strings.ReplaceAll(cs, ".", "/"))
+			if err != nil {
+				return Area{}, fmt.Errorf("namespace: URN coordinate %q: %w", cs, err)
+			}
+			coords[i] = p
+		}
+		cells = append(cells, Cell{Coords: coords})
+	}
+	return NewArea(cells...), nil
+}

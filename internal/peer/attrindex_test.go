@@ -1,0 +1,145 @@
+package peer
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/catalog"
+	"repro/internal/namespace"
+	"repro/internal/simnet"
+)
+
+// buildPriceWorld creates a meta server plus two sellers in the same area:
+// one sells cheap items, one only expensive items. Sellers publish price
+// histograms with their registrations (§3.2 attribute indices).
+func buildPriceWorld(t *testing.T, prune bool) (*simnet.Network, *Peer, *namespace.Namespace) {
+	t.Helper()
+	net := simnet.New()
+	ns := testNS()
+	pdx := ns.MustParseArea("[USA/OR/Portland, Music/CDs]")
+	meta := mustPeer(t, Config{Addr: "M:1", Net: net, NS: ns, PushSelect: true,
+		Area: ns.MustParseArea("[USA, *]"), Authoritative: true, Key: []byte("kM"),
+		PruneStats: prune})
+	_ = meta
+	mk := func(addr string, base int) {
+		sp := mustPeer(t, Config{Addr: addr, Net: net, NS: ns, PushSelect: true,
+			Area: pdx, Key: []byte(addr), StatsHistPath: "price"})
+		var docs []string
+		for i := 0; i < 10; i++ {
+			docs = append(docs, fmt.Sprintf(`<sale><cd>%s-%d</cd><price>%d</price></sale>`, addr, i, base+i))
+		}
+		sp.AddCollection(Collection{Name: "cds", PathExp: "/d", Area: pdx, Items: items(docs...)})
+		if err := sp.RegisterWith("M:1", catalog.RoleBase); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mk("cheap:1", 1)       // prices 1..10
+	mk("expensive:1", 500) // prices 500..509
+	client := mustPeer(t, Config{Addr: "c:1", Net: net, NS: ns, Key: []byte("kC")})
+	if err := client.Catalog().Register(catalog.Registration{
+		Addr: "M:1", Role: catalog.RoleMetaIndex,
+		Area: ns.MustParseArea("[USA, *]"), Authoritative: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return net, client, ns
+}
+
+// TestAttributeIndexPruning: with price histograms published, the meta
+// server prunes the expensive seller from a cheap-price query, and the plan
+// never visits it.
+func TestAttributeIndexPruning(t *testing.T) {
+	for _, prune := range []bool{false, true} {
+		net, client, ns := buildPriceWorld(t, prune)
+		pdx := ns.MustParseArea("[USA/OR/Portland, Music/CDs]")
+		plan := algebra.NewPlan(fmt.Sprintf("q-prune-%v", prune), "c:1",
+			algebra.Display(algebra.Select(algebra.MustParsePredicate("price < 20"),
+				algebra.URN(namespace.EncodeURN(pdx)))))
+		plan.RetainOriginal()
+		if err := client.Submit("M:1", plan); err != nil {
+			t.Fatal(err)
+		}
+		res, ok := client.TakeResult()
+		if !ok {
+			t.Fatal("no result")
+		}
+		got, err := res.Plan.Results()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 10 {
+			t.Fatalf("prune=%v: results = %d, want 10", prune, len(got))
+		}
+		trail, err := QueryTrail(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		visitedExpensive := trail.Visited("expensive:1")
+		if prune && visitedExpensive {
+			t.Fatal("pruning enabled: expensive seller must not be visited")
+		}
+		if !prune && !visitedExpensive {
+			t.Fatal("pruning disabled: expensive seller should be visited")
+		}
+		_ = net
+	}
+}
+
+// TestAttributeIndexSoundness: pruning must never lose answers — a query
+// straddling both ranges visits both sellers even with pruning on.
+func TestAttributeIndexSoundness(t *testing.T) {
+	_, client, ns := buildPriceWorld(t, true)
+	pdx := ns.MustParseArea("[USA/OR/Portland, Music/CDs]")
+	plan := algebra.NewPlan("q-straddle", "c:1",
+		algebra.Display(algebra.Select(algebra.MustParsePredicate("price < 505"),
+			algebra.URN(namespace.EncodeURN(pdx)))))
+	plan.RetainOriginal()
+	if err := client.Submit("M:1", plan); err != nil {
+		t.Fatal(err)
+	}
+	res, ok := client.TakeResult()
+	if !ok {
+		t.Fatal("no result")
+	}
+	got, err := res.Plan.Results()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 cheap + 5 expensive (500..504).
+	if len(got) != 15 {
+		t.Fatalf("results = %d, want 15", len(got))
+	}
+}
+
+// TestRegistrationCarriesHistogram: the wire form of a registration includes
+// the published attribute index and survives the round trip.
+func TestRegistrationCarriesHistogram(t *testing.T) {
+	net := simnet.New()
+	ns := testNS()
+	pdx := ns.MustParseArea("[USA/OR/Portland, Music/CDs]")
+	sp := mustPeer(t, Config{Addr: "s:1", Net: net, NS: ns, Area: pdx,
+		StatsHistPath: "price", StatsKeyPaths: []string{"cd"}})
+	sp.AddCollection(Collection{Name: "cds", PathExp: "/d", Area: pdx, Items: items(
+		`<sale><cd>A</cd><price>5</price></sale>`,
+		`<sale><cd>B</cd><price>15</price></sale>`,
+	)})
+	reg := sp.Registration(catalog.RoleBase)
+	if len(reg.Collections) != 1 {
+		t.Fatalf("collections = %d", len(reg.Collections))
+	}
+	ann := reg.Collections[0].Annotations
+	if ann[algebra.AnnotCard] != "2" {
+		t.Fatalf("card annotation = %q", ann[algebra.AnnotCard])
+	}
+	if ann[algebra.AnnotHistogram] == "" || ann[algebra.AnnotDistinct] == "" {
+		t.Fatalf("annotations = %v", ann)
+	}
+	back, err := catalog.UnmarshalRegistration(ns, catalog.MarshalRegistration(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Collections[0].Annotations[algebra.AnnotHistogram] != ann[algebra.AnnotHistogram] {
+		t.Fatal("histogram lost in XML round trip")
+	}
+}

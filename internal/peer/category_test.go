@@ -1,0 +1,97 @@
+package peer
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/hierarchy"
+	"repro/internal/simnet"
+)
+
+// locationHierarchy builds the Location tree used by the delegation tests.
+func locationHierarchy() *hierarchy.Hierarchy {
+	h := hierarchy.New("Location")
+	for _, p := range []string{
+		"USA/OR/Portland", "USA/OR/Eugene", "USA/WA/Seattle", "France/IDF/Paris",
+	} {
+		h.MustAdd(p)
+	}
+	return h
+}
+
+// TestCategoryDelegationChase: the root category server delegates the USA
+// subtree to a second server; a client query about USA/OR is transparently
+// referred and answered (§3.5: "category servers can delegate portions of
+// the namespace they manage to other category servers, much like the way
+// DNS servers can delegate sub-domains").
+func TestCategoryDelegationChase(t *testing.T) {
+	net := simnet.New()
+	ns := testNS()
+
+	rootH := locationHierarchy()
+	rootSrv := hierarchy.NewServer(rootH)
+	if err := rootSrv.Delegate("Location", hierarchy.MustParsePath("USA"), "cat-usa:1"); err != nil {
+		t.Fatal(err)
+	}
+	mustPeer(t, Config{Addr: "cat-root:1", Net: net, NS: ns, CategoryServer: rootSrv})
+
+	usaSrv := hierarchy.NewServer(locationHierarchy())
+	mustPeer(t, Config{Addr: "cat-usa:1", Net: net, NS: ns, CategoryServer: usaSrv})
+
+	client := mustPeer(t, Config{Addr: "c:1", Net: net, NS: ns})
+
+	// Asking the root about USA/OR follows the referral to cat-usa.
+	kids, err := client.SubcategoriesOf("cat-root:1", "Location", hierarchy.MustParsePath("USA/OR"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kids) != 2 || kids[0].String() != "USA/OR/Eugene" || kids[1].String() != "USA/OR/Portland" {
+		t.Fatalf("kids = %v", kids)
+	}
+	// Non-delegated parts are answered by the root itself.
+	kids, err = client.SubcategoriesOf("cat-root:1", "Location", hierarchy.MustParsePath("France"))
+	if err != nil || len(kids) != 1 || kids[0].String() != "France/IDF" {
+		t.Fatalf("France kids = %v, %v", kids, err)
+	}
+	// Requests count both hops of the chase.
+	if net.Metrics().Requests < 3 {
+		t.Fatalf("metrics = %+v", net.Metrics())
+	}
+}
+
+// TestCategoryDelegationLoopDetected: mutually delegating servers are
+// reported, not chased forever.
+func TestCategoryDelegationLoopDetected(t *testing.T) {
+	net := simnet.New()
+	ns := testNS()
+	mk := func(addr, delegateTo string) {
+		srv := hierarchy.NewServer(locationHierarchy())
+		if err := srv.Delegate("Location", hierarchy.MustParsePath("USA"), delegateTo); err != nil {
+			t.Fatal(err)
+		}
+		mustPeer(t, Config{Addr: addr, Net: net, NS: ns, CategoryServer: srv})
+	}
+	mk("catA:1", "catB:1")
+	mk("catB:1", "catA:1")
+	client := mustPeer(t, Config{Addr: "c:1", Net: net, NS: ns})
+	_, err := client.SubcategoriesOf("catA:1", "Location", hierarchy.MustParsePath("USA/OR"))
+	if err == nil || !strings.Contains(err.Error(), "loop") {
+		t.Fatalf("want delegation loop error, got %v", err)
+	}
+}
+
+// TestCategoryDelegationToDeadServer: a referral to an unreachable server
+// surfaces as an error rather than a wrong answer.
+func TestCategoryDelegationToDeadServer(t *testing.T) {
+	net := simnet.New()
+	ns := testNS()
+	srv := hierarchy.NewServer(locationHierarchy())
+	if err := srv.Delegate("Location", hierarchy.MustParsePath("USA"), "ghost:1"); err != nil {
+		t.Fatal(err)
+	}
+	mustPeer(t, Config{Addr: "cat:1", Net: net, NS: ns, CategoryServer: srv})
+	client := mustPeer(t, Config{Addr: "c:1", Net: net, NS: ns})
+	if _, err := client.SubcategoriesOf("cat:1", "Location", hierarchy.MustParsePath("USA")); err == nil {
+		t.Fatal("dead delegate must error")
+	}
+}

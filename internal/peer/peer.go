@@ -1,0 +1,557 @@
+// Package peer assembles the paper's peer roles (§3.2) into a network
+// participant: base server (named XML collections addressed by XPath-like
+// identifiers), index server, meta-index server, and category server. A
+// peer owns a catalog, an MQP processor, and a data store, serves and
+// forwards mutant query plans over a simnet, pushes registrations to
+// authoritative servers (§3.3), and models delayed replication (§4.3).
+package peer
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/algebra"
+	"repro/internal/catalog"
+	"repro/internal/hierarchy"
+	"repro/internal/mqp"
+	"repro/internal/namespace"
+	"repro/internal/provenance"
+	"repro/internal/simnet"
+	"repro/internal/stats"
+	"repro/internal/xmltree"
+)
+
+// Message kinds on the wire.
+const (
+	KindMQP      = "mqp"      // a mutant query plan in flight
+	KindResult   = "result"   // a fully evaluated plan arriving at its target
+	KindRegister = "register" // a registration push (§3.3)
+	KindFetch    = "fetch"    // data pull: request a collection's items
+	KindExport   = "export"   // harvest: request a peer's registration
+	KindSubcats  = "subcats"  // category-server query (§3.5)
+)
+
+// Collection is a named collection a base server exports, with the XPath
+// identifier other peers use to address it (§3.2).
+type Collection struct {
+	Name    string
+	PathExp string
+	Area    namespace.Area
+	Items   []*xmltree.Node
+	// StalenessMin is non-zero for replicas: how out of date the snapshot
+	// may be (§4.3's delay factor).
+	StalenessMin int
+}
+
+// Result records a finished query arriving back at its issuing peer.
+type Result struct {
+	Plan *algebra.Plan
+	At   time.Duration
+	Hops int
+}
+
+// Config assembles a Peer.
+type Config struct {
+	Addr string
+	Net  *simnet.Network
+	NS   *namespace.Namespace
+	// Area is the peer's interest area (may be empty for pure clients).
+	Area namespace.Area
+	// Authoritative marks the peer's registrations as authoritative for
+	// its area (§3.3).
+	Authoritative bool
+	// Policy defaults to mqp.DefaultPolicy{}. Use mqp.ForwardOnlyPolicy to
+	// disable data pulls.
+	Policy mqp.Policy
+	// PushSelect enables the Fig. 4(a) rewrite; on by default in NewPeer.
+	PushSelect bool
+	// Key signs provenance records; nil disables provenance.
+	Key []byte
+	// CategoryServer attaches a category-server role (§3.5).
+	CategoryServer *hierarchy.Server
+	// StatsHistPath, when set, is the numeric field the peer histograms
+	// when publishing statistics: on declined collections (§5.1) and as
+	// attribute indices inside registrations (§3.2).
+	StatsHistPath string
+	// StatsKeyPaths are the fields whose distinct counts the peer
+	// publishes alongside.
+	StatsKeyPaths []string
+	// PruneStats enables histogram-based pruning of provably-empty union
+	// branches when this peer processes plans (§3.2 attribute indices).
+	PruneStats bool
+}
+
+// Peer is one network participant.
+type Peer struct {
+	addr string
+	net  *simnet.Network
+	ns   *namespace.Namespace
+	cat  *catalog.Catalog
+	proc *mqp.Processor
+	cfg  Config
+
+	mu          sync.Mutex
+	collections map[string]*Collection // by PathExp
+	results     []Result
+	// now tracks the virtual time of the message being processed, so the
+	// processor's provenance records and forwards carry consistent time.
+	now time.Duration
+	// pullDelay accumulates request RTTs incurred during a Step (data
+	// pulls), added to the forwarded plan's virtual time.
+	pullDelay time.Duration
+	stuck     []error
+}
+
+// New creates a peer and registers it on the network.
+func New(cfg Config) (*Peer, error) {
+	if cfg.Addr == "" || cfg.Net == nil || cfg.NS == nil {
+		return nil, fmt.Errorf("peer: config needs Addr, Net and NS")
+	}
+	if cfg.Policy == nil {
+		// Plans travel to the data by default — the paper's signature
+		// behavior. Pass mqp.DefaultPolicy to enable data pulls instead.
+		cfg.Policy = mqp.ForwardOnlyPolicy{}
+	}
+	p := &Peer{
+		addr:        cfg.Addr,
+		net:         cfg.Net,
+		ns:          cfg.NS,
+		cat:         catalog.New(cfg.NS, cfg.Addr),
+		cfg:         cfg,
+		collections: map[string]*Collection{},
+	}
+	pcfg := mqp.Config{
+		Self:        cfg.Addr,
+		Catalog:     p.cat,
+		FetchLocal:  p.fetchLocal,
+		FetchRemote: p.fetchRemote,
+		Policy:      cfg.Policy,
+		PushSelect:  cfg.PushSelect,
+		Key:         cfg.Key,
+		Now:         p.virtualNow,
+		SizeOf:      p.sizeOf,
+		StatsFor:    p.statsFor,
+		PruneStats:  cfg.PruneStats,
+	}
+	if cfg.Authoritative {
+		pcfg.Authority = cfg.Area
+	}
+	proc, err := mqp.New(pcfg)
+	if err != nil {
+		return nil, err
+	}
+	p.proc = proc
+	cfg.Net.Add(p)
+	return p, nil
+}
+
+// Addr implements simnet.Peer.
+func (p *Peer) Addr() string { return p.addr }
+
+// Catalog exposes the peer's catalog for direct seeding in experiments.
+func (p *Peer) Catalog() *catalog.Catalog { return p.cat }
+
+func (p *Peer) virtualNow() time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.now
+}
+
+// AddCollection installs (or replaces) a base collection.
+func (p *Peer) AddCollection(c Collection) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	cc := c
+	p.collections[c.PathExp] = &cc
+}
+
+// Collection returns the collection with the given path identifier.
+func (p *Peer) Collection(pathExp string) (Collection, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	c, ok := p.collections[pathExp]
+	if !ok {
+		return Collection{}, false
+	}
+	return *c, true
+}
+
+// SetItems replaces a collection's items (workload updates).
+func (p *Peer) SetItems(pathExp string, items []*xmltree.Node) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	c, ok := p.collections[pathExp]
+	if !ok {
+		return fmt.Errorf("peer %s: no collection %q", p.addr, pathExp)
+	}
+	c.Items = items
+	return nil
+}
+
+// Registration builds this peer's registration record, including exported
+// collections and retained statements.
+func (p *Peer) Registration(role catalog.Role) catalog.Registration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	reg := catalog.Registration{
+		Addr:          p.addr,
+		Role:          role,
+		Area:          p.cfg.Area,
+		Authoritative: p.cfg.Authoritative,
+	}
+	paths := make([]string, 0, len(p.collections))
+	for pe := range p.collections {
+		paths = append(paths, pe)
+	}
+	sort.Strings(paths)
+	for _, pe := range paths {
+		c := p.collections[pe]
+		coll := catalog.Collection{Name: c.Name, PathExp: c.PathExp, Area: c.Area}
+		// Publish attribute indices (§3.2) when stats are configured.
+		if p.cfg.StatsHistPath != "" {
+			s := stats.Collect(c.Items, p.cfg.StatsKeyPaths, p.cfg.StatsHistPath, 8)
+			coll.Annotations = map[string]string{}
+			coll.Annotations[algebra.AnnotCard] = strconv.Itoa(s.Card)
+			if s.Hist != nil {
+				coll.Annotations[algebra.AnnotHistogram] = s.Hist.Encode()
+			}
+			if len(s.Distinct) > 0 {
+				coll.Annotations[algebra.AnnotDistinct] = stats.EncodeDistinct(s.Distinct)
+			}
+		}
+		reg.Collections = append(reg.Collections, coll)
+	}
+	return reg
+}
+
+// RegisterWith pushes this peer's registration (with the given role and
+// statements) to the server at addr — the §3.3 push process. The peer also
+// remembers addr as an index server in its own catalog (§3.2: peers cache
+// index and meta-index servers they have used), so plans holding URNs this
+// peer cannot bind have somewhere to go.
+func (p *Peer) RegisterWith(addr string, role catalog.Role, stmts ...catalog.Statement) error {
+	reg := p.Registration(role)
+	reg.Statements = stmts
+	if err := p.net.Send(&simnet.Message{
+		From: p.addr, To: addr, Kind: KindRegister,
+		Body: catalog.MarshalRegistration(reg),
+	}); err != nil {
+		return err
+	}
+	return p.cat.Register(catalog.Registration{
+		Addr: addr, Role: catalog.RoleIndex, Area: p.ns.Everything(),
+	})
+}
+
+// Harvest pulls the registration of the peer at addr into the local catalog
+// — the §3.3 pull process ("index servers query their base servers for
+// their data, to build more detailed indices").
+func (p *Peer) Harvest(addr string) error {
+	reply, _, err := p.net.Request(p.addr, addr, KindExport, xmltree.Elem("export"), p.virtualNow())
+	if err != nil {
+		return err
+	}
+	reg, err := catalog.UnmarshalRegistration(p.ns, reply)
+	if err != nil {
+		return err
+	}
+	return p.cat.Register(reg)
+}
+
+// ReplicateFrom copies the collection at srcAddr/pathExp into this peer as a
+// replica with the given staleness bound — the §4.3 delayed-replication
+// model. The experiment driver calls it again to refresh the snapshot.
+func (p *Peer) ReplicateFrom(srcAddr, pathExp string, as Collection, stalenessMin int) error {
+	req := xmltree.Elem("fetch")
+	req.SetAttr("path", pathExp)
+	reply, _, err := p.net.Request(p.addr, srcAddr, KindFetch, req, p.virtualNow())
+	if err != nil {
+		return err
+	}
+	items := make([]*xmltree.Node, 0, len(reply.Elements()))
+	for _, e := range reply.Elements() {
+		items = append(items, e.Clone())
+	}
+	as.Items = items
+	as.StalenessMin = stalenessMin
+	p.AddCollection(as)
+	return nil
+}
+
+// Results returns the finished queries delivered to this peer.
+func (p *Peer) Results() []Result {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]Result, len(p.results))
+	copy(out, p.results)
+	return out
+}
+
+// TakeResult pops the oldest finished query, if any.
+func (p *Peer) TakeResult() (Result, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.results) == 0 {
+		return Result{}, false
+	}
+	r := p.results[0]
+	p.results = p.results[1:]
+	return r, true
+}
+
+// StuckErrors returns errors from plans that could make no progress here.
+func (p *Peer) StuckErrors() []error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]error(nil), p.stuck...)
+}
+
+// Submit sends a plan to the server at addr for evaluation. The plan's
+// target should be this peer's address (or another peer expecting the
+// result).
+func (p *Peer) Submit(addr string, plan *algebra.Plan) error {
+	return p.net.Send(&simnet.Message{
+		From: p.addr, To: addr, Kind: KindMQP, Body: algebra.Marshal(plan),
+	})
+}
+
+// --- simnet.Peer implementation ---------------------------------------
+
+// Deliver implements simnet.Peer: handles plans in flight, results, and
+// registration pushes.
+func (p *Peer) Deliver(net *simnet.Network, msg *simnet.Message) error {
+	switch msg.Kind {
+	case KindMQP:
+		return p.handleMQP(msg)
+	case KindResult:
+		plan, err := algebra.Unmarshal(msg.Body)
+		if err != nil {
+			return fmt.Errorf("peer %s: bad result: %w", p.addr, err)
+		}
+		p.mu.Lock()
+		p.results = append(p.results, Result{Plan: plan, At: msg.At, Hops: msg.Hops})
+		p.mu.Unlock()
+		return nil
+	case KindRegister:
+		reg, err := catalog.UnmarshalRegistration(p.ns, msg.Body)
+		if err != nil {
+			return fmt.Errorf("peer %s: bad registration: %w", p.addr, err)
+		}
+		return p.cat.Register(reg)
+	default:
+		return fmt.Errorf("peer %s: unknown message kind %q", p.addr, msg.Kind)
+	}
+}
+
+func (p *Peer) handleMQP(msg *simnet.Message) error {
+	plan, err := algebra.Unmarshal(msg.Body)
+	if err != nil {
+		return fmt.Errorf("peer %s: bad plan: %w", p.addr, err)
+	}
+	// A constant plan addressed to us is a result that was routed as an
+	// MQP; accept it either way.
+	if plan.Target == p.addr && plan.IsConstant() {
+		p.mu.Lock()
+		p.results = append(p.results, Result{Plan: plan, At: msg.At, Hops: msg.Hops})
+		p.mu.Unlock()
+		return nil
+	}
+	p.mu.Lock()
+	p.now = msg.At
+	p.pullDelay = 0
+	p.mu.Unlock()
+
+	out, err := p.proc.Step(plan)
+	if err != nil {
+		p.mu.Lock()
+		p.stuck = append(p.stuck, err)
+		p.mu.Unlock()
+		return fmt.Errorf("peer %s: %w", p.addr, err)
+	}
+	p.mu.Lock()
+	at := p.now + p.pullDelay
+	p.mu.Unlock()
+
+	if out.Done {
+		return p.net.Send(&simnet.Message{
+			From: p.addr, To: plan.Target, Kind: KindResult,
+			Body: algebra.Marshal(plan), At: at, Hops: msg.Hops,
+		})
+	}
+	// Fault tolerance (§1): try forwarding candidates in preference order;
+	// an unreachable next hop falls through to the next candidate.
+	var lastErr error
+	for _, hop := range out.NextHops {
+		err := p.net.Send(&simnet.Message{
+			From: p.addr, To: hop, Kind: KindMQP,
+			Body: algebra.Marshal(plan), At: at, Hops: msg.Hops,
+		})
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if _, unreachable := err.(simnet.ErrUnreachable); !unreachable {
+			return err
+		}
+	}
+	return fmt.Errorf("peer %s: all %d next hops unreachable for plan %q: %w",
+		p.addr, len(out.NextHops), plan.ID, lastErr)
+}
+
+// Serve implements simnet.Peer: data pulls, harvesting, and category
+// queries.
+func (p *Peer) Serve(net *simnet.Network, req *simnet.Message) (*xmltree.Node, error) {
+	switch req.Kind {
+	case KindFetch:
+		pathExp := req.Body.AttrDefault("path", "")
+		items, stale, err := p.fetchLocal(p.addr, pathExp)
+		if err != nil {
+			return nil, err
+		}
+		reply := xmltree.Elem("data")
+		reply.SetAttr("staleness", strconv.Itoa(stale))
+		for _, it := range items {
+			reply.Add(it.Clone())
+		}
+		return reply, nil
+	case KindExport:
+		return catalog.MarshalRegistration(p.Registration(catalog.RoleBase)), nil
+	case KindSubcats:
+		if p.cfg.CategoryServer == nil {
+			return nil, fmt.Errorf("peer %s: not a category server", p.addr)
+		}
+		dim := req.Body.AttrDefault("dimension", "")
+		path, err := hierarchy.ParsePath(req.Body.AttrDefault("path", "*"))
+		if err != nil {
+			return nil, err
+		}
+		// DNS-like delegation (§3.5): if another category server manages
+		// this subtree, answer with a referral instead of data.
+		if delegate := p.cfg.CategoryServer.Resolve(dim, path); delegate != "" {
+			reply := xmltree.Elem("categories")
+			reply.SetAttr("delegate", delegate)
+			return reply, nil
+		}
+		kids, err := p.cfg.CategoryServer.Subcategories(dim, path)
+		if err != nil {
+			return nil, err
+		}
+		reply := xmltree.Elem("categories")
+		for _, k := range kids {
+			reply.Add(xmltree.ElemText("category", k.String()))
+		}
+		return reply, nil
+	default:
+		return nil, fmt.Errorf("peer %s: unknown request kind %q", p.addr, req.Kind)
+	}
+}
+
+// fetchLocal serves this peer's own collections.
+func (p *Peer) fetchLocal(_ string, pathExp string) ([]*xmltree.Node, int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	c, ok := p.collections[pathExp]
+	if !ok {
+		return nil, 0, fmt.Errorf("peer %s: no collection %q", p.addr, pathExp)
+	}
+	return c.Items, c.StalenessMin, nil
+}
+
+// sizeOf reports a local collection's size, or -1 when unknown.
+func (p *Peer) sizeOf(pathExp string) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	c, ok := p.collections[pathExp]
+	if !ok {
+		return -1
+	}
+	return len(c.Items)
+}
+
+// statsFor publishes the §5.1 statistics annotations for a collection the
+// policy declined to materialize.
+func (p *Peer) statsFor(pathExp string) map[string]string {
+	p.mu.Lock()
+	c, ok := p.collections[pathExp]
+	p.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	s := stats.Collect(c.Items, p.cfg.StatsKeyPaths, p.cfg.StatsHistPath, 8)
+	out := map[string]string{}
+	if len(s.Distinct) > 0 {
+		out[algebra.AnnotDistinct] = stats.EncodeDistinct(s.Distinct)
+	}
+	if s.Hist != nil {
+		out[algebra.AnnotHistogram] = s.Hist.Encode()
+	}
+	return out
+}
+
+// fetchRemote pulls a collection from another peer, charging the RTT to the
+// in-flight plan's virtual time.
+func (p *Peer) fetchRemote(addr, pathExp string) ([]*xmltree.Node, int, error) {
+	req := xmltree.Elem("fetch")
+	req.SetAttr("path", pathExp)
+	start := p.virtualNow()
+	reply, at, err := p.net.Request(p.addr, addr, KindFetch, req, start)
+	if err != nil {
+		return nil, 0, err
+	}
+	p.mu.Lock()
+	p.pullDelay += at - start
+	p.mu.Unlock()
+	stale, err := strconv.Atoi(reply.AttrDefault("staleness", "0"))
+	if err != nil {
+		return nil, 0, fmt.Errorf("peer %s: bad staleness from %s: %w", p.addr, addr, err)
+	}
+	items := make([]*xmltree.Node, 0, len(reply.Elements()))
+	for _, e := range reply.Elements() {
+		items = append(items, e.Clone())
+	}
+	return items, stale, nil
+}
+
+// SubcategoriesOf asks the category server at addr for the immediate
+// subcategories of path in dimension (§3.5), chasing delegation referrals
+// the way a DNS resolver follows NS records. A referral chain longer than
+// maxDelegationDepth is reported as an error.
+func (p *Peer) SubcategoriesOf(addr, dimension string, path hierarchy.Path) ([]hierarchy.Path, error) {
+	const maxDelegationDepth = 8
+	visited := map[string]bool{}
+	for depth := 0; depth < maxDelegationDepth; depth++ {
+		if visited[addr] {
+			return nil, fmt.Errorf("peer %s: category delegation loop at %s", p.addr, addr)
+		}
+		visited[addr] = true
+		req := xmltree.Elem("subcats")
+		req.SetAttr("dimension", dimension)
+		req.SetAttr("path", path.String())
+		reply, _, err := p.net.Request(p.addr, addr, KindSubcats, req, p.virtualNow())
+		if err != nil {
+			return nil, err
+		}
+		if delegate, ok := reply.Attr("delegate"); ok && delegate != "" {
+			addr = delegate
+			continue
+		}
+		var out []hierarchy.Path
+		for _, c := range reply.ChildrenNamed("category") {
+			pa, err := hierarchy.ParsePath(c.InnerText())
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, pa)
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("peer %s: category delegation chain too deep", p.addr)
+}
+
+// QueryTrail extracts the provenance trail from a result.
+func QueryTrail(r Result) (*provenance.Trail, error) {
+	return provenance.FromPlan(r.Plan)
+}

@@ -1,0 +1,169 @@
+package provenance
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/algebra"
+)
+
+func keyring(keys map[string][]byte) Keyring {
+	return func(s string) []byte { return keys[s] }
+}
+
+func TestAppendVerify(t *testing.T) {
+	keys := map[string][]byte{"a:1": []byte("ka"), "b:1": []byte("kb")}
+	tr := &Trail{}
+	tr.Append(Visit{Server: "a:1", Action: ActionBind, Detail: "urn:X", At: time.Millisecond}, keys["a:1"])
+	tr.Append(Visit{Server: "b:1", Action: ActionReduce, Detail: "join", At: 2 * time.Millisecond, StalenessMin: 30}, keys["b:1"])
+	if idx, err := tr.Verify(keyring(keys)); err != nil || idx != -1 {
+		t.Fatalf("verify = %d, %v", idx, err)
+	}
+}
+
+func TestTamperDetected(t *testing.T) {
+	keys := map[string][]byte{"a:1": []byte("ka"), "b:1": []byte("kb")}
+	tr := &Trail{}
+	tr.Append(Visit{Server: "a:1", Action: ActionBind, Detail: "urn:X"}, keys["a:1"])
+	tr.Append(Visit{Server: "b:1", Action: ActionForward}, keys["b:1"])
+
+	// Tamper with visit 0's detail: both visit 0 (content) and the chain
+	// break.
+	tr.Visits[0].Detail = "urn:Spoofed"
+	idx, err := tr.Verify(keyring(keys))
+	if err == nil || idx != 0 {
+		t.Fatalf("tamper not detected: %d %v", idx, err)
+	}
+
+	// A forged append without the right key also fails.
+	tr2 := &Trail{}
+	tr2.Append(Visit{Server: "a:1", Action: ActionBind}, []byte("wrong-key"))
+	if idx, err := tr2.Verify(keyring(keys)); err == nil || idx != 0 {
+		t.Fatalf("forged visit not detected: %d %v", idx, err)
+	}
+
+	// Unknown server key.
+	tr3 := &Trail{}
+	tr3.Append(Visit{Server: "ghost:1", Action: ActionBind}, []byte("k"))
+	if _, err := tr3.Verify(keyring(keys)); err == nil {
+		t.Fatal("missing key must fail verification")
+	}
+}
+
+func TestChainReorderDetected(t *testing.T) {
+	keys := map[string][]byte{"a:1": []byte("ka"), "b:1": []byte("kb")}
+	tr := &Trail{}
+	tr.Append(Visit{Server: "a:1", Action: ActionBind, Detail: "1"}, keys["a:1"])
+	tr.Append(Visit{Server: "b:1", Action: ActionBind, Detail: "2"}, keys["b:1"])
+	tr.Visits[0], tr.Visits[1] = tr.Visits[1], tr.Visits[0]
+	if idx, err := tr.Verify(keyring(keys)); err == nil {
+		t.Fatalf("reorder not detected: %d", idx)
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	tr := &Trail{}
+	k := []byte("k")
+	tr.Append(Visit{Server: "a:1", Action: ActionBind, Detail: "urn:X"}, k)
+	tr.Append(Visit{Server: "b:1", Action: ActionData, Detail: "urn:X", StalenessMin: 30}, k)
+	tr.Append(Visit{Server: "c:1", Action: ActionForward}, k)
+	if !tr.Visited("b:1") || tr.Visited("z:1") {
+		t.Fatal("Visited broken")
+	}
+	if got := tr.Binders("urn:X"); len(got) != 2 || got[0] != "a:1" {
+		t.Fatalf("binders = %v", got)
+	}
+	if tr.MaxStaleness() != 30 {
+		t.Fatalf("max staleness = %d", tr.MaxStaleness())
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	tr := &Trail{}
+	k := []byte("k")
+	tr.Append(Visit{Server: "a:1", Action: ActionBind, Detail: "urn:X", At: 1500 * time.Microsecond}, k)
+	tr.Append(Visit{Server: "b:1", Action: ActionReduce, Detail: "join", StalenessMin: 5}, k)
+	back, err := Unmarshal(tr.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Visits) != 2 {
+		t.Fatalf("visits = %d", len(back.Visits))
+	}
+	if back.Visits[0].At != 1500*time.Microsecond || back.Visits[1].StalenessMin != 5 {
+		t.Fatalf("round trip lost fields: %+v", back.Visits)
+	}
+	// Signatures survive and still verify.
+	if idx, err := back.Verify(func(string) []byte { return k }); err != nil || idx != -1 {
+		t.Fatalf("verify after round trip: %d %v", idx, err)
+	}
+}
+
+func TestPlanCarriage(t *testing.T) {
+	p := algebra.NewPlan("q", "t:1", algebra.Display(algebra.Data()))
+	tr, err := FromPlan(p)
+	if err != nil || len(tr.Visits) != 0 {
+		t.Fatalf("empty trail: %v %v", tr, err)
+	}
+	tr.Append(Visit{Server: "a:1", Action: ActionForward}, []byte("k"))
+	ToPlan(p, tr)
+	// Survive a full plan serialization cycle.
+	back, err := algebra.DecodeString(algebra.EncodeString(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := FromPlan(back)
+	if err != nil || len(tr2.Visits) != 1 || tr2.Visits[0].Server != "a:1" {
+		t.Fatalf("trail after plan round trip: %+v %v", tr2, err)
+	}
+}
+
+func TestSuspectMissingSource(t *testing.T) {
+	// Original plan references two URNs; only one was ever bound.
+	orig := algebra.Display(algebra.Union(algebra.URN("urn:A"), algebra.URN("urn:B")))
+	p := algebra.NewPlan("q", "t:1", orig)
+	p.RetainOriginal()
+	p.Root = algebra.Display(algebra.Data()) // pretend fully evaluated
+
+	tr := &Trail{}
+	tr.Append(Visit{Server: "s:1", Action: ActionBind, Detail: "urn:A"}, []byte("k"))
+	suspects := SuspectMissingSource(p, tr)
+	if len(suspects) != 1 || suspects[0] != "urn:B" {
+		t.Fatalf("suspects = %v", suspects)
+	}
+	// Without a retained original there is nothing to check.
+	p2 := algebra.NewPlan("q", "t:1", algebra.Display(algebra.Data()))
+	if got := SuspectMissingSource(p2, tr); got != nil {
+		t.Fatalf("no-original suspects = %v", got)
+	}
+}
+
+func TestVerificationQuery(t *testing.T) {
+	q := VerificationQuery("v1", "client:1", "urn:B", algebra.MustParsePredicate("price < 10"))
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var haveCount, haveSelect bool
+	q.Root.Walk(func(n *algebra.Node) bool {
+		switch n.Kind {
+		case algebra.KindCount:
+			haveCount = true
+		case algebra.KindSelect:
+			haveSelect = true
+		}
+		return true
+	})
+	if !haveCount || !haveSelect {
+		t.Fatalf("verification query shape wrong: %s", q.Root)
+	}
+	q2 := VerificationQuery("v2", "client:1", "urn:B", nil)
+	if err := q2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := Unmarshal(algebra.Marshal(algebra.NewPlan("x", "t", algebra.Display(algebra.Data())))); err == nil {
+		t.Fatal("wrong element must error")
+	}
+}

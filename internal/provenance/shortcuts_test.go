@@ -1,0 +1,82 @@
+package provenance
+
+import "testing"
+
+func mkTrail(visits ...Visit) *Trail {
+	t := &Trail{}
+	for _, v := range visits {
+		t.Append(v, []byte("k"))
+	}
+	return t
+}
+
+func TestSuggestShortcuts(t *testing.T) {
+	// A binds, B only forwards, C binds: A should learn to go straight
+	// to C for C's resource.
+	tr := mkTrail(
+		Visit{Server: "A:1", Action: ActionBind, Detail: "urn:X"},
+		Visit{Server: "B:1", Action: ActionForward},
+		Visit{Server: "C:1", Action: ActionBind, Detail: "urn:Y"},
+	)
+	got := SuggestShortcuts(tr)
+	if len(got) != 1 {
+		t.Fatalf("shortcuts = %+v", got)
+	}
+	s := got[0]
+	if s.Teach != "A:1" || s.Via != "B:1" || s.Direct != "C:1" || s.Detail != "urn:Y" {
+		t.Fatalf("shortcut = %+v", s)
+	}
+}
+
+func TestSuggestShortcutsNoneWhenViaWorks(t *testing.T) {
+	// B did real work: no shortcut.
+	tr := mkTrail(
+		Visit{Server: "A:1", Action: ActionBind, Detail: "urn:X"},
+		Visit{Server: "B:1", Action: ActionBind, Detail: "urn:Z"},
+		Visit{Server: "C:1", Action: ActionBind, Detail: "urn:Y"},
+	)
+	if got := SuggestShortcuts(tr); len(got) != 0 {
+		t.Fatalf("shortcuts = %+v", got)
+	}
+}
+
+func TestSuggestShortcutsChain(t *testing.T) {
+	// Two consecutive forward-only hops produce a suggestion for each.
+	tr := mkTrail(
+		Visit{Server: "A:1", Action: ActionBind, Detail: "urn:X"},
+		Visit{Server: "B:1", Action: ActionForward},
+		Visit{Server: "C:1", Action: ActionForward},
+		Visit{Server: "D:1", Action: ActionData, Detail: "http://d/x"},
+	)
+	got := SuggestShortcuts(tr)
+	// B-as-via: next segment is C (forward-only, no bind) → no suggestion.
+	// C-as-via: next is D (data) → teach B to go to D.
+	if len(got) != 1 {
+		t.Fatalf("shortcuts = %+v", got)
+	}
+	if got[0].Teach != "B:1" || got[0].Direct != "D:1" {
+		t.Fatalf("shortcut = %+v", got[0])
+	}
+}
+
+func TestSuggestShortcutsEdgeCases(t *testing.T) {
+	if got := SuggestShortcuts(&Trail{}); got != nil {
+		t.Fatalf("empty trail = %+v", got)
+	}
+	// Forward at the very start has no upstream to teach.
+	tr := mkTrail(
+		Visit{Server: "B:1", Action: ActionForward},
+		Visit{Server: "C:1", Action: ActionBind, Detail: "urn:Y"},
+	)
+	if got := SuggestShortcuts(tr); len(got) != 0 {
+		t.Fatalf("no-upstream shortcuts = %+v", got)
+	}
+	// Forward at the very end has no downstream target.
+	tr2 := mkTrail(
+		Visit{Server: "A:1", Action: ActionBind, Detail: "urn:X"},
+		Visit{Server: "B:1", Action: ActionForward},
+	)
+	if got := SuggestShortcuts(tr2); len(got) != 0 {
+		t.Fatalf("no-downstream shortcuts = %+v", got)
+	}
+}

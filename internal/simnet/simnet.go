@@ -1,0 +1,269 @@
+// Package simnet is the network substrate the experiments run on: an
+// in-process message-passing network with deterministic per-link latency, a
+// virtual clock carried on messages, and byte/message accounting.
+//
+// The paper's prototype ran over real sockets; the quantities its arguments
+// turn on — messages sent, bytes shipped, hops taken, end-to-end latency —
+// are exactly what simnet measures, deterministically and at laptop scale.
+// Delivery is synchronous (a Send invokes the destination handler inline),
+// which makes experiments reproducible; virtual time advances by the link
+// latency plus a configurable per-hop processing delay, so "latency" in
+// experiment output is simulated wall-clock, not host time.
+package simnet
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/xmltree"
+)
+
+// Message is one unit of communication. Body is an XML document (plans,
+// registrations, catalog queries). At is the virtual time of delivery.
+type Message struct {
+	From, To string
+	Kind     string
+	Body     *xmltree.Node
+	At       time.Duration
+	// Hops counts how many links the enclosing activity has traversed;
+	// forwarding handlers propagate and increment it.
+	Hops int
+}
+
+// Peer is a network participant. Deliver handles one-way messages (e.g. an
+// MQP in flight, a registration). Serve handles request/response calls
+// (catalog lookups, data fetches) and returns the reply body.
+type Peer interface {
+	// Addr returns the peer's stable network address.
+	Addr() string
+	// Deliver processes a one-way message; it may send further messages.
+	Deliver(net *Network, msg *Message) error
+	// Serve processes a request and returns the reply body.
+	Serve(net *Network, req *Message) (*xmltree.Node, error)
+}
+
+// Metrics accumulates network-wide counters. All byte counts are canonical
+// XML sizes plus a fixed per-message header overhead.
+type Metrics struct {
+	Messages int64
+	Requests int64
+	Bytes    int64
+	PerKind  map[string]int64
+}
+
+// headerOverhead approximates per-message framing cost in bytes.
+const headerOverhead = 64
+
+// Network is a simulated P2P network. Safe for concurrent use, though the
+// experiments drive it single-threaded for determinism.
+type Network struct {
+	mu      sync.Mutex
+	peers   map[string]Peer
+	down    map[string]bool
+	metrics Metrics
+	// latency returns the one-way link latency between two addresses.
+	latency func(a, b string) time.Duration
+	// procDelay is the per-hop processing time a peer spends on a message.
+	procDelay time.Duration
+	// maxDepth guards against forwarding loops.
+	maxDepth int
+	depth    int
+}
+
+// New creates an empty network with the default deterministic latency model
+// (5–55 ms per link, derived from the address pair) and 2 ms per-hop
+// processing delay.
+func New() *Network {
+	return &Network{
+		peers:     map[string]Peer{},
+		down:      map[string]bool{},
+		metrics:   Metrics{PerKind: map[string]int64{}},
+		latency:   DefaultLatency,
+		procDelay: 2 * time.Millisecond,
+		maxDepth:  256,
+	}
+}
+
+// DefaultLatency derives a stable pseudo-random one-way latency in
+// [5ms, 55ms) from the unordered address pair.
+func DefaultLatency(a, b string) time.Duration {
+	if a == b {
+		return 0
+	}
+	if b < a {
+		a, b = b, a
+	}
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(a + "|" + b))
+	return 5*time.Millisecond + time.Duration(h.Sum32()%50)*time.Millisecond
+}
+
+// SetLatency replaces the link-latency model.
+func (n *Network) SetLatency(fn func(a, b string) time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.latency = fn
+}
+
+// SetProcDelay sets the per-hop processing delay added to delivered
+// messages' virtual time.
+func (n *Network) SetProcDelay(d time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.procDelay = d
+}
+
+// Add registers a peer; it replaces any previous peer at the same address.
+func (n *Network) Add(p Peer) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.peers[p.Addr()] = p
+}
+
+// Peer returns the peer at addr, or nil.
+func (n *Network) Peer(addr string) Peer {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.peers[addr]
+}
+
+// Addrs returns all registered addresses, sorted.
+func (n *Network) Addrs() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]string, 0, len(n.peers))
+	for a := range n.peers {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SetDown marks a peer unreachable (or reachable again); sends to it fail
+// with ErrUnreachable. Used by the fault-tolerance experiments.
+func (n *Network) SetDown(addr string, down bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.down[addr] = down
+}
+
+// ErrUnreachable is returned when the destination peer is down or unknown.
+type ErrUnreachable struct {
+	Addr string
+}
+
+func (e ErrUnreachable) Error() string {
+	return fmt.Sprintf("simnet: peer %s unreachable", e.Addr)
+}
+
+func (n *Network) lookup(to string) (Peer, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.down[to] {
+		return nil, ErrUnreachable{Addr: to}
+	}
+	p, ok := n.peers[to]
+	if !ok {
+		return nil, ErrUnreachable{Addr: to}
+	}
+	return p, nil
+}
+
+func (n *Network) account(kind string, body *xmltree.Node, isRequest bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.metrics.Messages++
+	if isRequest {
+		n.metrics.Requests++
+	}
+	size := headerOverhead
+	if body != nil {
+		size += body.ByteSize()
+	}
+	n.metrics.Bytes += int64(size)
+	n.metrics.PerKind[kind]++
+}
+
+// Send delivers a one-way message from msg.From to msg.To, invoking the
+// destination's Deliver inline. The delivered message's At is msg.At plus
+// link latency plus the processing delay, and Hops is incremented.
+func (n *Network) Send(msg *Message) error {
+	p, err := n.lookup(msg.To)
+	if err != nil {
+		return err
+	}
+	n.mu.Lock()
+	if n.depth >= n.maxDepth {
+		n.mu.Unlock()
+		return fmt.Errorf("simnet: forwarding depth limit (%d) exceeded; routing loop?", n.maxDepth)
+	}
+	n.depth++
+	lat := n.latency(msg.From, msg.To)
+	proc := n.procDelay
+	n.mu.Unlock()
+	defer func() {
+		n.mu.Lock()
+		n.depth--
+		n.mu.Unlock()
+	}()
+
+	n.account(msg.Kind, msg.Body, false)
+	delivered := &Message{
+		From: msg.From,
+		To:   msg.To,
+		Kind: msg.Kind,
+		Body: msg.Body,
+		At:   msg.At + lat + proc,
+		Hops: msg.Hops + 1,
+	}
+	return p.Deliver(n, delivered)
+}
+
+// Request performs a synchronous request/response exchange. Both directions
+// are accounted; the returned time is the virtual time at which the reply
+// arrives back at the caller.
+func (n *Network) Request(from, to, kind string, body *xmltree.Node, at time.Duration) (*xmltree.Node, time.Duration, error) {
+	p, err := n.lookup(to)
+	if err != nil {
+		return nil, at, err
+	}
+	n.mu.Lock()
+	lat := n.latency(from, to)
+	proc := n.procDelay
+	n.mu.Unlock()
+
+	n.account(kind, body, true)
+	req := &Message{From: from, To: to, Kind: kind, Body: body, At: at + lat + proc}
+	reply, err := p.Serve(n, req)
+	if err != nil {
+		return nil, req.At, fmt.Errorf("simnet: request %s to %s: %w", kind, to, err)
+	}
+	n.account(kind+"-reply", reply, false)
+	return reply, req.At + lat, nil
+}
+
+// Metrics returns a snapshot of the accumulated counters.
+func (n *Network) Metrics() Metrics {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	m := Metrics{
+		Messages: n.metrics.Messages,
+		Requests: n.metrics.Requests,
+		Bytes:    n.metrics.Bytes,
+		PerKind:  make(map[string]int64, len(n.metrics.PerKind)),
+	}
+	for k, v := range n.metrics.PerKind {
+		m.PerKind[k] = v
+	}
+	return m
+}
+
+// ResetMetrics zeroes the counters; experiments call it between runs.
+func (n *Network) ResetMetrics() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.metrics = Metrics{PerKind: map[string]int64{}}
+}

@@ -1,0 +1,174 @@
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/xmltree"
+)
+
+// echoPeer records deliveries and serves requests by echoing the body.
+type echoPeer struct {
+	addr      string
+	delivered []*Message
+	forwardTo string // when set, Deliver forwards the message onward
+}
+
+func (p *echoPeer) Addr() string { return p.addr }
+
+func (p *echoPeer) Deliver(net *Network, msg *Message) error {
+	p.delivered = append(p.delivered, msg)
+	if p.forwardTo != "" {
+		return net.Send(&Message{From: p.addr, To: p.forwardTo, Kind: msg.Kind, Body: msg.Body, At: msg.At, Hops: msg.Hops})
+	}
+	return nil
+}
+
+func (p *echoPeer) Serve(net *Network, req *Message) (*xmltree.Node, error) {
+	if req.Body == nil {
+		return nil, errors.New("no body")
+	}
+	return req.Body, nil
+}
+
+func TestSendAccountsAndDelivers(t *testing.T) {
+	n := New()
+	a := &echoPeer{addr: "a:1"}
+	b := &echoPeer{addr: "b:1"}
+	n.Add(a)
+	n.Add(b)
+	body := xmltree.MustParse(`<hello/>`)
+	if err := n.Send(&Message{From: "a:1", To: "b:1", Kind: "mqp", Body: body}); err != nil {
+		t.Fatal(err)
+	}
+	if len(b.delivered) != 1 {
+		t.Fatalf("delivered = %d", len(b.delivered))
+	}
+	got := b.delivered[0]
+	if got.Hops != 1 || got.At <= 0 {
+		t.Fatalf("hops=%d at=%v", got.Hops, got.At)
+	}
+	m := n.Metrics()
+	if m.Messages != 1 || m.Bytes <= int64(body.ByteSize()) || m.PerKind["mqp"] != 1 {
+		t.Fatalf("metrics = %+v", m)
+	}
+}
+
+func TestForwardChainAccumulatesTimeAndHops(t *testing.T) {
+	n := New()
+	n.SetLatency(func(a, b string) time.Duration { return 10 * time.Millisecond })
+	n.SetProcDelay(time.Millisecond)
+	c := &echoPeer{addr: "c:1"}
+	b := &echoPeer{addr: "b:1", forwardTo: "c:1"}
+	a := &echoPeer{addr: "a:1", forwardTo: "b:1"}
+	n.Add(a)
+	n.Add(b)
+	n.Add(c)
+	if err := n.Send(&Message{From: "x", To: "a:1", Kind: "mqp"}); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.delivered) != 1 {
+		t.Fatalf("chain did not reach c")
+	}
+	final := c.delivered[0]
+	if final.Hops != 3 {
+		t.Fatalf("hops = %d, want 3", final.Hops)
+	}
+	if final.At != 33*time.Millisecond {
+		t.Fatalf("virtual time = %v, want 33ms", final.At)
+	}
+}
+
+func TestUnreachable(t *testing.T) {
+	n := New()
+	a := &echoPeer{addr: "a:1"}
+	n.Add(a)
+	err := n.Send(&Message{From: "a:1", To: "ghost:1", Kind: "x"})
+	var ue ErrUnreachable
+	if !errors.As(err, &ue) || ue.Addr != "ghost:1" {
+		t.Fatalf("err = %v", err)
+	}
+	b := &echoPeer{addr: "b:1"}
+	n.Add(b)
+	n.SetDown("b:1", true)
+	if err := n.Send(&Message{From: "a:1", To: "b:1", Kind: "x"}); err == nil {
+		t.Fatal("down peer must be unreachable")
+	}
+	n.SetDown("b:1", false)
+	if err := n.Send(&Message{From: "a:1", To: "b:1", Kind: "x"}); err != nil {
+		t.Fatalf("recovered peer: %v", err)
+	}
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	n := New()
+	n.SetLatency(func(a, b string) time.Duration { return 7 * time.Millisecond })
+	n.SetProcDelay(0)
+	s := &echoPeer{addr: "s:1"}
+	n.Add(s)
+	body := xmltree.MustParse(`<q>42</q>`)
+	reply, at, err := n.Request("c:1", "s:1", "lookup", body, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !xmltree.Equal(reply, body) {
+		t.Fatalf("reply = %s", reply)
+	}
+	if at != 14*time.Millisecond {
+		t.Fatalf("rtt = %v", at)
+	}
+	m := n.Metrics()
+	if m.Requests != 1 || m.Messages != 2 {
+		t.Fatalf("metrics = %+v", m)
+	}
+	// Error propagation from Serve.
+	if _, _, err := n.Request("c:1", "s:1", "lookup", nil, 0); err == nil {
+		t.Fatal("serve error must propagate")
+	}
+}
+
+func TestDepthLimit(t *testing.T) {
+	n := New()
+	// a forwards to itself forever.
+	a := &echoPeer{addr: "a:1", forwardTo: "a:1"}
+	n.Add(a)
+	err := n.Send(&Message{From: "x", To: "a:1", Kind: "loop"})
+	if err == nil {
+		t.Fatal("routing loop must be detected")
+	}
+}
+
+func TestDefaultLatencyDeterministicSymmetric(t *testing.T) {
+	l1 := DefaultLatency("a:1", "b:2")
+	l2 := DefaultLatency("b:2", "a:1")
+	if l1 != l2 {
+		t.Fatalf("latency not symmetric: %v vs %v", l1, l2)
+	}
+	if l1 < 5*time.Millisecond || l1 >= 55*time.Millisecond {
+		t.Fatalf("latency out of range: %v", l1)
+	}
+	if DefaultLatency("a:1", "a:1") != 0 {
+		t.Fatal("self latency must be zero")
+	}
+}
+
+func TestResetMetricsAndAddrs(t *testing.T) {
+	n := New()
+	for i := 0; i < 3; i++ {
+		n.Add(&echoPeer{addr: fmt.Sprintf("p%d:1", i)})
+	}
+	if len(n.Addrs()) != 3 {
+		t.Fatalf("addrs = %v", n.Addrs())
+	}
+	_ = n.Send(&Message{From: "p0:1", To: "p1:1", Kind: "x"})
+	n.ResetMetrics()
+	m := n.Metrics()
+	if m.Messages != 0 || m.Bytes != 0 || len(m.PerKind) != 0 {
+		t.Fatalf("metrics after reset = %+v", m)
+	}
+	if n.Peer("p0:1") == nil || n.Peer("zz") != nil {
+		t.Fatal("Peer lookup broken")
+	}
+}

@@ -1,0 +1,186 @@
+package stats
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xmltree"
+)
+
+func genItems(n int, seed int64) []*xmltree.Node {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]*xmltree.Node, n)
+	for i := range out {
+		out[i] = xmltree.MustParse(fmt.Sprintf(
+			`<item><title>t%d</title><price>%d</price></item>`, r.Intn(50), r.Intn(100)))
+	}
+	return out
+}
+
+func TestCollect(t *testing.T) {
+	items := genItems(200, 1)
+	s := Collect(items, []string{"title"}, "price", 10)
+	if s.Card != 200 {
+		t.Fatalf("card = %d", s.Card)
+	}
+	if s.Distinct["title"] <= 0 || s.Distinct["title"] > 50 {
+		t.Fatalf("distinct = %d", s.Distinct["title"])
+	}
+	if s.Hist == nil || s.Hist.Total() != 200 {
+		t.Fatalf("hist total = %v", s.Hist)
+	}
+}
+
+func TestCollectEmptyAndMissing(t *testing.T) {
+	s := Collect(nil, []string{"title"}, "price", 10)
+	if s.Card != 0 || s.Distinct["title"] != 0 || s.Hist != nil {
+		t.Fatalf("empty collect = %+v", s)
+	}
+	// Items missing the histogram field are skipped.
+	items := []*xmltree.Node{xmltree.MustParse(`<i><x>1</x></i>`)}
+	s2 := Collect(items, nil, "price", 4)
+	if s2.Hist != nil {
+		t.Fatal("histogram over missing field must be nil")
+	}
+}
+
+func TestDistinctRoundTrip(t *testing.T) {
+	d := map[string]int{"title": 42, "seller/city": 7}
+	enc := EncodeDistinct(d)
+	back, err := DecodeDistinct(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || back["title"] != 42 || back["seller/city"] != 7 {
+		t.Fatalf("round trip = %v", back)
+	}
+	if _, err := DecodeDistinct("nocolon"); err == nil {
+		t.Fatal("malformed distinct should error")
+	}
+	if _, err := DecodeDistinct("a:xx"); err == nil {
+		t.Fatal("malformed count should error")
+	}
+	empty, err := DecodeDistinct("")
+	if err != nil || len(empty) != 0 {
+		t.Fatalf("empty decode = %v %v", empty, err)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	vals := []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	h := NewHistogram("price", vals, 5)
+	if h.Lo != 0 || h.Hi != 9 {
+		t.Fatalf("range = [%g,%g]", h.Lo, h.Hi)
+	}
+	if h.Total() != 10 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	for i, c := range h.Counts {
+		if c != 2 {
+			t.Fatalf("bucket %d = %d, want 2", i, c)
+		}
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	h := NewHistogram("p", []float64{5, 5, 5}, 4)
+	if h.Total() != 3 || h.Counts[0] != 3 {
+		t.Fatalf("degenerate hist = %v", h.Counts)
+	}
+	if h.EstimateLE(5) != 3 || h.EstimateLE(4) != 0 {
+		t.Fatalf("degenerate estimates: %d %d", h.EstimateLE(5), h.EstimateLE(4))
+	}
+}
+
+func TestEstimateLE(t *testing.T) {
+	vals := make([]float64, 100)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	h := NewHistogram("p", vals, 10)
+	if got := h.EstimateLE(-1); got != 0 {
+		t.Fatalf("below lo = %d", got)
+	}
+	if got := h.EstimateLE(1000); got != 100 {
+		t.Fatalf("above hi = %d", got)
+	}
+	mid := h.EstimateLE(49.5)
+	if mid < 40 || mid > 60 {
+		t.Fatalf("mid estimate = %d, want ~50", mid)
+	}
+}
+
+func TestHistogramRoundTrip(t *testing.T) {
+	h := NewHistogram("price", []float64{1, 2, 3, 10, 20}, 4)
+	enc := h.Encode()
+	back, err := DecodeHistogram(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Path != h.Path || back.Lo != h.Lo || back.Hi != h.Hi || len(back.Counts) != len(h.Counts) {
+		t.Fatalf("round trip = %+v", back)
+	}
+	for i := range h.Counts {
+		if back.Counts[i] != h.Counts[i] {
+			t.Fatalf("bucket %d mismatch", i)
+		}
+	}
+	for _, bad := range []string{"x", "p;a;2;1|2", "p;1;b;1|2", "p;1;2;x|y"} {
+		if _, err := DecodeHistogram(bad); err == nil {
+			t.Errorf("DecodeHistogram(%q): want error", bad)
+		}
+	}
+}
+
+// Property: EstimateLE is monotone non-decreasing and bounded by Total.
+func TestPropertyEstimateMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(200)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = r.Float64() * 100
+		}
+		h := NewHistogram("p", vals, 1+r.Intn(16))
+		prev := 0
+		for v := -10.0; v <= 110; v += 5 {
+			e := h.EstimateLE(v)
+			if e < prev || e > h.Total() {
+				return false
+			}
+			prev = e
+		}
+		return prev == h.Total()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: histogram round trip preserves all fields.
+func TestPropertyHistogramRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(100)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = float64(r.Intn(1000))
+		}
+		h := NewHistogram("p", vals, 1+r.Intn(8))
+		back, err := DecodeHistogram(h.Encode())
+		if err != nil || back.Lo != h.Lo || back.Hi != h.Hi {
+			return false
+		}
+		for i := range h.Counts {
+			if back.Counts[i] != h.Counts[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,108 @@
+// Package wire is the minimal TCP transport used by cmd/mqpd and
+// cmd/mqpquery: one canonical XML document per connection, EOF-delimited.
+// It exists so the same MQP processor that runs on the simulated network
+// can serve real sockets.
+package wire
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"repro/internal/xmltree"
+)
+
+// DialTimeout bounds connection establishment.
+const DialTimeout = 5 * time.Second
+
+// Send connects to addr, writes one document, and closes. It is the
+// fire-and-forget MQP forwarding primitive.
+func Send(addr string, doc *xmltree.Node) error {
+	conn, err := net.DialTimeout("tcp", addr, DialTimeout)
+	if err != nil {
+		return fmt.Errorf("wire: dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	if _, err := doc.WriteTo(conn); err != nil {
+		return fmt.Errorf("wire: send to %s: %w", addr, err)
+	}
+	return nil
+}
+
+// ReadDoc reads one XML document from r (until EOF).
+func ReadDoc(r io.Reader) (*xmltree.Node, error) {
+	return xmltree.Parse(r)
+}
+
+// Handler processes one received document. A non-nil reply is written back
+// on the same connection before it closes.
+type Handler func(doc *xmltree.Node) (reply *xmltree.Node, err error)
+
+// Server accepts one-document connections and dispatches to a Handler.
+type Server struct {
+	ln   net.Listener
+	errs chan error
+}
+
+// Listen starts a server on addr. Handler errors are reported on Errors().
+func Listen(addr string, h Handler) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: listen %s: %w", addr, err)
+	}
+	s := &Server{ln: ln, errs: make(chan error, 16)}
+	go s.loop(h)
+	return s, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Errors exposes handler and accept errors.
+func (s *Server) Errors() <-chan error { return s.errs }
+
+// Close stops accepting.
+func (s *Server) Close() error { return s.ln.Close() }
+
+func (s *Server) loop(h Handler) {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case s.errs <- err:
+			default:
+			}
+			return
+		}
+		go s.handle(conn, h)
+	}
+}
+
+func (s *Server) handle(conn net.Conn, h Handler) {
+	defer conn.Close()
+	report := func(err error) {
+		select {
+		case s.errs <- err:
+		default:
+		}
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		_ = tc.SetReadDeadline(time.Now().Add(30 * time.Second))
+	}
+	doc, err := ReadDoc(conn)
+	if err != nil {
+		report(fmt.Errorf("wire: read: %w", err))
+		return
+	}
+	reply, err := h(doc)
+	if err != nil {
+		report(err)
+		return
+	}
+	if reply != nil {
+		if _, err := reply.WriteTo(conn); err != nil {
+			report(fmt.Errorf("wire: reply: %w", err))
+		}
+	}
+}

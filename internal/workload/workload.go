@@ -1,0 +1,301 @@
+// Package workload generates the synthetic data the experiments run on:
+// the P2P garage sale of §2 (sellers with locality in geography and
+// merchandise category), the gene-expression scenario of Fig. 1 (organism ×
+// cell-type hierarchies), and the CD/track-listing service of Fig. 3. All
+// generators are seeded and deterministic.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/hierarchy"
+	"repro/internal/namespace"
+	"repro/internal/xmltree"
+)
+
+// GarageSaleNamespace builds the Location × Merchandise namespace of
+// Fig. 5, widened enough for skewed workloads.
+func GarageSaleNamespace() *namespace.Namespace {
+	loc := hierarchy.New("Location")
+	for _, p := range []string{
+		"USA/OR/Portland", "USA/OR/Eugene", "USA/OR/Salem",
+		"USA/WA/Seattle", "USA/WA/Vancouver", "USA/WA/Tacoma",
+		"USA/CA/SanFrancisco", "USA/CA/LosAngeles", "USA/CA/SanDiego",
+		"USA/NY/NewYork", "USA/NY/Buffalo",
+		"France/IDF/Paris", "France/PACA/Marseille",
+	} {
+		loc.MustAdd(p)
+	}
+	merch := hierarchy.New("Merchandise")
+	for _, p := range []string{
+		"Electronics/TV", "Electronics/VCR", "Electronics/Audio",
+		"Furniture/Tables", "Furniture/Chairs", "Furniture/Sofas",
+		"Music/CDs", "Music/Vinyl",
+		"Books/Fiction", "Books/Technical",
+		"Recreation/SportingGoods/GolfClubs", "Recreation/SportingGoods/Bicycles",
+		"Clothing/Shoes", "Clothing/Coats",
+	} {
+		merch.MustAdd(p)
+	}
+	return namespace.MustNew(loc, merch)
+}
+
+// Seller is one garage-sale data provider: a most-specific location, a
+// merchandise specialty, and the items it exports.
+type Seller struct {
+	Addr  string
+	City  hierarchy.Path
+	Spec  hierarchy.Path
+	Area  namespace.Area
+	Items []*xmltree.Node
+}
+
+// GarageSaleConfig parameterizes the generator.
+type GarageSaleConfig struct {
+	Seed           int64
+	Sellers        int
+	ItemsPerSeller int
+	// SpecialtyZipf skews sellers toward popular merchandise categories;
+	// 1.2–2.0 are realistic. Zero disables skew.
+	SpecialtyZipf float64
+}
+
+// GarageSale generates sellers over the garage-sale namespace. Sellers have
+// locality: every item of a seller shares the seller's city (§3.1: "All the
+// items sold by the same seller in the P2P garage sale will usually have
+// the same address"), and most items fall in the seller's specialty.
+func GarageSale(ns *namespace.Namespace, cfg GarageSaleConfig) []Seller {
+	r := rand.New(rand.NewSource(cfg.Seed))
+	cities := ns.Dimensions()[0].Leaves()
+	specs := ns.Dimensions()[1].Leaves()
+	// Decouple Zipf rank from alphabetical order: permute which category is
+	// "most popular" per seed.
+	r.Shuffle(len(specs), func(i, j int) { specs[i], specs[j] = specs[j], specs[i] })
+
+	pickSpec := func() hierarchy.Path { return specs[r.Intn(len(specs))] }
+	if cfg.SpecialtyZipf > 1 {
+		z := rand.NewZipf(r, cfg.SpecialtyZipf, 1, uint64(len(specs)-1))
+		pickSpec = func() hierarchy.Path { return specs[int(z.Uint64())] }
+	}
+
+	sellers := make([]Seller, cfg.Sellers)
+	for i := range sellers {
+		city := cities[r.Intn(len(cities))]
+		spec := pickSpec()
+		s := Seller{
+			Addr: fmt.Sprintf("seller%03d:9020", i),
+			City: city,
+			Spec: spec,
+			Area: namespace.NewArea(namespace.NewCell(city, spec)),
+		}
+		for j := 0; j < cfg.ItemsPerSeller; j++ {
+			cat := spec
+			// A tenth of the items fall outside the specialty; the seller's
+			// declared area stays honest because interest areas describe,
+			// not guarantee, holdings — we keep generated items inside the
+			// area to make recall measurable, so off-specialty items pick a
+			// sibling leaf only when it stays under the same parent.
+			if r.Intn(10) == 0 {
+				cat = siblingLeaf(ns.Dimensions()[1], spec, r)
+			}
+			s.Items = append(s.Items, saleItem(r, i, j, city, cat))
+		}
+		sellers[i] = s
+		// Broaden the area when off-specialty items were generated.
+		for _, it := range s.Items {
+			catPath := hierarchy.MustParsePath(it.Value("category"))
+			cell := namespace.NewCell(city, catPath)
+			if !s.Area.CoversCell(cell) {
+				s.Area = s.Area.Union(namespace.NewArea(cell))
+			}
+		}
+		sellers[i] = s
+	}
+	return sellers
+}
+
+// siblingLeaf picks another leaf under the same top-level category when one
+// exists, else returns spec itself.
+func siblingLeaf(h *hierarchy.Hierarchy, spec hierarchy.Path, r *rand.Rand) hierarchy.Path {
+	top := spec.Truncate(1)
+	var candidates []hierarchy.Path
+	for _, l := range h.Leaves() {
+		if top.Covers(l) && !l.Equal(spec) {
+			candidates = append(candidates, l)
+		}
+	}
+	if len(candidates) == 0 {
+		return spec
+	}
+	return candidates[r.Intn(len(candidates))]
+}
+
+var conditions = []string{"new", "like-new", "good", "fair", "poor"}
+
+func saleItem(r *rand.Rand, seller, n int, city, cat hierarchy.Path) *xmltree.Node {
+	price := 1 + r.Intn(200)
+	it := xmltree.Elem("item")
+	it.SetAttr("id", fmt.Sprintf("s%d-i%d", seller, n))
+	it.Add(
+		xmltree.ElemText("name", fmt.Sprintf("%s #%d", cat.Leaf(), n)),
+		xmltree.ElemText("category", cat.String()),
+		xmltree.ElemText("city", city.String()),
+		xmltree.ElemText("price", fmt.Sprintf("%d", price)),
+		xmltree.ElemText("condition", conditions[r.Intn(len(conditions))]),
+		xmltree.ElemText("qty", fmt.Sprintf("%d", 1+r.Intn(3))),
+	)
+	return it
+}
+
+// Query is a generated search: an interest area plus a price ceiling.
+type Query struct {
+	Area     namespace.Area
+	MaxPrice int
+}
+
+// Queries generates n queries whose areas follow the same skew as the data
+// (buyers look for what sellers sell, §3.1).
+func Queries(ns *namespace.Namespace, seed int64, n int, zipf float64) []Query {
+	r := rand.New(rand.NewSource(seed))
+	cities := ns.Dimensions()[0].Leaves()
+	specs := ns.Dimensions()[1].Leaves()
+	r.Shuffle(len(specs), func(i, j int) { specs[i], specs[j] = specs[j], specs[i] })
+	pickSpec := func() hierarchy.Path { return specs[r.Intn(len(specs))] }
+	if zipf > 1 {
+		z := rand.NewZipf(r, zipf, 1, uint64(len(specs)-1))
+		pickSpec = func() hierarchy.Path { return specs[int(z.Uint64())] }
+	}
+	out := make([]Query, n)
+	for i := range out {
+		city := cities[r.Intn(len(cities))]
+		// Queries sometimes generalize a level (state-wide search).
+		loc := city
+		if r.Intn(3) == 0 {
+			loc = city.Parent()
+		}
+		out[i] = Query{
+			Area:     namespace.NewArea(namespace.NewCell(loc, pickSpec())),
+			MaxPrice: 10 + r.Intn(150),
+		}
+	}
+	return out
+}
+
+// --- Gene expression (paper Fig. 1) ------------------------------------
+
+// GeneNamespace builds the Organism × CellType namespace exactly as drawn
+// in Fig. 1.
+func GeneNamespace() *namespace.Namespace {
+	org := hierarchy.New("Organism")
+	for _, p := range []string{
+		"Coelomata/Protostomia/Drosophila-Melanogaster",
+		"Coelomata/Deuterostomia/Mammalia/Primates/Homo-Sapiens",
+		"Coelomata/Deuterostomia/Mammalia/Eutheria/Rodentia/Murinae/Mus-Musculus",
+		"Coelomata/Deuterostomia/Mammalia/Eutheria/Rodentia/Murinae/Rattus-Norvegicus",
+	} {
+		org.MustAdd(p)
+	}
+	cell := hierarchy.New("CellType")
+	for _, p := range []string{
+		"Neural/Neurons/Sensory", "Neural/Neurons/Motor", "Neural/Neurons/Association",
+		"Neural/Glial",
+		"Connective/Bone/Osteoblasts", "Connective/Bone/Osteoclasts", "Connective/Adipose",
+		"Muscle/Cardiac/Autorhythmic", "Muscle/Cardiac/Contractile",
+		"Muscle/Smooth", "Muscle/Skeletal",
+		"Epithelial/Cilliated", "Epithelial/Secretory",
+	} {
+		cell.MustAdd(p)
+	}
+	return namespace.MustNew(org, cell)
+}
+
+// Group is a research group hosting expression data (Fig. 1).
+type Group struct {
+	Name string
+	Addr string
+	Area namespace.Area
+}
+
+// Fig1Groups returns the paper's three groups: fly/neural, rodent
+// connective+muscle, and human all-cell-types.
+func Fig1Groups(ns *namespace.Namespace) []Group {
+	return []Group{
+		{
+			Name: "fly-neuro-lab", Addr: "fly-lab:9020",
+			Area: ns.MustParseArea("[Coelomata/Protostomia/Drosophila-Melanogaster, Neural]"),
+		},
+		{
+			Name: "rodent-lab", Addr: "rodent-lab:9020",
+			Area: ns.MustParseArea(
+				"[Coelomata/Deuterostomia/Mammalia/Eutheria/Rodentia, Connective] + " +
+					"[Coelomata/Deuterostomia/Mammalia/Eutheria/Rodentia, Muscle]"),
+		},
+		{
+			Name: "human-lab", Addr: "human-lab:9020",
+			Area: ns.MustParseArea("[Coelomata/Deuterostomia/Mammalia/Primates/Homo-Sapiens, *]"),
+		},
+	}
+}
+
+// ExpressionData generates MIAME-flavored expression bundles inside a
+// group's interest area.
+func ExpressionData(ns *namespace.Namespace, g Group, seed int64, n int) []*xmltree.Node {
+	r := rand.New(rand.NewSource(seed))
+	org := ns.Dimensions()[0]
+	cell := ns.Dimensions()[1]
+	// Candidate (organism, celltype) leaf pairs covered by the area.
+	type pair struct{ o, c hierarchy.Path }
+	var pairs []pair
+	for _, o := range org.Leaves() {
+		for _, c := range cell.Leaves() {
+			if g.Area.CoversCell(namespace.NewCell(o, c)) {
+				pairs = append(pairs, pair{o, c})
+			}
+		}
+	}
+	if len(pairs) == 0 {
+		return nil
+	}
+	out := make([]*xmltree.Node, n)
+	for i := range out {
+		p := pairs[r.Intn(len(pairs))]
+		e := xmltree.Elem("experiment")
+		e.SetAttr("id", fmt.Sprintf("%s-%d", g.Name, i))
+		e.Add(
+			xmltree.ElemText("organism", p.o.String()),
+			xmltree.ElemText("celltype", p.c.String()),
+			xmltree.ElemText("gene", fmt.Sprintf("GENE%04d", r.Intn(500))),
+			xmltree.ElemText("expression", fmt.Sprintf("%.3f", r.Float64()*10)),
+			xmltree.ElemText("lab", g.Name),
+		)
+		out[i] = e
+	}
+	return out
+}
+
+// --- CD / track listings (Fig. 3) ---------------------------------------
+
+// CDCatalog generates nCDs for-sale bundles and the full track-listing
+// collection covering them (three tracks per CD).
+func CDCatalog(seed int64, nCDs int) (sales, listings []*xmltree.Node) {
+	r := rand.New(rand.NewSource(seed))
+	for i := 0; i < nCDs; i++ {
+		title := fmt.Sprintf("Album %03d", i)
+		sale := xmltree.Elem("sale")
+		sale.Add(
+			xmltree.ElemText("cd", title),
+			xmltree.ElemText("price", fmt.Sprintf("%d", 3+r.Intn(25))),
+		)
+		sales = append(sales, sale)
+		for tno := 0; tno < 3; tno++ {
+			l := xmltree.Elem("listing")
+			l.Add(
+				xmltree.ElemText("cd", title),
+				xmltree.ElemText("song", fmt.Sprintf("Track %d of %s", tno+1, title)),
+			)
+			listings = append(listings, l)
+		}
+	}
+	return sales, listings
+}

@@ -1,0 +1,137 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/hierarchy"
+	"repro/internal/namespace"
+)
+
+func TestGarageSaleDeterministic(t *testing.T) {
+	ns := GarageSaleNamespace()
+	cfg := GarageSaleConfig{Seed: 42, Sellers: 10, ItemsPerSeller: 5, SpecialtyZipf: 1.5}
+	a := GarageSale(ns, cfg)
+	b := GarageSale(ns, cfg)
+	if len(a) != 10 || len(b) != 10 {
+		t.Fatalf("sellers = %d/%d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Addr != b[i].Addr || !a[i].City.Equal(b[i].City) || !a[i].Spec.Equal(b[i].Spec) {
+			t.Fatalf("seller %d differs between runs", i)
+		}
+		if len(a[i].Items) != 5 {
+			t.Fatalf("seller %d items = %d", i, len(a[i].Items))
+		}
+		for j := range a[i].Items {
+			if a[i].Items[j].String() != b[i].Items[j].String() {
+				t.Fatalf("seller %d item %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestGarageSaleAreaCoversItems(t *testing.T) {
+	ns := GarageSaleNamespace()
+	sellers := GarageSale(ns, GarageSaleConfig{Seed: 7, Sellers: 25, ItemsPerSeller: 8, SpecialtyZipf: 1.3})
+	for _, s := range sellers {
+		if err := ns.Validate(s.Area); err != nil {
+			t.Fatalf("seller %s area invalid: %v", s.Addr, err)
+		}
+		for _, it := range s.Items {
+			cat := hierarchy.MustParsePath(it.Value("category"))
+			city := hierarchy.MustParsePath(it.Value("city"))
+			if !city.Equal(s.City) {
+				t.Fatalf("item city %v != seller city %v", city, s.City)
+			}
+			cell := namespace.NewCell(city, cat)
+			if !s.Area.CoversCell(cell) {
+				t.Fatalf("seller %s area %v does not cover item cell %v", s.Addr, s.Area, cell)
+			}
+			if _, err := it.Int("price"); err != nil {
+				t.Fatalf("item price: %v", err)
+			}
+		}
+	}
+}
+
+func TestQueriesValid(t *testing.T) {
+	ns := GarageSaleNamespace()
+	qs := Queries(ns, 1, 50, 1.4)
+	if len(qs) != 50 {
+		t.Fatalf("queries = %d", len(qs))
+	}
+	for _, q := range qs {
+		if err := ns.Validate(q.Area); err != nil {
+			t.Fatalf("query area invalid: %v", err)
+		}
+		if q.MaxPrice < 10 {
+			t.Fatalf("max price = %d", q.MaxPrice)
+		}
+	}
+}
+
+// TestFig1Scenario checks the routing facts the paper's Fig. 1 caption
+// states: a query about mammalian heart cells overlaps the rodent and human
+// groups but not the fly group.
+func TestFig1Scenario(t *testing.T) {
+	ns := GeneNamespace()
+	groups := Fig1Groups(ns)
+	if len(groups) != 3 {
+		t.Fatalf("groups = %d", len(groups))
+	}
+	query := ns.MustParseArea("[Coelomata/Deuterostomia/Mammalia, Muscle/Cardiac]")
+	overlaps := make([]bool, 3)
+	for i, g := range groups {
+		if err := ns.Validate(g.Area); err != nil {
+			t.Fatalf("group %s area: %v", g.Name, err)
+		}
+		overlaps[i] = g.Area.Overlaps(query)
+	}
+	if overlaps[0] {
+		t.Fatal("fly/neural group must NOT overlap mammalian cardiac query")
+	}
+	if !overlaps[1] || !overlaps[2] {
+		t.Fatalf("rodent and human groups must overlap: %v", overlaps)
+	}
+}
+
+func TestExpressionDataInsideArea(t *testing.T) {
+	ns := GeneNamespace()
+	for _, g := range Fig1Groups(ns) {
+		data := ExpressionData(ns, g, 3, 40)
+		if len(data) != 40 {
+			t.Fatalf("%s data = %d", g.Name, len(data))
+		}
+		for _, e := range data {
+			org := hierarchy.MustParsePath(e.Value("organism"))
+			cell := hierarchy.MustParsePath(e.Value("celltype"))
+			if !g.Area.CoversCell(namespace.NewCell(org, cell)) {
+				t.Fatalf("%s experiment outside area: %s / %s", g.Name, org, cell)
+			}
+		}
+	}
+}
+
+func TestCDCatalog(t *testing.T) {
+	sales, listings := CDCatalog(5, 10)
+	if len(sales) != 10 || len(listings) != 30 {
+		t.Fatalf("catalog = %d sales, %d listings", len(sales), len(listings))
+	}
+	// Every sale title appears in listings.
+	titles := map[string]int{}
+	for _, l := range listings {
+		titles[l.Value("cd")]++
+	}
+	for _, s := range sales {
+		if titles[s.Value("cd")] != 3 {
+			t.Fatalf("cd %q has %d listings", s.Value("cd"), titles[s.Value("cd")])
+		}
+	}
+	// Deterministic.
+	sales2, _ := CDCatalog(5, 10)
+	for i := range sales {
+		if sales[i].String() != sales2[i].String() {
+			t.Fatal("CDCatalog not deterministic")
+		}
+	}
+}

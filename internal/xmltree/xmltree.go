@@ -1,0 +1,531 @@
+// Package xmltree provides a lightweight XML document model used throughout
+// the repository: item data bundles, serialized mutant query plans, and
+// partial results are all xmltree documents.
+//
+// The model is deliberately small — elements, attributes and text — because
+// that is all the paper's data bundles and plan encoding require. A document
+// is a tree of *Node values. Parsing uses encoding/xml's tokenizer, and
+// serialization emits deterministic, canonicalized XML (attributes sorted by
+// name) so that byte sizes are stable across runs; the experiment harness
+// depends on that stability when it reports "bytes shipped".
+package xmltree
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Attr is a single name="value" attribute on an element.
+type Attr struct {
+	Name  string
+	Value string
+}
+
+// Node is an XML element or a text node. An element has a Name and may carry
+// attributes and children; a text node has Name == "" and its content in
+// Text. The zero value is an empty text node.
+type Node struct {
+	Name     string
+	Text     string
+	Attrs    []Attr
+	Children []*Node
+}
+
+// Elem constructs an element node with the given children.
+func Elem(name string, children ...*Node) *Node {
+	return &Node{Name: name, Children: children}
+}
+
+// TextNode constructs a text node.
+func TextNode(text string) *Node {
+	return &Node{Text: text}
+}
+
+// ElemText constructs an element containing a single text child, e.g.
+// ElemText("price", "10") renders as <price>10</price>.
+func ElemText(name, text string) *Node {
+	return &Node{Name: name, Children: []*Node{TextNode(text)}}
+}
+
+// IsText reports whether the node is a text node.
+func (n *Node) IsText() bool { return n.Name == "" }
+
+// Attr returns the value of the named attribute and whether it is present.
+func (n *Node) Attr(name string) (string, bool) {
+	for _, a := range n.Attrs {
+		if a.Name == name {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// AttrDefault returns the named attribute's value, or def when absent.
+func (n *Node) AttrDefault(name, def string) string {
+	if v, ok := n.Attr(name); ok {
+		return v
+	}
+	return def
+}
+
+// SetAttr sets (or replaces) an attribute and returns the node for chaining.
+func (n *Node) SetAttr(name, value string) *Node {
+	for i := range n.Attrs {
+		if n.Attrs[i].Name == name {
+			n.Attrs[i].Value = value
+			return n
+		}
+	}
+	n.Attrs = append(n.Attrs, Attr{Name: name, Value: value})
+	return n
+}
+
+// Add appends children and returns the node for chaining.
+func (n *Node) Add(children ...*Node) *Node {
+	n.Children = append(n.Children, children...)
+	return n
+}
+
+// Child returns the first child element with the given name, or nil.
+func (n *Node) Child(name string) *Node {
+	for _, c := range n.Children {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// ChildrenNamed returns all child elements with the given name.
+func (n *Node) ChildrenNamed(name string) []*Node {
+	var out []*Node
+	for _, c := range n.Children {
+		if c.Name == name {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Elements returns all element (non-text) children.
+func (n *Node) Elements() []*Node {
+	var out []*Node
+	for _, c := range n.Children {
+		if !c.IsText() {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// InnerText returns the concatenation of all text beneath the node.
+func (n *Node) InnerText() string {
+	if n.IsText() {
+		return n.Text
+	}
+	var b strings.Builder
+	n.innerText(&b)
+	return b.String()
+}
+
+func (n *Node) innerText(b *strings.Builder) {
+	for _, c := range n.Children {
+		if c.IsText() {
+			b.WriteString(c.Text)
+		} else {
+			c.innerText(b)
+		}
+	}
+}
+
+// Clone returns a deep copy of the node.
+func (n *Node) Clone() *Node {
+	if n == nil {
+		return nil
+	}
+	cp := &Node{Name: n.Name, Text: n.Text}
+	if len(n.Attrs) > 0 {
+		cp.Attrs = make([]Attr, len(n.Attrs))
+		copy(cp.Attrs, n.Attrs)
+	}
+	if len(n.Children) > 0 {
+		cp.Children = make([]*Node, len(n.Children))
+		for i, c := range n.Children {
+			cp.Children[i] = c.Clone()
+		}
+	}
+	return cp
+}
+
+// Equal reports deep structural equality, ignoring attribute order.
+func Equal(a, b *Node) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.Name != b.Name || a.Text != b.Text {
+		return false
+	}
+	if len(a.Attrs) != len(b.Attrs) || len(a.Children) != len(b.Children) {
+		return false
+	}
+	for _, attr := range a.Attrs {
+		v, ok := b.Attr(attr.Name)
+		if !ok || v != attr.Value {
+			return false
+		}
+	}
+	for i := range a.Children {
+		if !Equal(a.Children[i], b.Children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Parse reads a single XML document from r and returns its root element.
+// Whitespace-only text between elements is dropped; other text is kept.
+func Parse(r io.Reader) (*Node, error) {
+	dec := xml.NewDecoder(r)
+	var stack []*Node
+	var root *Node
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmltree: parse: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			n := &Node{Name: t.Name.Local}
+			for _, a := range t.Attr {
+				if a.Name.Space == "xmlns" || a.Name.Local == "xmlns" {
+					continue
+				}
+				n.Attrs = append(n.Attrs, Attr{Name: a.Name.Local, Value: a.Value})
+			}
+			if len(stack) == 0 {
+				if root != nil {
+					return nil, fmt.Errorf("xmltree: parse: multiple root elements")
+				}
+				root = n
+			} else {
+				parent := stack[len(stack)-1]
+				parent.Children = append(parent.Children, n)
+			}
+			stack = append(stack, n)
+		case xml.EndElement:
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("xmltree: parse: unbalanced end element %q", t.Name.Local)
+			}
+			stack = stack[:len(stack)-1]
+		case xml.CharData:
+			if len(stack) == 0 {
+				continue
+			}
+			text := string(t)
+			if strings.TrimSpace(text) == "" {
+				continue
+			}
+			parent := stack[len(stack)-1]
+			parent.Children = append(parent.Children, TextNode(text))
+		}
+	}
+	if root == nil {
+		return nil, fmt.Errorf("xmltree: parse: no root element")
+	}
+	if len(stack) != 0 {
+		return nil, fmt.Errorf("xmltree: parse: unterminated element %q", stack[len(stack)-1].Name)
+	}
+	return root, nil
+}
+
+// ParseString parses an XML document held in a string.
+func ParseString(s string) (*Node, error) {
+	return Parse(strings.NewReader(s))
+}
+
+// MustParse parses s and panics on error; intended for tests and fixtures.
+func MustParse(s string) *Node {
+	n, err := ParseString(s)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// WriteTo serializes the node as canonical XML: attributes sorted by name,
+// no insignificant whitespace. It returns the number of bytes written.
+func (n *Node) WriteTo(w io.Writer) (int64, error) {
+	cw := &countWriter{w: w}
+	err := writeNode(cw, n)
+	return cw.n, err
+}
+
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countWriter) WriteString(s string) error {
+	m, err := io.WriteString(cw.w, s)
+	cw.n += int64(m)
+	return err
+}
+
+func writeNode(w *countWriter, n *Node) error {
+	if n.IsText() {
+		return w.WriteString(escapeText(n.Text))
+	}
+	if err := w.WriteString("<" + n.Name); err != nil {
+		return err
+	}
+	attrs := make([]Attr, len(n.Attrs))
+	copy(attrs, n.Attrs)
+	sort.Slice(attrs, func(i, j int) bool { return attrs[i].Name < attrs[j].Name })
+	for _, a := range attrs {
+		if err := w.WriteString(" " + a.Name + `="` + escapeAttr(a.Value) + `"`); err != nil {
+			return err
+		}
+	}
+	if len(n.Children) == 0 {
+		return w.WriteString("/>")
+	}
+	if err := w.WriteString(">"); err != nil {
+		return err
+	}
+	for _, c := range n.Children {
+		if err := writeNode(w, c); err != nil {
+			return err
+		}
+	}
+	return w.WriteString("</" + n.Name + ">")
+}
+
+func escapeText(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}
+
+func escapeAttr(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// String returns the canonical XML serialization of the node.
+func (n *Node) String() string {
+	var b strings.Builder
+	cw := &countWriter{w: &b}
+	if err := writeNode(cw, n); err != nil {
+		// strings.Builder never fails; defensive only.
+		return fmt.Sprintf("<!-- xmltree: %v -->", err)
+	}
+	return b.String()
+}
+
+// ByteSize returns the length in bytes of the canonical serialization. The
+// experiment harness uses it to account for network transfer sizes.
+func (n *Node) ByteSize() int {
+	cw := &countWriter{w: io.Discard}
+	if err := writeNode(cw, n); err != nil {
+		return 0
+	}
+	return int(cw.n)
+}
+
+// Indent returns a pretty-printed serialization with two-space indentation;
+// useful for debugging and examples, not for size accounting.
+func (n *Node) Indent() string {
+	var b strings.Builder
+	indentNode(&b, n, 0)
+	return b.String()
+}
+
+func indentNode(b *strings.Builder, n *Node, depth int) {
+	pad := strings.Repeat("  ", depth)
+	if n.IsText() {
+		b.WriteString(pad + escapeText(strings.TrimSpace(n.Text)) + "\n")
+		return
+	}
+	b.WriteString(pad + "<" + n.Name)
+	attrs := make([]Attr, len(n.Attrs))
+	copy(attrs, n.Attrs)
+	sort.Slice(attrs, func(i, j int) bool { return attrs[i].Name < attrs[j].Name })
+	for _, a := range attrs {
+		b.WriteString(" " + a.Name + `="` + escapeAttr(a.Value) + `"`)
+	}
+	if len(n.Children) == 0 {
+		b.WriteString("/>\n")
+		return
+	}
+	if len(n.Children) == 1 && n.Children[0].IsText() {
+		b.WriteString(">" + escapeText(n.Children[0].Text) + "</" + n.Name + ">\n")
+		return
+	}
+	b.WriteString(">\n")
+	for _, c := range n.Children {
+		indentNode(b, c, depth+1)
+	}
+	b.WriteString(pad + "</" + n.Name + ">\n")
+}
+
+// Value returns the inner text of the first node matched by the path
+// expression (see Find), or "" when nothing matches.
+func (n *Node) Value(path string) string {
+	m := n.Find(path)
+	if m == nil {
+		return ""
+	}
+	return m.InnerText()
+}
+
+// Float returns the first matched value parsed as float64.
+func (n *Node) Float(path string) (float64, error) {
+	v := strings.TrimSpace(n.Value(path))
+	if v == "" {
+		return 0, fmt.Errorf("xmltree: path %q: no value", path)
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, fmt.Errorf("xmltree: path %q: %w", path, err)
+	}
+	return f, nil
+}
+
+// Int returns the first matched value parsed as int.
+func (n *Node) Int(path string) (int, error) {
+	v := strings.TrimSpace(n.Value(path))
+	if v == "" {
+		return 0, fmt.Errorf("xmltree: path %q: no value", path)
+	}
+	i, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("xmltree: path %q: %w", path, err)
+	}
+	return i, nil
+}
+
+// Find returns the first node matched by the path, or nil.
+func (n *Node) Find(path string) *Node {
+	all := n.FindAll(path)
+	if len(all) == 0 {
+		return nil
+	}
+	return all[0]
+}
+
+// FindAll evaluates a small XPath-like path expression against the node and
+// returns every match. The language supports the forms the paper's catalogs
+// and item bundles need:
+//
+//	item/price          child steps
+//	*                   any element child
+//	data[id=245]        attribute-equality predicate (paper §3.2 identifiers)
+//	item[2]             positional predicate (1-based)
+//	price/@currency     terminal attribute access (matched node is a
+//	                    synthesized text node holding the attribute value)
+//
+// A leading "/" is permitted and ignored (paths are evaluated relative to n,
+// whose own name is not consumed by the path).
+func (n *Node) FindAll(path string) []*Node {
+	steps, err := parsePath(path)
+	if err != nil {
+		return nil
+	}
+	current := []*Node{n}
+	for _, st := range steps {
+		var next []*Node
+		for _, c := range current {
+			next = append(next, st.apply(c)...)
+		}
+		current = next
+		if len(current) == 0 {
+			return nil
+		}
+	}
+	return current
+}
+
+type pathStep struct {
+	name      string // element name, or "*", or "@attr" for attribute access
+	attrName  string // predicate [name=value]
+	attrValue string
+	index     int // 1-based positional predicate; 0 means none
+}
+
+func parsePath(path string) ([]pathStep, error) {
+	path = strings.TrimPrefix(path, "/")
+	if path == "" {
+		return nil, fmt.Errorf("xmltree: empty path")
+	}
+	parts := strings.Split(path, "/")
+	steps := make([]pathStep, 0, len(parts))
+	for _, p := range parts {
+		if p == "" {
+			return nil, fmt.Errorf("xmltree: empty path step in %q", path)
+		}
+		st := pathStep{}
+		if i := strings.IndexByte(p, '['); i >= 0 {
+			if !strings.HasSuffix(p, "]") {
+				return nil, fmt.Errorf("xmltree: malformed predicate in step %q", p)
+			}
+			pred := p[i+1 : len(p)-1]
+			st.name = p[:i]
+			if eq := strings.IndexByte(pred, '='); eq >= 0 {
+				st.attrName = strings.TrimPrefix(strings.TrimSpace(pred[:eq]), "@")
+				st.attrValue = strings.Trim(strings.TrimSpace(pred[eq+1:]), `'"`)
+			} else {
+				idx, err := strconv.Atoi(pred)
+				if err != nil || idx < 1 {
+					return nil, fmt.Errorf("xmltree: bad positional predicate %q", pred)
+				}
+				st.index = idx
+			}
+		} else {
+			st.name = p
+		}
+		if st.name == "" {
+			return nil, fmt.Errorf("xmltree: missing name in step %q", p)
+		}
+		steps = append(steps, st)
+	}
+	return steps, nil
+}
+
+func (st pathStep) apply(n *Node) []*Node {
+	if strings.HasPrefix(st.name, "@") {
+		if v, ok := n.Attr(st.name[1:]); ok {
+			return []*Node{TextNode(v)}
+		}
+		return nil
+	}
+	var out []*Node
+	pos := 0
+	for _, c := range n.Children {
+		if c.IsText() {
+			continue
+		}
+		if st.name != "*" && c.Name != st.name {
+			continue
+		}
+		if st.attrName != "" {
+			if v, ok := c.Attr(st.attrName); !ok || v != st.attrValue {
+				continue
+			}
+		}
+		pos++
+		if st.index > 0 && pos != st.index {
+			continue
+		}
+		out = append(out, c)
+		if st.index > 0 {
+			break
+		}
+	}
+	return out
+}

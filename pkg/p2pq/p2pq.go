@@ -1,0 +1,501 @@
+// Package p2pq is the public API of the library: a facade over the mutant
+// query plan engine, multi-hierarchic namespace catalogs, and simulated P2P
+// network that the internal packages implement.
+//
+// A typical session:
+//
+//	ns := p2pq.NewNamespace(
+//	    p2pq.Dimension("Location", "USA/OR/Portland", "USA/WA/Seattle"),
+//	    p2pq.Dimension("Merchandise", "Music/CDs", "Furniture/Chairs"),
+//	)
+//	sys := p2pq.NewSystem(ns)
+//	seller, _ := sys.AddPeer(p2pq.PeerOptions{
+//	    Addr: "seller:9020", Area: "[USA/OR/Portland, Music/CDs]",
+//	})
+//	seller.Publish("cds", "/data[id=1]", "[USA/OR/Portland, Music/CDs]", items...)
+//	meta, _ := sys.AddPeer(p2pq.PeerOptions{Addr: "meta:9020", Area: "[*, *]", Authoritative: true})
+//	seller.JoinVia(meta.Addr())
+//	client, _ := sys.AddPeer(p2pq.PeerOptions{Addr: "me:9020", Knows: []string{meta.Addr()}})
+//
+//	res, err := client.Query(
+//	    p2pq.ScanArea("[USA/OR/Portland, Music/CDs]").
+//	        Where("price < 10").
+//	        Plan("q1", client.Addr()))
+package p2pq
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/algebra"
+	"repro/internal/catalog"
+	"repro/internal/hierarchy"
+	"repro/internal/mqp"
+	"repro/internal/namespace"
+	"repro/internal/peer"
+	"repro/internal/provenance"
+	"repro/internal/simnet"
+	"repro/internal/xmltree"
+)
+
+// Item is one XML data bundle. Use ParseItem or BuildItem to construct.
+type Item = xmltree.Node
+
+// ParseItem parses an XML item from its textual form.
+func ParseItem(src string) (*Item, error) {
+	return xmltree.ParseString(src)
+}
+
+// MustParseItem is ParseItem for fixtures; it panics on error.
+func MustParseItem(src string) *Item {
+	return xmltree.MustParse(src)
+}
+
+// BuildItem constructs an element with text-valued fields, e.g.
+// BuildItem("sale", "cd", "Blue Train", "price", "8").
+func BuildItem(name string, fieldValuePairs ...string) *Item {
+	e := xmltree.Elem(name)
+	for i := 0; i+1 < len(fieldValuePairs); i += 2 {
+		e.Add(xmltree.ElemText(fieldValuePairs[i], fieldValuePairs[i+1]))
+	}
+	return e
+}
+
+// DimensionSpec declares one categorization hierarchy of a namespace.
+type DimensionSpec struct {
+	Name  string
+	Paths []string
+}
+
+// Dimension builds a DimensionSpec.
+func Dimension(name string, paths ...string) DimensionSpec {
+	return DimensionSpec{Name: name, Paths: paths}
+}
+
+// Namespace wraps a multi-hierarchic namespace (§3.1 of the paper).
+type Namespace struct {
+	ns *namespace.Namespace
+}
+
+// NewNamespace builds a namespace from dimension specs.
+func NewNamespace(dims ...DimensionSpec) (*Namespace, error) {
+	hs := make([]*hierarchy.Hierarchy, len(dims))
+	for i, d := range dims {
+		h := hierarchy.New(d.Name)
+		for _, p := range d.Paths {
+			if _, err := h.AddPath(p); err != nil {
+				return nil, fmt.Errorf("p2pq: dimension %s: %w", d.Name, err)
+			}
+		}
+		hs[i] = h
+	}
+	ns, err := namespace.New(hs...)
+	if err != nil {
+		return nil, err
+	}
+	return &Namespace{ns: ns}, nil
+}
+
+// MustNewNamespace is NewNamespace for fixtures; it panics on error.
+func MustNewNamespace(dims ...DimensionSpec) *Namespace {
+	ns, err := NewNamespace(dims...)
+	if err != nil {
+		panic(err)
+	}
+	return ns
+}
+
+// AreaURN encodes an interest-area expression ("[USA/OR, *] + [France,
+// Music]") as a URN string for use in queries and publications.
+func (n *Namespace) AreaURN(area string) (string, error) {
+	a, err := n.ns.ParseArea(area)
+	if err != nil {
+		return "", err
+	}
+	return namespace.EncodeURN(a), nil
+}
+
+// System is a simulated P2P deployment: a network plus its peers.
+type System struct {
+	ns  *Namespace
+	net *simnet.Network
+}
+
+// NewSystem creates an empty deployment over the namespace.
+func NewSystem(ns *Namespace) *System {
+	return &System{ns: ns, net: simnet.New()}
+}
+
+// Network exposes the underlying simulated network (metrics, failures).
+func (s *System) Network() *simnet.Network { return s.net }
+
+// Metrics returns a snapshot of network counters.
+func (s *System) Metrics() simnet.Metrics { return s.net.Metrics() }
+
+// SetDown marks a peer unreachable (or back up).
+func (s *System) SetDown(addr string, down bool) { s.net.SetDown(addr, down) }
+
+// PeerOptions configures a peer.
+type PeerOptions struct {
+	// Addr is the peer's network address, e.g. "seller1:9020".
+	Addr string
+	// Area is the peer's interest area expression; empty means a pure
+	// client.
+	Area string
+	// Authoritative marks the peer authoritative for its area (§3.3).
+	Authoritative bool
+	// Knows lists meta-index servers the peer is born knowing (§3.2:
+	// discovered out-of-band), with their area defaulting to everything.
+	Knows []string
+	// AllowDataPull lets the peer fetch remote data instead of always
+	// forwarding plans.
+	AllowDataPull bool
+	// SigningKey enables provenance recording.
+	SigningKey []byte
+}
+
+// Peer wraps a network participant.
+type Peer struct {
+	p   *peer.Peer
+	sys *System
+}
+
+// AddPeer creates a peer in the deployment.
+func (s *System) AddPeer(opts PeerOptions) (*Peer, error) {
+	var area namespace.Area
+	if opts.Area != "" {
+		a, err := s.ns.ns.ParseArea(opts.Area)
+		if err != nil {
+			return nil, err
+		}
+		area = a
+	}
+	var pol mqp.Policy
+	if opts.AllowDataPull {
+		pol = mqp.DefaultPolicy{}
+	}
+	p, err := peer.New(peer.Config{
+		Addr:          opts.Addr,
+		Net:           s.net,
+		NS:            s.ns.ns,
+		Area:          area,
+		Authoritative: opts.Authoritative,
+		Policy:        pol,
+		PushSelect:    true,
+		Key:           opts.SigningKey,
+		StatsHistPath: "price",
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, meta := range opts.Knows {
+		if err := p.Catalog().Register(catalog.Registration{
+			Addr: meta, Role: catalog.RoleMetaIndex,
+			Area:          s.ns.ns.MustParseArea(everything(s.ns.ns)),
+			Authoritative: true,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return &Peer{p: p, sys: s}, nil
+}
+
+func everything(ns *namespace.Namespace) string {
+	out := "["
+	for i := 0; i < ns.NumDims(); i++ {
+		if i > 0 {
+			out += ", "
+		}
+		out += "*"
+	}
+	return out + "]"
+}
+
+// Addr returns the peer's address.
+func (p *Peer) Addr() string { return p.p.Addr() }
+
+// Raw exposes the underlying peer for advanced use (statements, harvest,
+// replication).
+func (p *Peer) Raw() *peer.Peer { return p.p }
+
+// Publish exports a collection under the given name, path identifier and
+// interest-area expression.
+func (p *Peer) Publish(name, pathExp, area string, items ...*Item) error {
+	a, err := p.sys.ns.ns.ParseArea(area)
+	if err != nil {
+		return err
+	}
+	p.p.AddCollection(peer.Collection{Name: name, PathExp: pathExp, Area: a, Items: items})
+	return nil
+}
+
+// JoinVia registers the peer (as a base server) with the index or
+// meta-index server at addr — the §3.3 join protocol.
+func (p *Peer) JoinVia(addr string) error {
+	return p.p.RegisterWith(addr, catalog.RoleBase)
+}
+
+// JoinViaAsIndex registers the peer as an index server with addr.
+func (p *Peer) JoinViaAsIndex(addr string) error {
+	return p.p.RegisterWith(addr, catalog.RoleIndex)
+}
+
+// Alias maps an opaque URN (e.g. "urn:ForSale:Portland-CDs") to replacement
+// URNs or URLs in this peer's catalog; "http://host:port/pathExp" targets
+// name a collection at a server directly.
+func (p *Peer) Alias(urn string, targets ...string) {
+	p.p.Catalog().AddAlias(urn, targets...)
+}
+
+// Declare retains an intensional statement (§4) at the server at addr, e.g.
+// "base[USA/OR/Portland, *]@R:1 >= base[USA/OR/Portland, *]@S:1{30}".
+func (p *Peer) Declare(addr, statement string) error {
+	st, err := catalog.ParseStatement(p.sys.ns.ns, statement)
+	if err != nil {
+		return err
+	}
+	target := p.sys.net.Peer(addr)
+	tp, ok := target.(*peer.Peer)
+	if !ok {
+		return fmt.Errorf("p2pq: %s is not a catalog-bearing peer", addr)
+	}
+	return tp.Catalog().AddStatement(st)
+}
+
+// QueryResult is a finished query.
+type QueryResult struct {
+	Items   []*Item
+	Latency time.Duration
+	Hops    int
+	Plan    *algebra.Plan
+}
+
+// QueryTrailOf extracts the signed provenance trail a result carried (§5.1).
+func QueryTrailOf(res QueryResult) (*provenance.Trail, error) {
+	return provenance.FromPlan(res.Plan)
+}
+
+// Query submits the plan starting at this peer and waits for the result
+// (delivery is synchronous in the simulated network).
+func (p *Peer) Query(plan *algebra.Plan) (QueryResult, error) {
+	return p.QueryVia(p.Addr(), plan)
+}
+
+// QueryVia submits the plan to a specific first server.
+func (p *Peer) QueryVia(addr string, plan *algebra.Plan) (QueryResult, error) {
+	if plan.Target == "" {
+		plan.Target = p.Addr()
+	}
+	if err := p.p.Submit(addr, plan); err != nil {
+		return QueryResult{}, err
+	}
+	res, ok := p.p.TakeResult()
+	if !ok {
+		return QueryResult{}, fmt.Errorf("p2pq: no result delivered for plan %q", plan.ID)
+	}
+	items, err := res.Plan.Results()
+	if err != nil {
+		return QueryResult{}, err
+	}
+	return QueryResult{Items: items, Latency: res.At, Hops: res.Hops, Plan: res.Plan}, nil
+}
+
+// --- Plan builder --------------------------------------------------------
+
+// Builder assembles query plans fluently.
+type Builder struct {
+	node *algebra.Node
+	err  error
+}
+
+// ScanArea scans an interest-area expression (resolved through catalogs at
+// run time). The area syntax must be valid for the system namespace; it is
+// validated when the plan is submitted.
+func ScanArea(area string) *Builder {
+	// Encode lazily-parsed area via the generic cell syntax; we parse with
+	// a throwaway namespace-independent transliteration: the URN encoding
+	// is purely lexical (§3.4).
+	a, err := parseAreaLexical(area)
+	if err != nil {
+		return &Builder{err: err}
+	}
+	return &Builder{node: algebra.URN(namespace.EncodeURN(a))}
+}
+
+// parseAreaLexical parses an area without validating against a namespace —
+// encoding is lexical per §3.4.
+func parseAreaLexical(s string) (namespace.Area, error) {
+	if trim(s) == "" {
+		return namespace.Area{}, fmt.Errorf("p2pq: empty area expression")
+	}
+	// Cells are comma-separated coordinates; build with hierarchy paths.
+	var cells []namespace.Cell
+	for _, part := range splitTop(s, '+') {
+		part = trim(part)
+		part = trimBrackets(part)
+		var coords []hierarchy.Path
+		for _, c := range splitTop(part, ',') {
+			p, err := hierarchy.ParsePath(trim(c))
+			if err != nil {
+				return namespace.Area{}, err
+			}
+			coords = append(coords, p)
+		}
+		if len(coords) == 0 {
+			return namespace.Area{}, fmt.Errorf("p2pq: empty cell in area %q", s)
+		}
+		cells = append(cells, namespace.NewCell(coords...))
+	}
+	if len(cells) == 0 {
+		return namespace.Area{}, fmt.Errorf("p2pq: empty area %q", s)
+	}
+	return namespace.NewArea(cells...), nil
+}
+
+func splitTop(s string, sep byte) []string {
+	var parts []string
+	depth, start := 0, 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '[':
+			depth++
+		case ']':
+			depth--
+		case sep:
+			if depth == 0 {
+				parts = append(parts, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(parts, s[start:])
+}
+
+func trim(s string) string {
+	for len(s) > 0 && (s[0] == ' ' || s[0] == '\t') {
+		s = s[1:]
+	}
+	for len(s) > 0 && (s[len(s)-1] == ' ' || s[len(s)-1] == '\t') {
+		s = s[:len(s)-1]
+	}
+	return s
+}
+
+func trimBrackets(s string) string {
+	if len(s) >= 2 && s[0] == '[' && s[len(s)-1] == ']' {
+		return s[1 : len(s)-1]
+	}
+	return s
+}
+
+// ScanURN scans an opaque named resource, e.g. "urn:ForSale:Portland-CDs".
+func ScanURN(urn string) *Builder {
+	return &Builder{node: algebra.URN(urn)}
+}
+
+// Items embeds verbatim data in the plan (e.g. the client's favorite-song
+// list in the paper's Fig. 3).
+func Items(items ...*Item) *Builder {
+	return &Builder{node: algebra.Data(items...)}
+}
+
+// Where filters with a predicate expression, e.g. "price < 10 and
+// name contains 'chair'".
+func (b *Builder) Where(pred string) *Builder {
+	if b.err != nil {
+		return b
+	}
+	p, err := algebra.ParsePredicate(pred)
+	if err != nil {
+		return &Builder{err: err}
+	}
+	return &Builder{node: algebra.Select(p, b.node)}
+}
+
+// Join equi-joins with another builder on leftKey = rightKey; output tuples
+// carry components named leftName and rightName.
+func (b *Builder) Join(other *Builder, leftKey, rightKey, leftName, rightName string) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if other.err != nil {
+		return &Builder{err: other.err}
+	}
+	return &Builder{node: algebra.JoinNamed(leftKey, rightKey, leftName, rightName, b.node, other.node)}
+}
+
+// UnionWith unions with other builders.
+func (b *Builder) UnionWith(others ...*Builder) *Builder {
+	if b.err != nil {
+		return b
+	}
+	kids := []*algebra.Node{b.node}
+	for _, o := range others {
+		if o.err != nil {
+			return &Builder{err: o.err}
+		}
+		kids = append(kids, o.node)
+	}
+	return &Builder{node: algebra.Union(kids...)}
+}
+
+// Project keeps only the named field paths, wrapping each output item in an
+// element named as.
+func (b *Builder) Project(as string, fields ...string) *Builder {
+	if b.err != nil {
+		return b
+	}
+	return &Builder{node: algebra.Project(as, fields, b.node)}
+}
+
+// Count reduces to a single count item.
+func (b *Builder) Count() *Builder {
+	if b.err != nil {
+		return b
+	}
+	return &Builder{node: algebra.Count(b.node)}
+}
+
+// Top keeps the first n items ordered by the field.
+func (b *Builder) Top(n int, orderBy string, desc bool) *Builder {
+	if b.err != nil {
+		return b
+	}
+	return &Builder{node: algebra.TopN(n, orderBy, desc, b.node)}
+}
+
+// Plan finalizes the builder into a mutant query plan with the given id and
+// result target, retaining the original query for provenance checks.
+func (b *Builder) Plan(id, target string) *algebra.Plan {
+	if b.err != nil {
+		// Surface builder errors at validation time: an invalid plan.
+		return &algebra.Plan{ID: id, Target: target}
+	}
+	p := algebra.NewPlan(id, target, algebra.Display(b.node))
+	p.RetainOriginal()
+	return p
+}
+
+// Err returns any error accumulated while building.
+func (b *Builder) Err() error { return b.err }
+
+// WithPrefs attaches a §4.3 time budget and complete-vs-current preference
+// to a plan.
+func WithPrefs(p *algebra.Plan, budgetMS int, preferCurrent bool) *algebra.Plan {
+	mqp.SetPrefs(p, mqp.Prefs{BudgetMS: budgetMS, PreferCurrent: preferCurrent})
+	return p
+}
+
+// WithTransferPolicy restricts the plan to travel only through the listed
+// servers (§5.2 "only let this MQP pass through servers on this list").
+func WithTransferPolicy(p *algebra.Plan, servers ...string) *algebra.Plan {
+	mqp.RestrictServers(p, servers...)
+	return p
+}
+
+// WithBindingOrder adds the §5.2 ordering policy: the URN named later may
+// only be bound once the URN named earlier has been fully bound.
+func WithBindingOrder(p *algebra.Plan, later, earlier string) *algebra.Plan {
+	mqp.BindAfter(p, later, earlier)
+	return p
+}

@@ -1,0 +1,80 @@
+package p2pq
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTransferPolicyEndToEnd: a plan restricted to an allow-list completes
+// when the itinerary fits, and fails when a required server is excluded.
+func TestTransferPolicyEndToEnd(t *testing.T) {
+	ns := garageNS(t)
+	sys := NewSystem(ns)
+	meta, _ := sys.AddPeer(PeerOptions{Addr: "m:1", Area: "[*, *]", Authoritative: true})
+	s, _ := sys.AddPeer(PeerOptions{Addr: "s:1", Area: "[USA/OR/Portland, Music/CDs]"})
+	_ = s.Publish("cds", "/d", "[USA/OR/Portland, Music/CDs]",
+		BuildItem("sale", "cd", "A", "price", "5"))
+	_ = s.JoinVia(meta.Addr())
+	client, _ := sys.AddPeer(PeerOptions{Addr: "c:1", Knows: []string{meta.Addr()}})
+
+	// Allowing the full itinerary succeeds.
+	plan := WithTransferPolicy(
+		ScanArea("[USA/OR/Portland, Music/CDs]").Count().Plan("q-ok", client.Addr()),
+		"c:1", "m:1", "s:1")
+	res, err := client.Query(plan)
+	if err != nil || res.Items[0].InnerText() != "1" {
+		t.Fatalf("allowed query: %v %v", res.Items, err)
+	}
+
+	// Excluding the seller blocks the query.
+	plan2 := WithTransferPolicy(
+		ScanArea("[USA/OR/Portland, Music/CDs]").Count().Plan("q-blocked", client.Addr()),
+		"c:1", "m:1")
+	if _, err := client.Query(plan2); err == nil {
+		t.Fatal("query should fail when the data holder is outside the allow-list")
+	}
+}
+
+// TestBindingOrderEndToEnd: the later URN binds only after the earlier
+// one's data materialized; the provenance order proves it.
+func TestBindingOrderEndToEnd(t *testing.T) {
+	ns := garageNS(t)
+	sys := NewSystem(ns)
+	a, _ := sys.AddPeer(PeerOptions{Addr: "a:1", SigningKey: []byte("ka")})
+	b, _ := sys.AddPeer(PeerOptions{Addr: "b:1", SigningKey: []byte("kb")})
+	_ = a.Publish("first", "/d", "[*, *]", BuildItem("x", "k", "1"))
+	_ = b.Publish("second", "/d", "[*, *]", BuildItem("y", "k", "1"))
+	client, _ := sys.AddPeer(PeerOptions{Addr: "c:1", SigningKey: []byte("kc")})
+	client.Alias("urn:First", "http://a:1/d")
+	client.Alias("urn:Second", "http://b:1/d")
+	a.Alias("urn:Second", "http://b:1/d")
+
+	plan := ScanURN("urn:First").
+		Join(ScanURN("urn:Second"), "k", "k", "f", "s").
+		Plan("ordered", client.Addr())
+	WithBindingOrder(plan, "urn:Second", "urn:First")
+	res, err := client.Query(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Items) != 1 {
+		t.Fatalf("items = %v", res.Items)
+	}
+	// In the trail, urn:Second's bind must come after a:1's data action.
+	trail, err := QueryTrailOf(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dataIdx, bindIdx := -1, -1
+	for i, v := range trail.Visits {
+		if v.Detail == "http://a:1/d" && dataIdx == -1 {
+			dataIdx = i
+		}
+		if v.Detail == "urn:Second" && strings.Contains(string(v.Action), "bind") {
+			bindIdx = i
+		}
+	}
+	if dataIdx == -1 || bindIdx == -1 || bindIdx < dataIdx {
+		t.Fatalf("ordering not honored: data@%d bind@%d (%+v)", dataIdx, bindIdx, trail.Visits)
+	}
+}
