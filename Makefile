@@ -1,0 +1,29 @@
+# Repro build/test entry points. `make ci` is what a fresh checkout should
+# pass: formatting, vet, and the tier-1 command (go build && go test).
+GO ?= go
+
+.PHONY: build test test-short bench fmt vet ci
+
+build:
+	$(GO) build ./...
+
+# Tier-1 verification (ROADMAP.md): the full suite.
+test: build
+	$(GO) test ./...
+
+# CI-speed suite: -short trims the largest network sizes from the E4/E9
+# scaling sweeps (see internal/experiments.ShortMode).
+test-short: build
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -run xxx -bench . -benchmem .
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+ci: fmt vet build test

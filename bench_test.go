@@ -138,12 +138,59 @@ func BenchmarkMicroGarageSaleGen(b *testing.B) {
 	}
 }
 
+// serializeDoc builds a representative wire document: nested elements,
+// unsorted attributes, and text containing every escapable character, the
+// same shape the simnet accounting layer serializes on every message.
+func serializeDoc() *xmltree.Node {
+	root := xmltree.Elem("mqp")
+	root.SetAttr("target", "client:9020")
+	root.SetAttr("id", "bench-1")
+	for i := 0; i < 40; i++ {
+		item := xmltree.Elem("item",
+			xmltree.ElemText("title", fmt.Sprintf("Track %d <live> & \"remastered\"", i)),
+			xmltree.ElemText("price", fmt.Sprintf("%d.99", i)),
+			xmltree.ElemText("seller", fmt.Sprintf("s%d&co", i)))
+		item.SetAttr("zip", fmt.Sprintf("97%03d", i))
+		item.SetAttr("condition", "good>fair")
+		root.Add(item)
+	}
+	return root
+}
+
+func BenchmarkCanonicalSerialize(b *testing.B) {
+	doc := serializeDoc()
+	b.SetBytes(int64(len(doc.String())))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if doc.String() == "" {
+			b.Fatal("empty serialization")
+		}
+	}
+}
+
+func BenchmarkByteSize(b *testing.B) {
+	doc := serializeDoc()
+	want := len(doc.String())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if doc.ByteSize() != want {
+			b.Fatal("size mismatch")
+		}
+	}
+}
+
 // TestBenchmarksSmoke keeps the experiment benchmarks honest under plain
-// `go test`: every benchmark body must run once without error.
+// `go test`: every benchmark body must run once without error. The parallel
+// runner mirrors how cmd/experiments executes them.
 func TestBenchmarksSmoke(t *testing.T) {
-	for _, r := range experiments.All() {
-		if _, err := r.Run(); err != nil {
-			t.Fatalf("%s: %v", r.ID, err)
+	if testing.Short() {
+		t.Skip("experiments already covered by internal/experiments -short run")
+	}
+	for _, res := range experiments.RunAll(experiments.All(), 0) {
+		if res.Err != nil {
+			t.Fatalf("%s: %v", res.Runner.ID, res.Err)
 		}
 	}
 }

@@ -1,12 +1,19 @@
 // Command experiments regenerates every table/figure-level experiment of
-// the reproduction (E1–E12, see DESIGN.md and EXPERIMENTS.md) and prints
+// the reproduction (E1–E13, see DESIGN.md and EXPERIMENTS.md) and prints
 // paper-style rows.
+//
+// Experiments are independent (each builds its own simulated network and
+// seeds its own workload), so they run concurrently; tables are printed in
+// DESIGN.md order regardless of completion order, so output is byte-for-byte
+// identical to a sequential run.
 //
 // Usage:
 //
-//	experiments            # run all
-//	experiments -only E4   # run one experiment
-//	experiments -list      # list experiment ids
+//	experiments               # run all, one worker per experiment
+//	experiments -only E4      # run one experiment
+//	experiments -parallel 2   # cap concurrency
+//	experiments -short        # trim the E4/E9 scaling sweeps (CI mode)
+//	experiments -list         # list experiment ids
 package main
 
 import (
@@ -21,7 +28,11 @@ import (
 func main() {
 	only := flag.String("only", "", "run a single experiment by id (e.g. E4)")
 	list := flag.Bool("list", false, "list experiments and exit")
+	parallel := flag.Int("parallel", 0, "max experiments in flight (<=0: all at once)")
+	short := flag.Bool("short", false, "drop the largest network sizes from scaling sweeps")
 	flag.Parse()
+
+	experiments.ShortMode = *short
 
 	runners := experiments.All()
 	if *list {
@@ -30,18 +41,28 @@ func main() {
 		}
 		return
 	}
-	failed := 0
-	for _, r := range runners {
-		if *only != "" && !strings.EqualFold(*only, r.ID) {
-			continue
+	if *only != "" {
+		var kept []experiments.Runner
+		for _, r := range runners {
+			if strings.EqualFold(*only, r.ID) {
+				kept = append(kept, r)
+			}
 		}
-		t, err := r.Run()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s FAILED: %v\n", r.ID, err)
+		if len(kept) == 0 {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", *only)
+			os.Exit(1)
+		}
+		runners = kept
+	}
+
+	failed := 0
+	for _, res := range experiments.RunAll(runners, *parallel) {
+		if res.Err != nil {
+			fmt.Fprintf(os.Stderr, "%s FAILED: %v\n", res.Runner.ID, res.Err)
 			failed++
 			continue
 		}
-		fmt.Println(t.Render())
+		fmt.Println(res.Table.Render())
 	}
 	if failed > 0 {
 		os.Exit(1)

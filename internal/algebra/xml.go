@@ -42,6 +42,14 @@ const annotationsElem = "annotations"
 
 // MarshalNode converts an operator subtree to its XML element form.
 func MarshalNode(n *Node) *xmltree.Node {
+	return marshalNode(n, true)
+}
+
+// marshalNode renders n as XML. With copyDocs false, data payloads are
+// shared with the plan instead of deep-cloned — only safe when the produced
+// tree is measured or serialized and then discarded, never retained or
+// mutated.
+func marshalNode(n *Node, copyDocs bool) *xmltree.Node {
 	e := xmltree.Elem(n.Kind.String())
 	if len(n.Annotations) > 0 {
 		ann := xmltree.Elem(annotationsElem)
@@ -61,7 +69,11 @@ func MarshalNode(n *Node) *xmltree.Node {
 	switch n.Kind {
 	case KindData:
 		for _, d := range n.Docs {
-			e.Add(d.Clone())
+			if copyDocs {
+				e.Add(d.Clone())
+			} else {
+				e.Add(d)
+			}
 		}
 	case KindURL:
 		e.SetAttr("href", n.URL)
@@ -90,7 +102,7 @@ func MarshalNode(n *Node) *xmltree.Node {
 		}
 	}
 	for _, c := range n.Children {
-		e.Add(MarshalNode(c))
+		e.Add(marshalNode(c, copyDocs))
 	}
 	return e
 }
@@ -216,12 +228,16 @@ func UnmarshalNode(e *xmltree.Node) (*Node, error) {
 
 // Marshal converts a plan to its XML document form.
 func Marshal(p *Plan) *xmltree.Node {
-	doc := xmltree.Elem("mqp")
-	doc.SetAttr("id", p.ID)
-	doc.SetAttr("target", p.Target)
-	doc.Add(xmltree.Elem("plan", MarshalNode(p.Root)))
+	return marshal(p, true)
+}
+
+func marshal(p *Plan, copyDocs bool) *xmltree.Node {
+	doc := xmltree.ElemAttrs("mqp",
+		xmltree.Attr{Name: "id", Value: p.ID},
+		xmltree.Attr{Name: "target", Value: p.Target})
+	doc.Add(xmltree.Elem("plan", marshalNode(p.Root, copyDocs)))
 	if p.Original != nil {
-		doc.Add(xmltree.Elem("original", MarshalNode(p.Original)))
+		doc.Add(xmltree.Elem("original", marshalNode(p.Original, copyDocs)))
 	}
 	keys := make([]string, 0, len(p.Extra))
 	for k := range p.Extra {
@@ -229,7 +245,11 @@ func Marshal(p *Plan) *xmltree.Node {
 	}
 	sort.Strings(keys)
 	for _, k := range keys {
-		doc.Add(p.Extra[k].Clone())
+		if copyDocs {
+			doc.Add(p.Extra[k].Clone())
+		} else {
+			doc.Add(p.Extra[k])
+		}
 	}
 	return doc
 }
@@ -283,19 +303,23 @@ func Unmarshal(doc *xmltree.Node) (*Plan, error) {
 
 // Encode serializes the plan as canonical XML to w, returning bytes written.
 // This is the on-the-wire form shipped between peers; its size is what the
-// paper's optimization discussion (partial-result size) is about.
+// paper's optimization discussion (partial-result size) is about. The
+// staging tree shares the plan's data payloads (it is discarded after the
+// write), so encoding never deep-copies item bundles.
 func Encode(p *Plan, w io.Writer) (int64, error) {
-	return Marshal(p).WriteTo(w)
+	return marshal(p, false).WriteTo(w)
 }
 
 // EncodeString returns the plan's canonical XML serialization.
 func EncodeString(p *Plan) string {
-	return Marshal(p).String()
+	return marshal(p, false).String()
 }
 
-// WireSize returns the serialized byte size of the plan.
+// WireSize returns the serialized byte size of the plan. Like Encode, the
+// measurement tree shares payloads and is discarded, so sizing a plan costs
+// one arithmetic tree walk and zero document copies.
 func WireSize(p *Plan) int {
-	return Marshal(p).ByteSize()
+	return marshal(p, false).ByteSize()
 }
 
 // Decode parses a serialized plan.

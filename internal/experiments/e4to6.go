@@ -132,7 +132,7 @@ func E4RoutingComparison() (*Table, error) {
 		Columns: []string{"architecture", "peers", "msgs/query", "KB/query", "recall", "central-load"},
 	}
 	const queriesPerRun = 12
-	for _, n := range []int{32, 128} {
+	for _, n := range scaleSizes(32, 128) {
 		// --- Hierarchic catalogs (this paper) ---
 		w, err := buildGarageWorld(n, int64(n))
 		if err != nil {

@@ -229,7 +229,7 @@ func E9CatalogScaling() (*Table, error) {
 		Title:   "Catalog routing: hops/messages vs network size, cold vs cached",
 		Columns: []string{"peers", "phase", "avg hops", "avg msgs", "meta-cache hit rate"},
 	}
-	for _, n := range []int{16, 64, 128} {
+	for _, n := range scaleSizes(16, 64, 128) {
 		w, err := buildGarageWorld(n, int64(n)+5)
 		if err != nil {
 			return nil, err

@@ -1,17 +1,30 @@
 package experiments
 
 import (
+	"flag"
+	"os"
 	"strings"
 	"testing"
 )
 
+func TestMain(m *testing.M) {
+	flag.Parse()
+	// -short drops the largest network size from the E4/E9 scaling sweeps
+	// so CI runs finish in a couple of seconds.
+	ShortMode = testing.Short()
+	os.Exit(m.Run())
+}
+
 // TestAllExperimentsRun executes every experiment end to end; each Run
 // already contains its own shape assertions (who wins, crossovers, recall)
 // and fails loudly when the paper's qualitative claims do not hold.
+// Experiments are independent (own network, own seeded workload), so the
+// subtests run in parallel.
 func TestAllExperimentsRun(t *testing.T) {
 	for _, r := range All() {
 		r := r
 		t.Run(r.ID, func(t *testing.T) {
+			t.Parallel()
 			tab, err := r.Run()
 			if err != nil {
 				t.Fatalf("%s: %v", r.ID, err)
@@ -24,6 +37,36 @@ func TestAllExperimentsRun(t *testing.T) {
 				t.Fatalf("%s: render missing id:\n%s", r.ID, out)
 			}
 		})
+	}
+}
+
+// TestRunAllMatchesSequential checks that the parallel runner produces
+// exactly the tables a sequential run produces, in runner order — the
+// determinism the paper-style output depends on.
+func TestRunAllMatchesSequential(t *testing.T) {
+	runners := All()[:4]
+	seq := make([]string, len(runners))
+	for i, r := range runners {
+		tab, err := r.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", r.ID, err)
+		}
+		seq[i] = tab.Render()
+	}
+	par := RunAll(runners, 4)
+	if len(par) != len(runners) {
+		t.Fatalf("RunAll returned %d results, want %d", len(par), len(runners))
+	}
+	for i, res := range par {
+		if res.Err != nil {
+			t.Fatalf("%s: %v", res.Runner.ID, res.Err)
+		}
+		if res.Runner.ID != runners[i].ID {
+			t.Fatalf("result %d out of order: got %s want %s", i, res.Runner.ID, runners[i].ID)
+		}
+		if got := res.Table.Render(); got != seq[i] {
+			t.Errorf("%s: parallel table differs from sequential:\n--- parallel\n%s\n--- sequential\n%s", res.Runner.ID, got, seq[i])
+		}
 	}
 }
 

@@ -8,6 +8,7 @@ package experiments
 import (
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // Table is one experiment's output: paper-style rows.
@@ -82,6 +83,58 @@ type Runner struct {
 	ID   string
 	Name string
 	Run  func() (*Table, error)
+}
+
+// ShortMode trims the largest network sizes from the scaling experiments
+// (E4, E9) so quick CI runs stay under a few seconds. Tests set it from
+// testing.Short(); cmd/experiments exposes it as -short.
+var ShortMode bool
+
+// scaleSizes returns the experiment's network-size sweep, dropping the
+// largest size in ShortMode. The qualitative claims (who wins, crossovers)
+// hold at every size; only the scaling tail is sacrificed.
+func scaleSizes(sizes ...int) []int {
+	if ShortMode && len(sizes) > 1 {
+		return sizes[:len(sizes)-1]
+	}
+	return sizes
+}
+
+// Result is one experiment's outcome from RunAll.
+type Result struct {
+	Runner Runner
+	Table  *Table
+	Err    error
+}
+
+// RunAll executes the runners, at most workers at a time, and returns
+// results in runner order regardless of completion order, so output stays
+// deterministic. workers <= 0 runs every experiment concurrently. Each
+// experiment builds its own simnet.Network and seeds its own workload, so
+// they share no mutable state and the tables are identical to a sequential
+// run; wall time drops to roughly the critical path (the slowest single
+// experiment). Experiments must keep that isolation: xmltree documents in
+// particular must not be shared across runners (ByteSize memoizes on the
+// node, so even size queries write to it).
+func RunAll(runners []Runner, workers int) []Result {
+	if workers <= 0 || workers > len(runners) {
+		workers = len(runners)
+	}
+	results := make([]Result, len(runners))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, r := range runners {
+		wg.Add(1)
+		go func(i int, r Runner) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			tab, err := r.Run()
+			results[i] = Result{Runner: r, Table: tab, Err: err}
+		}(i, r)
+	}
+	wg.Wait()
+	return results
 }
 
 // All returns every experiment in DESIGN.md order.

@@ -382,12 +382,16 @@ func (p *Peer) handleMQP(msg *simnet.Message) error {
 		})
 	}
 	// Fault tolerance (§1): try forwarding candidates in preference order;
-	// an unreachable next hop falls through to the next candidate.
+	// an unreachable next hop falls through to the next candidate. The plan
+	// is marshaled once and the same document offered to each candidate;
+	// this relies on receivers never mutating or retaining msg.Body
+	// (Unmarshal clones whatever it keeps).
+	body := algebra.Marshal(plan)
 	var lastErr error
 	for _, hop := range out.NextHops {
 		err := p.net.Send(&simnet.Message{
 			From: p.addr, To: hop, Kind: KindMQP,
-			Body: algebra.Marshal(plan), At: at, Hops: msg.Hops,
+			Body: body, At: at, Hops: msg.Hops,
 		})
 		if err == nil {
 			return nil

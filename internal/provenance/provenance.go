@@ -133,22 +133,27 @@ func (t *Trail) MaxStaleness() int {
 // Marshal renders the trail as the <provenance> section carried in a plan's
 // Extra map.
 func (t *Trail) Marshal() *xmltree.Node {
-	e := xmltree.Elem("provenance")
-	for _, v := range t.Visits {
-		ve := xmltree.Elem("visit")
-		ve.SetAttr("server", v.Server)
-		ve.SetAttr("action", string(v.Action))
+	// The trail is re-marshaled on every hop a plan takes, so each <visit>
+	// builds its attribute list at final size in one allocation instead of
+	// growing it through repeated SetAttr calls (serialization sorts
+	// attributes, so emission order here is irrelevant).
+	visits := make([]*xmltree.Node, len(t.Visits))
+	for i, v := range t.Visits {
+		attrs := make([]xmltree.Attr, 0, 6)
+		attrs = append(attrs,
+			xmltree.Attr{Name: "server", Value: v.Server},
+			xmltree.Attr{Name: "action", Value: string(v.Action)})
 		if v.Detail != "" {
-			ve.SetAttr("detail", v.Detail)
+			attrs = append(attrs, xmltree.Attr{Name: "detail", Value: v.Detail})
 		}
-		ve.SetAttr("at", strconv.FormatInt(int64(v.At/time.Microsecond), 10))
+		attrs = append(attrs, xmltree.Attr{Name: "at", Value: strconv.FormatInt(int64(v.At/time.Microsecond), 10)})
 		if v.StalenessMin > 0 {
-			ve.SetAttr("staleness", strconv.Itoa(v.StalenessMin))
+			attrs = append(attrs, xmltree.Attr{Name: "staleness", Value: strconv.Itoa(v.StalenessMin)})
 		}
-		ve.SetAttr("sig", v.Sig)
-		e.Add(ve)
+		attrs = append(attrs, xmltree.Attr{Name: "sig", Value: v.Sig})
+		visits[i] = xmltree.ElemAttrs("visit", attrs...)
 	}
-	return e
+	return xmltree.Elem("provenance", visits...)
 }
 
 // Unmarshal parses a <provenance> section.

@@ -46,7 +46,8 @@ type Peer interface {
 }
 
 // Metrics accumulates network-wide counters. All byte counts are canonical
-// XML sizes plus a fixed per-message header overhead.
+// XML sizes (xmltree's memoized ByteSize — no document is re-serialized to
+// price a message) plus a fixed per-message header overhead.
 type Metrics struct {
 	Messages int64
 	Requests int64
@@ -172,16 +173,26 @@ func (n *Network) lookup(to string) (Peer, error) {
 	return p, nil
 }
 
-func (n *Network) account(kind string, body *xmltree.Node, isRequest bool) {
+// wireSize is the accounted on-the-wire cost of a message body. ByteSize is
+// memoized on the node, so re-sending the same document (flooding, fan-out
+// registration) prices it once and hits the cache on every later hop.
+func wireSize(body *xmltree.Node) int {
+	size := headerOverhead
+	if body != nil {
+		size += body.ByteSize()
+	}
+	return size
+}
+
+// account records one message. The body size is computed by the caller
+// (outside the network lock) so that serialization cost is never paid while
+// holding mu.
+func (n *Network) account(kind string, size int, isRequest bool) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.metrics.Messages++
 	if isRequest {
 		n.metrics.Requests++
-	}
-	size := headerOverhead
-	if body != nil {
-		size += body.ByteSize()
 	}
 	n.metrics.Bytes += int64(size)
 	n.metrics.PerKind[kind]++
@@ -210,7 +221,7 @@ func (n *Network) Send(msg *Message) error {
 		n.mu.Unlock()
 	}()
 
-	n.account(msg.Kind, msg.Body, false)
+	n.account(msg.Kind, wireSize(msg.Body), false)
 	delivered := &Message{
 		From: msg.From,
 		To:   msg.To,
@@ -235,13 +246,13 @@ func (n *Network) Request(from, to, kind string, body *xmltree.Node, at time.Dur
 	proc := n.procDelay
 	n.mu.Unlock()
 
-	n.account(kind, body, true)
+	n.account(kind, wireSize(body), true)
 	req := &Message{From: from, To: to, Kind: kind, Body: body, At: at + lat + proc}
 	reply, err := p.Serve(n, req)
 	if err != nil {
 		return nil, req.At, fmt.Errorf("simnet: request %s to %s: %w", kind, to, err)
 	}
-	n.account(kind+"-reply", reply, false)
+	n.account(kind+"-reply", wireSize(reply), false)
 	return reply, req.At + lat, nil
 }
 

@@ -16,14 +16,20 @@ import (
 // DialTimeout bounds connection establishment.
 const DialTimeout = 5 * time.Second
 
+// WriteTimeout bounds how long Send may block writing a document.
+const WriteTimeout = 30 * time.Second
+
 // Send connects to addr, writes one document, and closes. It is the
-// fire-and-forget MQP forwarding primitive.
+// fire-and-forget MQP forwarding primitive. The document is staged in a
+// pooled buffer by xmltree and hits the socket as a single Write, so a plan
+// of any depth costs one syscall, not one per element.
 func Send(addr string, doc *xmltree.Node) error {
 	conn, err := net.DialTimeout("tcp", addr, DialTimeout)
 	if err != nil {
 		return fmt.Errorf("wire: dial %s: %w", addr, err)
 	}
 	defer conn.Close()
+	_ = conn.SetWriteDeadline(time.Now().Add(WriteTimeout))
 	if _, err := doc.WriteTo(conn); err != nil {
 		return fmt.Errorf("wire: send to %s: %w", addr, err)
 	}

@@ -11,12 +11,15 @@
 package xmltree
 
 import (
+	"bytes"
 	"encoding/xml"
 	"fmt"
 	"io"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // Attr is a single name="value" attribute on an element.
@@ -28,16 +31,56 @@ type Attr struct {
 // Node is an XML element or a text node. An element has a Name and may carry
 // attributes and children; a text node has Name == "" and its content in
 // Text. The zero value is an empty text node.
+//
+// Mutate nodes through the methods (SetAttr, Add, ...) when possible: they
+// keep the ByteSize memo coherent. Code that writes the exported fields
+// directly after a node has been serialized must call Invalidate.
 type Node struct {
 	Name     string
 	Text     string
 	Attrs    []Attr
 	Children []*Node
+
+	// memoSize caches the canonical serialization length; it is valid only
+	// while memoGen equals the package-wide mutation generation. Any
+	// mutator bumps the generation, conservatively invalidating every
+	// cached size without needing parent pointers.
+	memoSize int
+	memoGen  uint64
+}
+
+// mutGen is the package-wide mutation generation. It starts at 1 so that a
+// zero memoGen (fresh node) never reads as valid.
+var mutGen atomic.Uint64
+
+func init() { mutGen.Store(1) }
+
+// Invalidate discards all cached ByteSize results package-wide. Callers that
+// mutate Node fields directly (rather than through SetAttr/Add) must call it
+// before the next ByteSize; the mutator methods call it automatically.
+func Invalidate() { mutGen.Add(1) }
+
+// invalidate is the mutator-path invalidation. A node with memoGen == 0 has
+// never been part of a ByteSize computation, so no cached size anywhere can
+// include it and the (package-wide) generation bump is skipped — building a
+// fresh document does not evict unrelated caches.
+func (n *Node) invalidate() {
+	if n.memoGen != 0 {
+		mutGen.Add(1)
+	}
 }
 
 // Elem constructs an element node with the given children.
 func Elem(name string, children ...*Node) *Node {
 	return &Node{Name: name, Children: children}
+}
+
+// ElemAttrs constructs an element that takes ownership of attrs. Marshaling
+// hot paths use it to build the attribute list at its final size in one
+// allocation instead of growing it through repeated SetAttr calls;
+// serialization sorts attributes canonically, so attrs may be in any order.
+func ElemAttrs(name string, attrs ...Attr) *Node {
+	return &Node{Name: name, Attrs: attrs}
 }
 
 // TextNode constructs a text node.
@@ -74,6 +117,7 @@ func (n *Node) AttrDefault(name, def string) string {
 
 // SetAttr sets (or replaces) an attribute and returns the node for chaining.
 func (n *Node) SetAttr(name, value string) *Node {
+	n.invalidate()
 	for i := range n.Attrs {
 		if n.Attrs[i].Name == name {
 			n.Attrs[i].Value = value
@@ -86,6 +130,7 @@ func (n *Node) SetAttr(name, value string) *Node {
 
 // Add appends children and returns the node for chaining.
 func (n *Node) Add(children ...*Node) *Node {
+	n.invalidate()
 	n.Children = append(n.Children, children...)
 	return n
 }
@@ -147,7 +192,7 @@ func (n *Node) Clone() *Node {
 	if n == nil {
 		return nil
 	}
-	cp := &Node{Name: n.Name, Text: n.Text}
+	cp := &Node{Name: n.Name, Text: n.Text, memoSize: n.memoSize, memoGen: n.memoGen}
 	if len(n.Attrs) > 0 {
 		cp.Attrs = make([]Attr, len(n.Attrs))
 		copy(cp.Attrs, n.Attrs)
@@ -259,83 +304,219 @@ func MustParse(s string) *Node {
 	return n
 }
 
+// bufPool recycles serialization buffers across String/WriteTo calls; the
+// wire layer serializes on every simulated message, so per-call buffer
+// growth dominated the allocation profile before pooling.
+var bufPool = sync.Pool{New: func() interface{} { return new(bytes.Buffer) }}
+
 // WriteTo serializes the node as canonical XML: attributes sorted by name,
-// no insignificant whitespace. It returns the number of bytes written.
+// no insignificant whitespace. The document is staged in a pooled buffer and
+// handed to w in a single Write (one syscall on a real socket). It returns
+// the number of bytes written.
 func (n *Node) WriteTo(w io.Writer) (int64, error) {
-	cw := &countWriter{w: w}
-	err := writeNode(cw, n)
-	return cw.n, err
+	b := bufPool.Get().(*bytes.Buffer)
+	b.Reset()
+	n.appendTo(b)
+	m, err := w.Write(b.Bytes())
+	bufPool.Put(b)
+	return int64(m), err
 }
 
-type countWriter struct {
-	w io.Writer
-	n int64
-}
-
-func (cw *countWriter) WriteString(s string) error {
-	m, err := io.WriteString(cw.w, s)
-	cw.n += int64(m)
-	return err
-}
-
-func writeNode(w *countWriter, n *Node) error {
+// appendTo writes the canonical serialization into b.
+func (n *Node) appendTo(b *bytes.Buffer) {
 	if n.IsText() {
-		return w.WriteString(escapeText(n.Text))
+		appendEscaped(b, n.Text, false)
+		return
 	}
-	if err := w.WriteString("<" + n.Name); err != nil {
-		return err
-	}
-	attrs := make([]Attr, len(n.Attrs))
-	copy(attrs, n.Attrs)
-	sort.Slice(attrs, func(i, j int) bool { return attrs[i].Name < attrs[j].Name })
-	for _, a := range attrs {
-		if err := w.WriteString(" " + a.Name + `="` + escapeAttr(a.Value) + `"`); err != nil {
-			return err
+	b.WriteByte('<')
+	b.WriteString(n.Name)
+	switch {
+	case len(n.Attrs) <= 1 || attrsSorted(n.Attrs):
+		for _, a := range n.Attrs {
+			appendAttr(b, a)
+		}
+	case len(n.Attrs) <= 64:
+		// Emit in sorted order without copying: repeated min-scan with an
+		// emitted bitmask. Attribute lists are tiny, so O(k²) compares beat
+		// the allocations of a copy-and-sort.
+		var emitted uint64
+		for range n.Attrs {
+			min := -1
+			for i, a := range n.Attrs {
+				if emitted&(1<<uint(i)) != 0 {
+					continue
+				}
+				if min < 0 || a.Name < n.Attrs[min].Name {
+					min = i
+				}
+			}
+			emitted |= 1 << uint(min)
+			appendAttr(b, n.Attrs[min])
+		}
+	default:
+		attrs := make([]Attr, len(n.Attrs))
+		copy(attrs, n.Attrs)
+		sort.Slice(attrs, func(i, j int) bool { return attrs[i].Name < attrs[j].Name })
+		for _, a := range attrs {
+			appendAttr(b, a)
 		}
 	}
 	if len(n.Children) == 0 {
-		return w.WriteString("/>")
+		b.WriteString("/>")
+		return
 	}
-	if err := w.WriteString(">"); err != nil {
-		return err
-	}
+	b.WriteByte('>')
 	for _, c := range n.Children {
-		if err := writeNode(w, c); err != nil {
-			return err
+		c.appendTo(b)
+	}
+	b.WriteString("</")
+	b.WriteString(n.Name)
+	b.WriteByte('>')
+}
+
+func attrsSorted(attrs []Attr) bool {
+	for i := 1; i < len(attrs); i++ {
+		if attrs[i].Name < attrs[i-1].Name {
+			return false
 		}
 	}
-	return w.WriteString("</" + n.Name + ">")
+	return true
 }
 
-func escapeText(s string) string {
-	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
-	return r.Replace(s)
+func appendAttr(b *bytes.Buffer, a Attr) {
+	b.WriteByte(' ')
+	b.WriteString(a.Name)
+	b.WriteString(`="`)
+	appendEscaped(b, a.Value, true)
+	b.WriteByte('"')
 }
 
-func escapeAttr(s string) string {
-	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
-	return r.Replace(s)
+// appendEscaped writes s with XML entities substituted, copying unescaped
+// runs in bulk. Most wire text contains no escapable characters, so the
+// common case is a single WriteString.
+func appendEscaped(b *bytes.Buffer, s string, quot bool) {
+	start := 0
+	for i := 0; i < len(s); i++ {
+		var esc string
+		switch s[i] {
+		case '&':
+			esc = "&amp;"
+		case '<':
+			esc = "&lt;"
+		case '>':
+			esc = "&gt;"
+		case '"':
+			if !quot {
+				continue
+			}
+			esc = "&quot;"
+		default:
+			continue
+		}
+		b.WriteString(s[start:i])
+		b.WriteString(esc)
+		start = i + 1
+	}
+	b.WriteString(s[start:])
+}
+
+// escapeText substitutes the text-content XML entities. It returns s
+// unchanged (no allocation) when nothing needs escaping.
+func escapeText(s string) string { return escapeString(s, false) }
+
+// escapeAttr is escapeText plus quote escaping for attribute values.
+func escapeAttr(s string) string { return escapeString(s, true) }
+
+func escapeString(s string, quot bool) string {
+	clean := true
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '&', '<', '>':
+			clean = false
+		case '"':
+			clean = clean && !quot
+		}
+		if !clean {
+			break
+		}
+	}
+	if clean {
+		return s
+	}
+	var b bytes.Buffer
+	b.Grow(len(s) + 8)
+	appendEscaped(&b, s, quot)
+	return b.String()
 }
 
 // String returns the canonical XML serialization of the node.
 func (n *Node) String() string {
-	var b strings.Builder
-	cw := &countWriter{w: &b}
-	if err := writeNode(cw, n); err != nil {
-		// strings.Builder never fails; defensive only.
-		return fmt.Sprintf("<!-- xmltree: %v -->", err)
-	}
-	return b.String()
+	b := bufPool.Get().(*bytes.Buffer)
+	b.Reset()
+	n.appendTo(b)
+	s := b.String()
+	bufPool.Put(b)
+	return s
 }
 
-// ByteSize returns the length in bytes of the canonical serialization. The
-// experiment harness uses it to account for network transfer sizes.
+// ByteSize returns the length in bytes of the canonical serialization
+// without producing it: sizes are summed arithmetically (escape overhead is
+// counted, not written) and memoized on each node until the next mutation.
+// The simulated network calls this on every message, so it is the hottest
+// entry point in the wire layer.
+//
+// Memoization makes ByteSize a write: calling it on a node shared between
+// goroutines requires external synchronization, even though it looks like a
+// read.
 func (n *Node) ByteSize() int {
-	cw := &countWriter{w: io.Discard}
-	if err := writeNode(cw, n); err != nil {
-		return 0
+	return n.byteSize(mutGen.Load())
+}
+
+func (n *Node) byteSize(gen uint64) int {
+	if n.memoGen == gen {
+		return n.memoSize
 	}
-	return int(cw.n)
+	var size int
+	if n.IsText() {
+		size = len(n.Text) + escapeExtra(n.Text, false)
+	} else {
+		// "<name" plus attributes; attribute order does not affect size.
+		size = 1 + len(n.Name)
+		for _, a := range n.Attrs {
+			// space, name, `="`, value, `"`
+			size += 1 + len(a.Name) + 2 + len(a.Value) + escapeExtra(a.Value, true) + 1
+		}
+		if len(n.Children) == 0 {
+			size += len("/>")
+		} else {
+			size += len(">")
+			for _, c := range n.Children {
+				size += c.byteSize(gen)
+			}
+			size += len("</") + len(n.Name) + len(">")
+		}
+	}
+	n.memoSize = size
+	n.memoGen = gen
+	return size
+}
+
+// escapeExtra returns how many bytes entity substitution adds to s.
+func escapeExtra(s string, quot bool) int {
+	extra := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '&':
+			extra += len("&amp;") - 1
+		case '<', '>':
+			extra += len("&lt;") - 1
+		case '"':
+			if quot {
+				extra += len("&quot;") - 1
+			}
+		}
+	}
+	return extra
 }
 
 // Indent returns a pretty-printed serialization with two-space indentation;

@@ -187,6 +187,104 @@ func TestByteSizeMatchesString(t *testing.T) {
 	}
 }
 
+func TestEscapeExactOutput(t *testing.T) {
+	// Every escapable character, in text and in attribute values. Text keeps
+	// literal quotes; attribute values escape them.
+	n := Elem("v", TextNode(`a&b<c>d"e`))
+	n.SetAttr("q", `x&y<z>w"u`)
+	want := `<v q="x&amp;y&lt;z&gt;w&quot;u">a&amp;b&lt;c&gt;d"e</v>`
+	if got := n.String(); got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+	rt, err := ParseString(n.String())
+	if err != nil {
+		t.Fatalf("reparse escaped: %v", err)
+	}
+	if !Equal(n, rt) {
+		t.Fatalf("escape round trip mismatch: %s vs %s", n, rt)
+	}
+	if n.ByteSize() != len(want) {
+		t.Fatalf("ByteSize %d != %d", n.ByteSize(), len(want))
+	}
+}
+
+func TestByteSizeInvariant(t *testing.T) {
+	cases := []*Node{
+		TextNode(""),
+		TextNode("plain"),
+		TextNode(`all & the < escapes > plus "quotes"`),
+		Elem("empty"),
+		MustParse(`<a x="1" b="&quot;2&quot;"><b>t &amp; u</b><c/></a>`),
+		serializeFixture(),
+	}
+	for i, n := range cases {
+		if n.ByteSize() != len(n.String()) {
+			t.Errorf("case %d: ByteSize %d != len(String) %d", i, n.ByteSize(), len(n.String()))
+		}
+		// Second call exercises the memo-hit path.
+		if n.ByteSize() != len(n.String()) {
+			t.Errorf("case %d: memoized ByteSize diverged", i)
+		}
+	}
+}
+
+func TestByteSizeCacheInvalidation(t *testing.T) {
+	n := Elem("root", ElemText("k", "v"))
+	before := n.ByteSize()
+	if before != len(n.String()) {
+		t.Fatalf("cold size wrong: %d != %d", before, len(n.String()))
+	}
+
+	// Mutation through each mutator must invalidate the cached size.
+	n.SetAttr("attr", `has "quotes" & <angles>`)
+	if got := n.ByteSize(); got != len(n.String()) {
+		t.Fatalf("after SetAttr: ByteSize %d != len(String) %d", got, len(n.String()))
+	}
+	n.Add(ElemText("extra", "child & text"))
+	if got := n.ByteSize(); got != len(n.String()) {
+		t.Fatalf("after Add: ByteSize %d != len(String) %d", got, len(n.String()))
+	}
+	// Mutating a child (not the cached root) must also invalidate the
+	// root's memo — the generation scheme is package-wide.
+	n.Child("k").SetAttr("deep", "1")
+	if got := n.ByteSize(); got != len(n.String()) {
+		t.Fatalf("after child SetAttr: ByteSize %d != len(String) %d", got, len(n.String()))
+	}
+	// Direct field writes bypass the mutators; Invalidate restores coherence.
+	n.Child("k").Children[0].Text = "a much longer text value > before"
+	Invalidate()
+	if got := n.ByteSize(); got != len(n.String()) {
+		t.Fatalf("after Invalidate: ByteSize %d != len(String) %d", got, len(n.String()))
+	}
+}
+
+// serializeFixture mirrors the wire shape the simnet layer prices on every
+// message: nested elements, unsorted attributes, escapable text.
+func serializeFixture() *Node {
+	root := Elem("mqp").SetAttr("target", "client:9020").SetAttr("id", "fx")
+	for i := 0; i < 5; i++ {
+		root.Add(Elem("item",
+			ElemText("title", `Track <live> & "remastered"`),
+			ElemText("price", "9.99")).SetAttr("zip", "97201").SetAttr("condition", "good>fair"))
+	}
+	return root
+}
+
+func TestPropertyByteSizeMatchesString(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := randomTree(r, 3)
+		if r.Intn(2) == 0 {
+			n.SetAttr("esc", `a&b<c>"`)
+			n.Add(TextNode(`t&<>"`))
+		}
+		return n.ByteSize() == len(n.String())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestChildHelpers(t *testing.T) {
 	n := MustParse(`<a><b>1</b><c/><b>2</b></a>`)
 	if got := len(n.ChildrenNamed("b")); got != 2 {
