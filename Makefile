@@ -1,8 +1,10 @@
 # Repro build/test entry points. `make ci` is what a fresh checkout should
-# pass: formatting, vet, and the tier-1 command (go build && go test).
+# pass: formatting, vet, the tier-1 command (go build && go test), and the
+# race detector over the internal packages (the freeze/COW ownership model
+# advertises lock-free sharing of frozen subtrees; -race keeps it honest).
 GO ?= go
 
-.PHONY: build test test-short bench fmt vet ci
+.PHONY: build test test-short bench bench-all race fmt vet ci
 
 build:
 	$(GO) build ./...
@@ -16,8 +18,20 @@ test: build
 test-short: build
 	$(GO) test -short ./...
 
+# Machinery benchmark suite (hop path, clone, serialization, engine) with
+# allocation stats; the raw test2json stream lands in BENCH_plan_hop.json
+# (one JSON object per line) and the benchmark lines echo to the console.
 bench:
-	$(GO) test -run xxx -bench . -benchmem .
+	$(GO) test -run '^$$' -bench '^Benchmark(Plan|Micro|Canonical|ByteSize)' -benchmem -json . > BENCH_plan_hop.json
+	@sed -n 's/.*"Output":"\(.*\)".*/\1/p' BENCH_plan_hop.json \
+		| tr -d '\n' | sed 's/\\n/\n/g;s/\\t/\t/g' | grep 'ns/op' || true
+
+# Every benchmark, including the full E1-E13 experiment reproductions.
+bench-all:
+	$(GO) test -run '^$$' -bench . -benchmem .
+
+race:
+	$(GO) test -race ./internal/...
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -26,4 +40,4 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-ci: fmt vet build test
+ci: fmt vet build test race

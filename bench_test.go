@@ -12,10 +12,12 @@ package repro_test
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"repro/internal/algebra"
 	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/provenance"
 	"repro/internal/workload"
 	"repro/internal/xmltree"
 )
@@ -177,6 +179,80 @@ func BenchmarkByteSize(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if doc.ByteSize() != want {
 			b.Fatal("size mismatch")
+		}
+	}
+}
+
+// planHopFixture builds a plan the way a forwarding hop owns one — decoded
+// from the wire — carrying two data payloads, one unresolved URL leaf (so
+// the plan is not constant), a retained original, and a three-visit
+// provenance trail.
+func planHopFixture(b *testing.B) (*algebra.Plan, []byte) {
+	b.Helper()
+	sales, listings := workload.CDCatalog(7, 40)
+	plan := algebra.NewPlan("hop", "client:1", algebra.Display(
+		algebra.Union(
+			algebra.JoinNamed("cd", "cd", "sale", "listing",
+				algebra.Data(sales...), algebra.Data(listings...)),
+			algebra.URL("far:9020", "/data[id=7]"))))
+	plan.RetainOriginal()
+	key := []byte("bench-key")
+	trail := &provenance.Trail{}
+	for i, srv := range []string{"a:1", "b:1", "c:1"} {
+		trail.Append(provenance.Visit{
+			Server: srv, Action: provenance.ActionForward,
+			At: time.Duration(i) * time.Millisecond,
+		}, key)
+	}
+	provenance.ToPlan(plan, trail)
+	p, err := algebra.DecodeString(algebra.EncodeString(plan))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p, key
+}
+
+// BenchmarkPlanHop measures one peer hop of a plan in flight: marshal at the
+// sender, price the wire bytes, unmarshal at the receiver, stamp provenance,
+// and re-marshal to forward — the per-hop cost the experiments pay on every
+// link a plan traverses.
+func BenchmarkPlanHop(b *testing.B) {
+	plan, key := planHopFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		doc := algebra.Marshal(plan)
+		if doc.ByteSize() == 0 {
+			b.Fatal("empty wire doc")
+		}
+		p2, err := algebra.Unmarshal(doc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tr, err := provenance.FromPlan(p2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tr.Append(provenance.Visit{
+			Server: "hop:1", Action: provenance.ActionForward, At: time.Millisecond,
+		}, key)
+		provenance.ToPlan(p2, tr)
+		out := algebra.Marshal(p2)
+		if out.ByteSize() == 0 {
+			b.Fatal("empty forwarded doc")
+		}
+	}
+}
+
+// BenchmarkPlanClone measures duplicating an in-flight plan (retained
+// originals, result snapshots, catalog binding copies).
+func BenchmarkPlanClone(b *testing.B) {
+	plan, _ := planHopFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if plan.Clone() == nil {
+			b.Fatal("nil clone")
 		}
 	}
 }

@@ -67,8 +67,14 @@ func main() {
 		if err != nil {
 			log.Fatalf("mqpd: parse %s: %v", parts[1], err)
 		}
-		store[parts[0]] = doc.Elements()
-		log.Printf("mqpd: serving %d items as %s%s", len(doc.Elements()), *addr, parts[0])
+		items := doc.Elements()
+		for _, it := range items {
+			// Served items are immutable; frozen items are aliased into
+			// plans and fetch replies instead of cloned per request.
+			it.Freeze()
+		}
+		store[parts[0]] = items
+		log.Printf("mqpd: serving %d items as %s%s", len(items), *addr, parts[0])
 	}
 
 	proc, err := mqp.New(mqp.Config{

@@ -1,0 +1,144 @@
+package algebra
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/xmltree"
+)
+
+// cowPlan returns a plan the way a hop owns one — decoded from the wire —
+// so its payload documents and extra sections arrive frozen.
+func cowPlan(t *testing.T) *Plan {
+	t.Helper()
+	p := NewPlan("cow", "c:1", Display(Union(
+		Data(
+			xmltree.MustParse(`<item><cd>Abbey Road</cd><price>12</price></item>`),
+			xmltree.MustParse(`<item><cd>Kind of Blue</cd><price>9</price></item>`),
+		),
+		URL("far:9020", "/d"))))
+	p.RetainOriginal()
+	p.Extra = map[string]*xmltree.Node{
+		"provenance": xmltree.MustParse(`<provenance><visit server="s1" action="forward" at="0" sig="x"/></provenance>`),
+	}
+	back, err := DecodeString(EncodeString(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return back
+}
+
+func dataNode(t *testing.T, root *Node) *Node {
+	t.Helper()
+	var d *Node
+	root.Walk(func(m *Node) bool {
+		if m.Kind == KindData && d == nil {
+			d = m
+		}
+		return true
+	})
+	if d == nil {
+		t.Fatal("no data node in plan")
+	}
+	return d
+}
+
+// TestDecodedPayloadsArriveFrozen pins the receive-side ownership rule:
+// Unmarshal freezes payload documents and extra sections in place.
+func TestDecodedPayloadsArriveFrozen(t *testing.T) {
+	p := cowPlan(t)
+	for _, d := range dataNode(t, p.Root).Docs {
+		if !d.Frozen() {
+			t.Fatal("decoded payload doc not frozen")
+		}
+	}
+	if !p.Extra["provenance"].Frozen() {
+		t.Fatal("decoded extra section not frozen")
+	}
+}
+
+// TestPlanCloneSharesFrozenPayloads verifies Clone and RetainOriginal are
+// copy-on-write over frozen freight: operator nodes are copied, payload
+// documents and extra sections are aliased.
+func TestPlanCloneSharesFrozenPayloads(t *testing.T) {
+	p := cowPlan(t)
+	cp := p.Clone()
+	pd, cd := dataNode(t, p.Root), dataNode(t, cp.Root)
+	if pd == cd {
+		t.Fatal("operator nodes must be copied")
+	}
+	for i := range pd.Docs {
+		if pd.Docs[i] != cd.Docs[i] {
+			t.Fatal("frozen payload doc must be aliased, not copied")
+		}
+	}
+	if p.Extra["provenance"] != cp.Extra["provenance"] {
+		t.Fatal("frozen extra section must be aliased")
+	}
+	if EncodeString(cp) != EncodeString(p) {
+		t.Fatal("clone serializes differently")
+	}
+	p.RetainOriginal()
+	for i, d := range dataNode(t, p.Original).Docs {
+		if d != pd.Docs[i] {
+			t.Fatal("RetainOriginal must alias frozen payload docs")
+		}
+	}
+}
+
+// TestMarshalAliasesFrozenDocs verifies the hop-path marshal shares frozen
+// payloads with the produced wire document instead of deep-cloning them.
+func TestMarshalAliasesFrozenDocs(t *testing.T) {
+	var contains func(n, target *xmltree.Node) bool
+	contains = func(n, target *xmltree.Node) bool {
+		if n == target {
+			return true
+		}
+		for _, c := range n.Children {
+			if contains(c, target) {
+				return true
+			}
+		}
+		return false
+	}
+	p := cowPlan(t)
+	frozen := dataNode(t, p.Root).Docs[0]
+	if !contains(Marshal(p), frozen) {
+		t.Fatal("Marshal must alias frozen payload docs into the wire document")
+	}
+	// A mutable doc, by contrast, is still deep-copied.
+	mp := NewPlan("m", "c:1", Display(Data(xmltree.MustParse(`<item/>`))))
+	mutable := mp.Root.Children[0].Docs[0]
+	if contains(Marshal(mp), mutable) {
+		t.Fatal("Marshal must not alias mutable payload docs")
+	}
+}
+
+// TestSharedFrozenPlanConcurrentUse exercises the aliasing-safety contract
+// under the race detector (make ci): one decoded plan is concurrently
+// cloned, marshaled, sized and re-encoded; all of that is read-only on the
+// shared frozen payloads.
+func TestSharedFrozenPlanConcurrentUse(t *testing.T) {
+	p := cowPlan(t)
+	want := EncodeString(p)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 25; j++ {
+				cp := p.Clone()
+				if EncodeString(cp) != want {
+					panic("clone serialization mismatch")
+				}
+				if Marshal(p).ByteSize() != len(want) {
+					panic("marshal size mismatch")
+				}
+				if WireSize(cp) != len(want) {
+					panic("wire size mismatch")
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

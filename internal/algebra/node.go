@@ -203,7 +203,11 @@ func (n *Node) Annotation(key string) (string, bool) {
 	return v, ok
 }
 
-// Clone returns a deep copy of the subtree.
+// Clone returns a deep copy of the operator subtree. Data payloads are
+// copy-on-write: frozen documents (anything that arrived off the wire or
+// out of a peer's catalog) are aliased rather than deep-copied — they are
+// immutable, so the copy is indistinguishable — while mutable documents are
+// still cloned.
 func (n *Node) Clone() *Node {
 	if n == nil {
 		return nil
@@ -212,7 +216,7 @@ func (n *Node) Clone() *Node {
 	if n.Docs != nil {
 		cp.Docs = make([]*xmltree.Node, len(n.Docs))
 		for i, d := range n.Docs {
-			cp.Docs[i] = d.Clone()
+			cp.Docs[i] = d.Share()
 		}
 	}
 	if n.Fields != nil {
@@ -441,20 +445,25 @@ func NewPlan(id, target string, root *Node) *Plan {
 	return &Plan{ID: id, Target: target, Root: root}
 }
 
-// Clone deep-copies the plan.
+// Clone copies the plan. The operator trees are deep-copied (processors
+// mutate them in place), but all frozen XML freight — data payloads and
+// extra sections like provenance — is aliased copy-on-write, so cloning an
+// in-flight plan costs operator headers, not its documents.
 func (p *Plan) Clone() *Plan {
 	cp := &Plan{ID: p.ID, Target: p.Target, Root: p.Root.Clone(), Original: p.Original.Clone()}
 	if p.Extra != nil {
 		cp.Extra = make(map[string]*xmltree.Node, len(p.Extra))
 		for k, v := range p.Extra {
-			cp.Extra[k] = v.Clone()
+			cp.Extra[k] = v.Share()
 		}
 	}
 	return cp
 }
 
 // RetainOriginal stores a copy of the current root as the plan's original
-// query, enabling binding improvement and provenance checks (§5.1).
+// query, enabling binding improvement and provenance checks (§5.1). Like
+// Clone, the copy is lazy about payloads: frozen documents are aliased, so
+// retaining the original of a data-heavy plan is cheap.
 func (p *Plan) RetainOriginal() {
 	p.Original = p.Root.Clone()
 }

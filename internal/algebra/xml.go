@@ -45,10 +45,11 @@ func MarshalNode(n *Node) *xmltree.Node {
 	return marshalNode(n, true)
 }
 
-// marshalNode renders n as XML. With copyDocs false, data payloads are
-// shared with the plan instead of deep-cloned — only safe when the produced
-// tree is measured or serialized and then discarded, never retained or
-// mutated.
+// marshalNode renders n as XML. Frozen data payloads are always aliased —
+// immutable subtrees are safe to share with any number of documents. With
+// copyDocs false, mutable payloads are shared too instead of deep-cloned —
+// only safe when the produced tree is measured or serialized and then
+// discarded, never retained or mutated.
 func marshalNode(n *Node, copyDocs bool) *xmltree.Node {
 	e := xmltree.Elem(n.Kind.String())
 	if len(n.Annotations) > 0 {
@@ -70,7 +71,7 @@ func marshalNode(n *Node, copyDocs bool) *xmltree.Node {
 	case KindData:
 		for _, d := range n.Docs {
 			if copyDocs {
-				e.Add(d.Clone())
+				e.Add(d.Share())
 			} else {
 				e.Add(d)
 			}
@@ -211,7 +212,10 @@ func UnmarshalNode(e *xmltree.Node) (*Node, error) {
 			continue
 		}
 		if n.Kind == KindData {
-			n.Docs = append(n.Docs, c.Clone())
+			// The receiver owns the decoded document, so payload items are
+			// frozen in place and aliased instead of deep-cloned; every
+			// later hop shares the same immutable subtree.
+			n.Docs = append(n.Docs, c.Freeze())
 			continue
 		}
 		child, err := UnmarshalNode(c)
@@ -246,7 +250,7 @@ func marshal(p *Plan, copyDocs bool) *xmltree.Node {
 	sort.Strings(keys)
 	for _, k := range keys {
 		if copyDocs {
-			doc.Add(p.Extra[k].Clone())
+			doc.Add(p.Extra[k].Share())
 		} else {
 			doc.Add(p.Extra[k])
 		}
@@ -292,7 +296,10 @@ func Unmarshal(doc *xmltree.Node) (*Plan, error) {
 			if p.Extra == nil {
 				p.Extra = map[string]*xmltree.Node{}
 			}
-			p.Extra[c.Name] = c.Clone()
+			// Extra sections (provenance above all) are re-emitted verbatim
+			// on the next hop; freeze-and-alias so forwarding never copies
+			// them.
+			p.Extra[c.Name] = c.Freeze()
 		}
 	}
 	if p.Root == nil {

@@ -84,11 +84,23 @@ func LocallyEvaluable(n *algebra.Node) bool {
 // Reduce evaluates a locally-evaluable sub-plan and returns a Data node
 // holding the materialized result, annotated with its exact cardinality —
 // the paper's reduction step ("substituting the results in place of the
-// sub-plan").
+// sub-plan"). Result items are frozen: they replace the sub-plan inside an
+// in-flight plan, so every later hop serializes and forwards them by
+// aliasing instead of cloning. Items passed through unchanged (selection,
+// top-n) typically arrived frozen already, making this a no-op for them.
+//
+// Because pass-through items are aliases of the input's Docs, Reduce
+// freezes those input documents in place — a sub-plan handed to Reduce is
+// consumed. On the hop path inputs always arrive frozen (wire decode,
+// catalog materialization); code evaluating an ad-hoc tree whose documents
+// it wants to keep mutating should use Evaluate, which freezes nothing.
 func Reduce(n *algebra.Node) (*algebra.Node, error) {
 	items, err := Evaluate(n)
 	if err != nil {
 		return nil, err
+	}
+	for _, it := range items {
+		it.Freeze()
 	}
 	out := algebra.Data(items...)
 	out.SetCard(len(items))
@@ -126,7 +138,9 @@ func evalProject(n *algebra.Node) ([]*xmltree.Node, error) {
 					name = strings.TrimPrefix(name, "@")
 					e.Add(xmltree.ElemText(name, m.Text))
 				} else {
-					e.Add(m.Clone())
+					// Fields of frozen source items are aliased into the
+					// projection; only mutable inputs pay for a copy.
+					e.Add(m.Share())
 				}
 			}
 		}
@@ -146,11 +160,13 @@ func keyOf(it *xmltree.Node, path string) (string, bool) {
 }
 
 // component wraps an item's fields under an element named name; join
-// outputs are <tuple> elements with one component per side.
+// outputs are <tuple> elements with one component per side. Fields of
+// frozen source items are aliased, not copied — the tuple owns only its
+// two wrapper elements.
 func component(name string, it *xmltree.Node) *xmltree.Node {
 	e := xmltree.Elem(name)
 	for _, c := range it.Children {
-		e.Add(c.Clone())
+		e.Add(c.Share())
 	}
 	return e
 }

@@ -1,0 +1,56 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/xmltree"
+)
+
+// TestReduceFreezesResultsAndAliasesFrozenInputs pins the reduction side of
+// the ownership model: result items come out frozen (later hops alias them),
+// and operators that restructure items (join, project) alias the fields of
+// frozen inputs instead of cloning them.
+func TestReduceFreezesResultsAndAliasesFrozenInputs(t *testing.T) {
+	l := xmltree.MustParse(`<item><cd>Abbey Road</cd><price>12</price></item>`).Freeze()
+	r := xmltree.MustParse(`<item><cd>Abbey Road</cd><seller>s1</seller></item>`).Freeze()
+	join := algebra.JoinNamed("cd", "cd", "sale", "listing",
+		algebra.Data(l), algebra.Data(r))
+
+	out, err := Reduce(join)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Docs) != 1 {
+		t.Fatalf("join produced %d tuples, want 1", len(out.Docs))
+	}
+	tuple := out.Docs[0]
+	if !tuple.Frozen() {
+		t.Fatal("Reduce must freeze result items")
+	}
+	// The tuple's components alias the frozen inputs' children.
+	sale := tuple.Child("sale")
+	if sale == nil || sale.Children[0] != l.Children[0] {
+		t.Fatal("join component must alias frozen input fields")
+	}
+
+	// Selection passes frozen inputs through untouched.
+	sel := algebra.Select(algebra.MustParsePredicate("price < 20"), algebra.Data(l))
+	out, err = Reduce(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Docs) != 1 || out.Docs[0] != l {
+		t.Fatal("selection must pass the frozen item through by reference")
+	}
+
+	// Projection aliases the projected fields of frozen items.
+	proj := algebra.Project("out", []string{"price"}, algebra.Data(l))
+	out, err = Reduce(proj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Docs) != 1 || out.Docs[0].Child("price") != l.Child("price") {
+		t.Fatal("projection must alias frozen input fields")
+	}
+}

@@ -238,6 +238,11 @@ func AddrOf(url string) string {
 // Step performs one server's processing cycle on the plan, mutating it in
 // place, and returns the outcome. The plan's provenance section is extended
 // when the processor has a signing key.
+//
+// Step consumes the plan: reduction freezes payload documents in place
+// (see engine.Reduce), so a caller constructing a plan from documents it
+// intends to keep mutating should hand Step a Clone. Plans decoded from
+// the wire — the normal case — arrive with frozen payloads already.
 func (p *Processor) Step(plan *algebra.Plan) (Outcome, error) {
 	if err := plan.Validate(); err != nil {
 		return Outcome{}, err
@@ -245,9 +250,16 @@ func (p *Processor) Step(plan *algebra.Plan) (Outcome, error) {
 	if err := p.checkTransferPolicy(plan); err != nil {
 		return Outcome{}, err
 	}
-	trail, err := provenance.FromPlan(plan)
-	if err != nil {
-		return Outcome{}, err
+	// The trail is parsed only when this server signs visits; an unkeyed
+	// server forwards the <provenance> section untouched (it travels
+	// verbatim — and, after one wire hop, frozen — in plan.Extra).
+	var trail *provenance.Trail
+	if p.cfg.Key != nil {
+		t, err := provenance.FromPlan(plan)
+		if err != nil {
+			return Outcome{}, err
+		}
+		trail = t
 	}
 	record := func(action provenance.Action, detail string, stale int) {
 		if p.cfg.Key == nil {
@@ -478,6 +490,9 @@ func (p *Processor) resolveURLs(n *algebra.Node, out *Outcome, record func(prove
 		}
 		return n, nil
 	}
+	// Both fetchers hand out frozen items (peers freeze collections on
+	// install and fetch replies on receipt), so the materialized leaf
+	// aliases them and later marshals of this plan never copy the data.
 	d := algebra.Data(items...)
 	d.SetCard(len(items))
 	if stale > 0 {

@@ -1,0 +1,83 @@
+package peer
+
+import (
+	"testing"
+
+	"repro/internal/simnet"
+	"repro/internal/workload"
+	"repro/internal/xmltree"
+)
+
+// TestCatalogItemsServedFrozenWithoutClone pins the catalog snapshot fix:
+// installing a collection freezes its items, and every fetch reply aliases
+// them instead of cloning per request.
+func TestCatalogItemsServedFrozenWithoutClone(t *testing.T) {
+	net := simnet.New()
+	ns := workload.GarageSaleNamespace()
+	area := ns.MustParseArea("[USA/OR/Portland, Music/CDs]")
+	src, err := New(Config{Addr: "s:1", Net: net, NS: ns, Area: area})
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := []*xmltree.Node{
+		xmltree.MustParse(`<item><cd>A</cd></item>`),
+		xmltree.MustParse(`<item><cd>B</cd></item>`),
+	}
+	src.AddCollection(Collection{Name: "cds", PathExp: "/d", Area: area, Items: docs})
+	for _, d := range docs {
+		if !d.Frozen() {
+			t.Fatal("AddCollection must freeze items")
+		}
+	}
+
+	req := xmltree.Elem("fetch")
+	req.SetAttr("path", "/d")
+	reply1, err := src.Serve(net, &simnet.Message{From: "c:1", To: "s:1", Kind: KindFetch, Body: req})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reply2, err := src.Serve(net, &simnet.Message{From: "c:1", To: "s:1", Kind: KindFetch, Body: req})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range reply1.Elements() {
+		if e != docs[i] {
+			t.Fatal("fetch reply must alias the frozen collection items")
+		}
+		if reply2.Elements()[i] != docs[i] {
+			t.Fatal("second fetch reply must alias the same items")
+		}
+	}
+}
+
+// TestReplicateSharesFrozenItems: replication over the simulated network
+// ends with the replica aliasing the source's frozen items — the §4.3
+// snapshot costs pointers, not copies.
+func TestReplicateSharesFrozenItems(t *testing.T) {
+	net := simnet.New()
+	ns := workload.GarageSaleNamespace()
+	area := ns.MustParseArea("[USA/OR/Portland, Music/CDs]")
+	mk := func(addr string) *Peer {
+		p, err := New(Config{Addr: addr, Net: net, NS: ns, Area: area})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	src, rep := mk("s:1"), mk("r:1")
+	docs := []*xmltree.Node{xmltree.MustParse(`<item><cd>A</cd></item>`)}
+	src.AddCollection(Collection{Name: "cds", PathExp: "/d", Area: area, Items: docs})
+	if err := rep.ReplicateFrom("s:1", "/d", Collection{Name: "cds", PathExp: "/d", Area: area}, 30); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := rep.Collection("/d")
+	if !ok || len(got.Items) != 1 {
+		t.Fatalf("replica missing items: %v %d", ok, len(got.Items))
+	}
+	if got.Items[0] != docs[0] {
+		t.Fatal("replica must alias the source's frozen items")
+	}
+	if got.StalenessMin != 30 {
+		t.Fatalf("staleness = %d", got.StalenessMin)
+	}
+}

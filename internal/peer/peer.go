@@ -36,6 +36,12 @@ const (
 
 // Collection is a named collection a base server exports, with the XPath
 // identifier other peers use to address it (§3.2).
+//
+// Installing a collection (AddCollection, SetItems) freezes its items:
+// catalog data is immutable while served, so fetch replies, materialized
+// plan leaves, and forwarded bodies all alias the same subtrees instead of
+// cloning per request. To change data, replace the item slice with freshly
+// built documents — never mutate installed items in place.
 type Collection struct {
 	Name    string
 	PathExp string
@@ -160,8 +166,12 @@ func (p *Peer) virtualNow() time.Duration {
 	return p.now
 }
 
-// AddCollection installs (or replaces) a base collection.
+// AddCollection installs (or replaces) a base collection, freezing its
+// items (see Collection).
 func (p *Peer) AddCollection(c Collection) {
+	for _, it := range c.Items {
+		it.Freeze()
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	cc := c
@@ -179,8 +189,12 @@ func (p *Peer) Collection(pathExp string) (Collection, bool) {
 	return *c, true
 }
 
-// SetItems replaces a collection's items (workload updates).
+// SetItems replaces a collection's items (workload updates). The new items
+// are frozen (see Collection).
 func (p *Peer) SetItems(pathExp string, items []*xmltree.Node) error {
+	for _, it := range items {
+		it.Freeze()
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	c, ok := p.collections[pathExp]
@@ -273,7 +287,9 @@ func (p *Peer) ReplicateFrom(srcAddr, pathExp string, as Collection, stalenessMi
 	}
 	items := make([]*xmltree.Node, 0, len(reply.Elements()))
 	for _, e := range reply.Elements() {
-		items = append(items, e.Clone())
+		// The reply is ours; the source serves frozen items, so this
+		// freeze-and-alias is a no-op per item rather than a deep copy.
+		items = append(items, e.Freeze())
 	}
 	as.Items = items
 	as.StalenessMin = stalenessMin
@@ -384,8 +400,8 @@ func (p *Peer) handleMQP(msg *simnet.Message) error {
 	// Fault tolerance (§1): try forwarding candidates in preference order;
 	// an unreachable next hop falls through to the next candidate. The plan
 	// is marshaled once and the same document offered to each candidate;
-	// this relies on receivers never mutating or retaining msg.Body
-	// (Unmarshal clones whatever it keeps).
+	// this relies on receivers never mutating msg.Body (Unmarshal
+	// freeze-and-aliases whatever it keeps).
 	body := algebra.Marshal(plan)
 	var lastErr error
 	for _, hop := range out.NextHops {
@@ -418,7 +434,9 @@ func (p *Peer) Serve(net *simnet.Network, req *simnet.Message) (*xmltree.Node, e
 		reply := xmltree.Elem("data")
 		reply.SetAttr("staleness", strconv.Itoa(stale))
 		for _, it := range items {
-			reply.Add(it.Clone())
+			// Collection items are frozen on install, so a fetch reply
+			// aliases them instead of copying the snapshot per request.
+			reply.Add(it.Share())
 		}
 		return reply, nil
 	case KindExport:
@@ -514,7 +532,7 @@ func (p *Peer) fetchRemote(addr, pathExp string) ([]*xmltree.Node, int, error) {
 	}
 	items := make([]*xmltree.Node, 0, len(reply.Elements()))
 	for _, e := range reply.Elements() {
-		items = append(items, e.Clone())
+		items = append(items, e.Freeze())
 	}
 	return items, stale, nil
 }

@@ -55,15 +55,32 @@ func (v Visit) content(prevSig string) []byte {
 }
 
 // Trail is the ordered visit history carried inside an MQP.
+//
+// Grow a trail through Append only. Visits is exported for inspection and
+// for constructing a trail wholesale, but editing an existing entry in
+// place is unsupported: Marshal may serve a cached element that predates
+// the edit (the cache is validated by visit count, which an in-place edit
+// does not change) — and an edited visit would fail signature verification
+// anyway. To simulate tampering, build a fresh Trail from a copied Visits
+// slice.
 type Trail struct {
 	Visits []Visit
+	// elem caches the marshaled <provenance> element. Its <visit> children
+	// are frozen (immutable, aliasable), so a hop extends the trail by
+	// copying only the element header and appending one new child —
+	// marshaling is incremental instead of rebuilt per hop. Valid only
+	// while it has exactly one child per visit.
+	elem *xmltree.Node
 }
 
 // Keyring returns the signing key for a server; in a real deployment this
 // would be a PKI lookup.
 type Keyring func(server string) []byte
 
-// Append signs a visit with the server's key and adds it to the trail.
+// Append signs a visit with the server's key and adds it to the trail. When
+// the trail carries a marshaled element (it arrived inside a plan), the
+// element grows by one <visit> child copy-on-write instead of being marked
+// for a rebuild.
 func (t *Trail) Append(v Visit, key []byte) {
 	prev := ""
 	if len(t.Visits) > 0 {
@@ -73,6 +90,11 @@ func (t *Trail) Append(v Visit, key []byte) {
 	mac.Write(v.content(prev))
 	v.Sig = hex.EncodeToString(mac.Sum(nil))
 	t.Visits = append(t.Visits, v)
+	if t.elem != nil && len(t.elem.Children) == len(t.Visits)-1 {
+		t.elem = t.elem.CloneShallow().Add(marshalVisit(v)).Freeze()
+	} else {
+		t.elem = nil
+	}
 }
 
 // Verify checks every signature in the chain using the keyring. It returns
@@ -130,30 +152,40 @@ func (t *Trail) MaxStaleness() int {
 	return max
 }
 
+// marshalVisit renders one <visit>, building its attribute list at final
+// size in one allocation (serialization sorts attributes, so emission order
+// here is irrelevant). The element is frozen: visit records never change
+// once signed, so every later hop aliases it.
+func marshalVisit(v Visit) *xmltree.Node {
+	attrs := make([]xmltree.Attr, 0, 6)
+	attrs = append(attrs,
+		xmltree.Attr{Name: "server", Value: v.Server},
+		xmltree.Attr{Name: "action", Value: string(v.Action)})
+	if v.Detail != "" {
+		attrs = append(attrs, xmltree.Attr{Name: "detail", Value: v.Detail})
+	}
+	attrs = append(attrs, xmltree.Attr{Name: "at", Value: strconv.FormatInt(int64(v.At/time.Microsecond), 10)})
+	if v.StalenessMin > 0 {
+		attrs = append(attrs, xmltree.Attr{Name: "staleness", Value: strconv.Itoa(v.StalenessMin)})
+	}
+	attrs = append(attrs, xmltree.Attr{Name: "sig", Value: v.Sig})
+	return xmltree.ElemAttrs("visit", attrs...).Freeze()
+}
+
 // Marshal renders the trail as the <provenance> section carried in a plan's
-// Extra map.
+// Extra map. The returned element is frozen — callers alias it, never
+// mutate it — and cached: a trail that arrived marshaled and grew by one
+// visit reuses every existing <visit> element.
 func (t *Trail) Marshal() *xmltree.Node {
-	// The trail is re-marshaled on every hop a plan takes, so each <visit>
-	// builds its attribute list at final size in one allocation instead of
-	// growing it through repeated SetAttr calls (serialization sorts
-	// attributes, so emission order here is irrelevant).
+	if t.elem != nil && len(t.elem.Children) == len(t.Visits) {
+		return t.elem
+	}
 	visits := make([]*xmltree.Node, len(t.Visits))
 	for i, v := range t.Visits {
-		attrs := make([]xmltree.Attr, 0, 6)
-		attrs = append(attrs,
-			xmltree.Attr{Name: "server", Value: v.Server},
-			xmltree.Attr{Name: "action", Value: string(v.Action)})
-		if v.Detail != "" {
-			attrs = append(attrs, xmltree.Attr{Name: "detail", Value: v.Detail})
-		}
-		attrs = append(attrs, xmltree.Attr{Name: "at", Value: strconv.FormatInt(int64(v.At/time.Microsecond), 10)})
-		if v.StalenessMin > 0 {
-			attrs = append(attrs, xmltree.Attr{Name: "staleness", Value: strconv.Itoa(v.StalenessMin)})
-		}
-		attrs = append(attrs, xmltree.Attr{Name: "sig", Value: v.Sig})
-		visits[i] = xmltree.ElemAttrs("visit", attrs...)
+		visits[i] = marshalVisit(v)
 	}
-	return xmltree.Elem("provenance", visits...)
+	t.elem = xmltree.Elem("provenance", visits...).Freeze()
+	return t.elem
 }
 
 // Unmarshal parses a <provenance> section.
@@ -162,6 +194,11 @@ func Unmarshal(e *xmltree.Node) (*Trail, error) {
 		return nil, fmt.Errorf("provenance: expected <provenance>, got <%s>", e.Name)
 	}
 	t := &Trail{}
+	if e.Frozen() {
+		// Adopt the element as the marshal cache; validated below against
+		// the parsed visit count (non-visit children would invalidate it).
+		t.elem = e
+	}
 	for _, ve := range e.ChildrenNamed("visit") {
 		atUS, err := strconv.ParseInt(ve.AttrDefault("at", "0"), 10, 64)
 		if err != nil {
@@ -179,6 +216,9 @@ func Unmarshal(e *xmltree.Node) (*Trail, error) {
 			StalenessMin: stale,
 			Sig:          ve.AttrDefault("sig", ""),
 		})
+	}
+	if t.elem != nil && len(t.elem.Children) != len(t.Visits) {
+		t.elem = nil
 	}
 	return t, nil
 }

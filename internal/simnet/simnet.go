@@ -36,6 +36,11 @@ type Message struct {
 // Peer is a network participant. Deliver handles one-way messages (e.g. an
 // MQP in flight, a registration). Serve handles request/response calls
 // (catalog lookups, data fetches) and returns the reply body.
+//
+// Ownership: message and reply bodies pass by reference, not by value — a
+// receiver must never mutate a body it was handed. It may, however, freeze
+// subtrees (xmltree.Freeze) and alias them into structures it keeps: the
+// sender has already relinquished the document by sending it.
 type Peer interface {
 	// Addr returns the peer's stable network address.
 	Addr() string
@@ -175,7 +180,10 @@ func (n *Network) lookup(to string) (Peer, error) {
 
 // wireSize is the accounted on-the-wire cost of a message body. ByteSize is
 // memoized on the node, so re-sending the same document (flooding, fan-out
-// registration) prices it once and hits the cache on every later hop.
+// registration) prices it once and hits the cache on every later hop; the
+// frozen payloads plans carry (data bundles, provenance) keep their memo
+// permanently, so pricing a forwarded plan re-walks only the thin mutable
+// shell around them.
 func wireSize(body *xmltree.Node) int {
 	size := headerOverhead
 	if body != nil {

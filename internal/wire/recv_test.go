@@ -1,0 +1,94 @@
+package wire
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/xmltree"
+)
+
+func TestRecvReadsOneDocument(t *testing.T) {
+	client, server := net.Pipe()
+	defer server.Close()
+	go func() {
+		defer client.Close()
+		_, _ = xmltree.MustParse(`<mqp id="r"><plan><data/></plan></mqp>`).WriteTo(client)
+	}()
+	doc, err := Recv(server)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Name != "mqp" || doc.AttrDefault("id", "") != "r" {
+		t.Fatalf("got %s", doc.String())
+	}
+}
+
+// TestRecvTimesOut pins the read deadline: a peer that connects and then
+// goes silent must not block the receiver past ReadTimeout.
+func TestRecvTimesOut(t *testing.T) {
+	old := ReadTimeout
+	ReadTimeout = 100 * time.Millisecond
+	defer func() { ReadTimeout = old }()
+
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+
+	start := time.Now()
+	_, err := Recv(server) // client never writes
+	if err == nil {
+		t.Fatal("Recv of a silent connection must error")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Recv blocked %v; deadline not applied", elapsed)
+	}
+}
+
+// TestServerHandlesSilentConnection checks the deadline end to end: a TCP
+// client that connects and stalls produces a handler-side read error
+// instead of a leaked goroutine, and the server keeps serving afterwards.
+func TestServerHandlesSilentConnection(t *testing.T) {
+	old := ReadTimeout
+	ReadTimeout = 100 * time.Millisecond
+	defer func() { ReadTimeout = old }()
+
+	got := make(chan string, 1)
+	srv, err := Listen("127.0.0.1:0", func(doc *xmltree.Node) (*xmltree.Node, error) {
+		got <- doc.Name
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	stall, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stall.Close()
+
+	select {
+	case err := <-srv.Errors():
+		if !strings.Contains(err.Error(), "recv") {
+			t.Fatalf("unexpected server error: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never timed out the silent connection")
+	}
+
+	// The server still accepts and handles real traffic.
+	if err := Send(srv.Addr(), xmltree.Elem("ping")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case name := <-got:
+		if name != "ping" {
+			t.Fatalf("handler got <%s>", name)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("handler never ran after the stalled connection")
+	}
+}

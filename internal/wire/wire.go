@@ -19,6 +19,12 @@ const DialTimeout = 5 * time.Second
 // WriteTimeout bounds how long Send may block writing a document.
 const WriteTimeout = 30 * time.Second
 
+// ReadTimeout bounds how long Recv may block reading a document — the
+// read-side counterpart of WriteTimeout, so a peer that connects and then
+// stalls cannot pin a handler goroutine forever. A variable (not a const)
+// so tests can shorten it.
+var ReadTimeout = 30 * time.Second
+
 // Send connects to addr, writes one document, and closes. It is the
 // fire-and-forget MQP forwarding primitive. The document is staged in a
 // pooled buffer by xmltree and hits the socket as a single Write, so a plan
@@ -39,6 +45,19 @@ func Send(addr string, doc *xmltree.Node) error {
 // ReadDoc reads one XML document from r (until EOF).
 func ReadDoc(r io.Reader) (*xmltree.Node, error) {
 	return xmltree.Parse(r)
+}
+
+// Recv reads one document from a connection under ReadTimeout. It is the
+// receive-side primitive symmetric to Send: every server connection goes
+// through it, so a slow or silent sender times out instead of leaking a
+// goroutine.
+func Recv(conn net.Conn) (*xmltree.Node, error) {
+	_ = conn.SetReadDeadline(time.Now().Add(ReadTimeout))
+	doc, err := ReadDoc(conn)
+	if err != nil {
+		return nil, fmt.Errorf("wire: recv from %s: %w", conn.RemoteAddr(), err)
+	}
+	return doc, nil
 }
 
 // Handler processes one received document. A non-nil reply is written back
@@ -93,12 +112,9 @@ func (s *Server) handle(conn net.Conn, h Handler) {
 		default:
 		}
 	}
-	if tc, ok := conn.(*net.TCPConn); ok {
-		_ = tc.SetReadDeadline(time.Now().Add(30 * time.Second))
-	}
-	doc, err := ReadDoc(conn)
+	doc, err := Recv(conn)
 	if err != nil {
-		report(fmt.Errorf("wire: read: %w", err))
+		report(err)
 		return
 	}
 	reply, err := h(doc)

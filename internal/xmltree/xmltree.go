@@ -8,6 +8,27 @@
 // serialization emits deterministic, canonicalized XML (attributes sorted by
 // name) so that byte sizes are stable across runs; the experiment harness
 // depends on that stability when it reports "bytes shipped".
+//
+// # Ownership: freeze and copy-on-write
+//
+// Plans carry verbatim XML payloads through every peer hop, so the package
+// has an explicit ownership model instead of defensive deep copies:
+//
+//   - Freeze marks a subtree permanently immutable and memoizes every
+//     node's canonical byte size. A frozen subtree may be aliased into any
+//     number of documents, serialized, sized, and read concurrently without
+//     synchronization — it is never written again.
+//   - Share is the copy-on-write alias: it returns the node itself when
+//     frozen (aliasing is safe) and a deep mutable copy otherwise.
+//   - CloneShallow copies one node header (attrs included) while aliasing
+//     its children, so a frozen list can grow by one element per hop
+//     without rebuilding — the provenance trail's append pattern.
+//
+// The freeze bit lives in the ByteSize generation machinery: a frozen node's
+// memo generation is pinned to a sentinel that no package-wide mutation can
+// invalidate. Mutating a frozen node through SetAttr/Add panics; writing its
+// exported fields directly is undetected and breaks the contract, exactly as
+// skipping Invalidate does for the size memo.
 package xmltree
 
 import (
@@ -55,6 +76,11 @@ var mutGen atomic.Uint64
 
 func init() { mutGen.Store(1) }
 
+// frozenGen is the memo-generation sentinel marking a frozen node: its size
+// memo never expires, and mutators refuse to touch it. The counter starts at
+// 1 and only increments, so it can never collide with the sentinel.
+const frozenGen = ^uint64(0)
+
 // Invalidate discards all cached ByteSize results package-wide. Callers that
 // mutate Node fields directly (rather than through SetAttr/Add) must call it
 // before the next ByteSize; the mutator methods call it automatically.
@@ -63,8 +89,12 @@ func Invalidate() { mutGen.Add(1) }
 // invalidate is the mutator-path invalidation. A node with memoGen == 0 has
 // never been part of a ByteSize computation, so no cached size anywhere can
 // include it and the (package-wide) generation bump is skipped — building a
-// fresh document does not evict unrelated caches.
+// fresh document does not evict unrelated caches. Frozen nodes may be
+// aliased anywhere; mutating one is an ownership bug, caught here.
 func (n *Node) invalidate() {
+	if n.memoGen == frozenGen {
+		panic("xmltree: mutation of frozen node <" + n.Name + ">")
+	}
 	if n.memoGen != 0 {
 		mutGen.Add(1)
 	}
@@ -187,12 +217,19 @@ func (n *Node) innerText(b *strings.Builder) {
 	}
 }
 
-// Clone returns a deep copy of the node.
+// Clone returns a deep copy of the node. The copy is always mutable, even
+// when the source (or part of it) is frozen; use Share to alias frozen
+// subtrees instead of copying them.
 func (n *Node) Clone() *Node {
 	if n == nil {
 		return nil
 	}
 	cp := &Node{Name: n.Name, Text: n.Text, memoSize: n.memoSize, memoGen: n.memoGen}
+	if n.memoGen == frozenGen {
+		// The copy serializes identically, so the size memo stays valid —
+		// but only until the next package-wide mutation, not forever.
+		cp.memoGen = mutGen.Load()
+	}
 	if len(n.Attrs) > 0 {
 		cp.Attrs = make([]Attr, len(n.Attrs))
 		copy(cp.Attrs, n.Attrs)
@@ -202,6 +239,55 @@ func (n *Node) Clone() *Node {
 		for i, c := range n.Children {
 			cp.Children[i] = c.Clone()
 		}
+	}
+	return cp
+}
+
+// Freeze marks the subtree permanently immutable and memoizes every node's
+// canonical byte size, then returns n for chaining. A frozen subtree can be
+// aliased into any number of documents and read, sized, or serialized from
+// multiple goroutines; SetAttr/Add on any node of it panic. Freezing an
+// already-frozen subtree is a cheap no-op, so receivers freeze whatever they
+// keep without checking provenance.
+//
+// Freeze itself writes the size memos, so the caller must still own the
+// subtree exclusively when freezing; share it only afterwards.
+func (n *Node) Freeze() *Node {
+	if n == nil || n.memoGen == frozenGen {
+		return n
+	}
+	n.byteSize(frozenGen)
+	return n
+}
+
+// Frozen reports whether the node (and therefore its whole subtree) is
+// frozen.
+func (n *Node) Frozen() bool { return n.memoGen == frozenGen }
+
+// Share returns the node itself when it is frozen — aliasing an immutable
+// subtree is free and safe — and a deep mutable copy otherwise. It is the
+// copy-on-write primitive marshaling paths use in place of Clone.
+func (n *Node) Share() *Node {
+	if n == nil || n.memoGen == frozenGen {
+		return n
+	}
+	return n.Clone()
+}
+
+// CloneShallow returns a mutable copy of the node header — name, text, and
+// attributes — whose children alias n's children. It is the copy-on-write
+// step for appending to a frozen element: copy the header, add the new
+// child, freeze the result; the shared children are never touched.
+func (n *Node) CloneShallow() *Node {
+	if n == nil {
+		return nil
+	}
+	cp := &Node{Name: n.Name, Text: n.Text}
+	if len(n.Attrs) > 0 {
+		cp.Attrs = append([]Attr(nil), n.Attrs...)
+	}
+	if len(n.Children) > 0 {
+		cp.Children = append([]*Node(nil), n.Children...)
 	}
 	return cp
 }
@@ -247,9 +333,21 @@ func Parse(r io.Reader) (*Node, error) {
 		}
 		switch t := tok.(type) {
 		case xml.StartElement:
+			if !localNameOK(t.Name.Local) {
+				return nil, fmt.Errorf("xmltree: parse: element name %q invalid after dropping namespace prefix", t.Name.Local)
+			}
 			n := &Node{Name: t.Name.Local}
 			for _, a := range t.Attr {
 				if a.Name.Space == "xmlns" || a.Name.Local == "xmlns" {
+					continue
+				}
+				if !localNameOK(a.Name.Local) {
+					continue
+				}
+				if _, dup := n.Attr(a.Name.Local); dup {
+					// Distinct namespace prefixes can collapse to the same
+					// local name once prefixes are stripped; first wins, so
+					// the tree never carries duplicate attribute names.
 					continue
 				}
 				n.Attrs = append(n.Attrs, Attr{Name: a.Name.Local, Value: a.Value})
@@ -278,6 +376,13 @@ func Parse(r io.Reader) (*Node, error) {
 				continue
 			}
 			parent := stack[len(stack)-1]
+			// Adjacent text runs (the tokenizer splits them around CDATA
+			// sections) merge into one node, so parsing canonical output
+			// reproduces the tree exactly.
+			if k := len(parent.Children); k > 0 && parent.Children[k-1].IsText() {
+				parent.Children[k-1].Text += text
+				continue
+			}
 			parent.Children = append(parent.Children, TextNode(text))
 		}
 	}
@@ -288,6 +393,24 @@ func Parse(r io.Reader) (*Node, error) {
 		return nil, fmt.Errorf("xmltree: parse: unterminated element %q", stack[len(stack)-1].Name)
 	}
 	return root, nil
+}
+
+// localNameOK reports whether a namespace-stripped local name is itself a
+// well-formed, prefix-free XML name. Stripping a prefix can expose an
+// invalid start character (the tokenizer accepts y:0="..." as prefix "y",
+// local "0") or a residual colon (a:b:c splits at the first colon only);
+// serializing either would produce an unparseable or differently-splitting
+// canonical form. The common all-ASCII case is decided inline; anything
+// exotic is settled by asking the tokenizer itself.
+func localNameOK(local string) bool {
+	if local == "" || strings.IndexByte(local, ':') >= 0 {
+		return false
+	}
+	if c := local[0]; c == '_' || ('A' <= c && c <= 'Z') || ('a' <= c && c <= 'z') {
+		return true
+	}
+	_, err := xml.NewDecoder(strings.NewReader("<" + local + "/>")).Token()
+	return err == nil
 }
 
 // ParseString parses an XML document held in a string.
@@ -393,7 +516,12 @@ func appendAttr(b *bytes.Buffer, a Attr) {
 
 // appendEscaped writes s with XML entities substituted, copying unescaped
 // runs in bulk. Most wire text contains no escapable characters, so the
-// common case is a single WriteString.
+// common case is a single WriteString. Following canonical XML, whitespace
+// that re-parsing would normalize away is written as character references:
+// carriage returns everywhere (XML line-end handling turns literal CRs into
+// newlines), tabs and newlines additionally inside attribute values
+// (attribute-value normalization turns them into spaces). That keeps the
+// canonical form a parse fixpoint.
 func appendEscaped(b *bytes.Buffer, s string, quot bool) {
 	start := 0
 	for i := 0; i < len(s); i++ {
@@ -405,11 +533,23 @@ func appendEscaped(b *bytes.Buffer, s string, quot bool) {
 			esc = "&lt;"
 		case '>':
 			esc = "&gt;"
+		case '\r':
+			esc = "&#xD;"
 		case '"':
 			if !quot {
 				continue
 			}
 			esc = "&quot;"
+		case '\t':
+			if !quot {
+				continue
+			}
+			esc = "&#x9;"
+		case '\n':
+			if !quot {
+				continue
+			}
+			esc = "&#xA;"
 		default:
 			continue
 		}
@@ -431,9 +571,9 @@ func escapeString(s string, quot bool) string {
 	clean := true
 	for i := 0; i < len(s); i++ {
 		switch s[i] {
-		case '&', '<', '>':
+		case '&', '<', '>', '\r':
 			clean = false
-		case '"':
+		case '"', '\t', '\n':
 			clean = clean && !quot
 		}
 		if !clean {
@@ -467,13 +607,14 @@ func (n *Node) String() string {
 //
 // Memoization makes ByteSize a write: calling it on a node shared between
 // goroutines requires external synchronization, even though it looks like a
-// read.
+// read. The exception is a frozen subtree, whose sizes were memoized by
+// Freeze — there ByteSize is a pure read and safe to call concurrently.
 func (n *Node) ByteSize() int {
 	return n.byteSize(mutGen.Load())
 }
 
 func (n *Node) byteSize(gen uint64) int {
-	if n.memoGen == gen {
+	if n.memoGen == gen || n.memoGen == frozenGen {
 		return n.memoSize
 	}
 	var size int
@@ -510,9 +651,15 @@ func escapeExtra(s string, quot bool) int {
 			extra += len("&amp;") - 1
 		case '<', '>':
 			extra += len("&lt;") - 1
+		case '\r':
+			extra += len("&#xD;") - 1
 		case '"':
 			if quot {
 				extra += len("&quot;") - 1
+			}
+		case '\t', '\n':
+			if quot {
+				extra += len("&#x9;") - 1
 			}
 		}
 	}

@@ -220,6 +220,12 @@ func (p *Peer) Raw() *peer.Peer { return p.p }
 
 // Publish exports a collection under the given name, path identifier and
 // interest-area expression.
+//
+// Published items are frozen: the peer serves them by reference (fetch
+// replies, plan payloads and forwarded bodies all alias the same subtrees),
+// so mutating an item after Publish panics. To change published data,
+// build fresh items and Publish again — or Publish clones and keep the
+// originals.
 func (p *Peer) Publish(name, pathExp, area string, items ...*Item) error {
 	a, err := p.sys.ns.ns.ParseArea(area)
 	if err != nil {
@@ -263,6 +269,11 @@ func (p *Peer) Declare(addr, statement string) error {
 }
 
 // QueryResult is a finished query.
+//
+// Items arrive frozen (immutable): they alias the wire payloads the result
+// was delivered with, which may be shared with other plans and caches.
+// Read, serialize and retain them freely; to derive mutated documents,
+// work on an Item.Clone().
 type QueryResult struct {
 	Items   []*Item
 	Latency time.Duration
