@@ -1,10 +1,13 @@
 # Repro build/test entry points. `make ci` is what a fresh checkout should
-# pass: formatting, vet, the tier-1 command (go build && go test), and the
-# race detector over the internal packages (the freeze/COW ownership model
-# advertises lock-free sharing of frozen subtrees; -race keeps it honest).
+# pass: formatting, vet, the tier-1 command (go build && go test), the race
+# detector over the internal packages (the freeze/COW ownership model
+# advertises lock-free sharing of frozen subtrees; -race keeps it honest),
+# a short chaos sweep (seeded fault-injection scenarios differentially
+# checked against a centralized oracle — see TESTING.md), and a fuzz smoke
+# over the parser and wire-framing targets.
 GO ?= go
 
-.PHONY: build test test-short bench bench-all race fmt vet ci
+.PHONY: build test test-short bench bench-all bench-chaos race fmt vet chaos chaos-ci fuzz-smoke ci
 
 build:
 	$(GO) build ./...
@@ -14,7 +17,8 @@ test: build
 	$(GO) test ./...
 
 # CI-speed suite: -short trims the largest network sizes from the E4/E9
-# scaling sweeps (see internal/experiments.ShortMode).
+# scaling sweeps (see internal/experiments.ShortMode) and the chaos sweep
+# from 500 to 200 scenarios.
 test-short: build
 	$(GO) test -short ./...
 
@@ -26,12 +30,37 @@ bench:
 	@sed -n 's/.*"Output":"\(.*\)".*/\1/p' BENCH_plan_hop.json \
 		| tr -d '\n' | sed 's/\\n/\n/g;s/\\t/\t/g' | grep 'ns/op' || true
 
-# Every benchmark, including the full E1-E13 experiment reproductions.
+# Chaos throughput (full generate+run+oracle-check scenarios per op);
+# recorded to BENCH_chaos.json the same way bench records the hop path.
+bench-chaos:
+	$(GO) test -run '^$$' -bench '^BenchmarkScenario$$' -benchmem -json ./internal/chaos > BENCH_chaos.json
+	@sed -n 's/.*"Output":"\(.*\)".*/\1/p' BENCH_chaos.json \
+		| tr -d '\n' | sed 's/\\n/\n/g;s/\\t/\t/g' | grep 'ns/op' || true
+
+# Every benchmark, including the full E1-E14 experiment reproductions.
 bench-all:
 	$(GO) test -run '^$$' -bench . -benchmem .
 
 race:
 	$(GO) test -race ./internal/...
+
+# Replay one chaos scenario (make chaos SEED=1337), or sweep 500 seeds when
+# no SEED is given. A sweep failure prints the offending seed for replay.
+chaos:
+	@if [ -n "$(SEED)" ]; then \
+		$(GO) run ./cmd/chaos -seed $(SEED); \
+	else \
+		$(GO) run ./cmd/chaos -n 500; \
+	fi
+
+# CI smoke: 200 seeded scenarios, mixed fault intensity.
+chaos-ci:
+	$(GO) run ./cmd/chaos -n 200
+
+# Fuzz smoke: 10s per target (canonical-XML parse fixpoint, wire framing).
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzParseRoundTrip$$' -fuzztime 10s ./internal/xmltree
+	$(GO) test -run '^$$' -fuzz '^FuzzRecv$$' -fuzztime 10s ./internal/wire
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -40,4 +69,4 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-ci: fmt vet build test race
+ci: fmt vet build test race chaos-ci fuzz-smoke

@@ -60,6 +60,7 @@ func BenchmarkE10Provenance(b *testing.B)       { benchExperiment(b, "E10") }
 func BenchmarkE11Annotations(b *testing.B)      { benchExperiment(b, "E11") }
 func BenchmarkE12PrivateJoin(b *testing.B)      { benchExperiment(b, "E12") }
 func BenchmarkE13Ablations(b *testing.B)        { benchExperiment(b, "E13") }
+func BenchmarkE14Robustness(b *testing.B)       { benchExperiment(b, "E14") }
 
 // --- Micro-benchmarks of the machinery the experiments stand on ---------
 

@@ -1,0 +1,76 @@
+// Command chaos runs the fault-injection differential harness
+// (internal/chaos): seeded random topologies and query workloads executed
+// under injected network faults, every run checked against a centralized
+// oracle.
+//
+// Usage:
+//
+//	chaos -n 200                 # sweep 200 seeds (CI smoke)
+//	chaos -seed 1337 -v          # replay one scenario from its seed
+//	chaos -n 500 -level heavy    # sweep at a fixed fault intensity
+//
+// A sweep failure prints the seed; rerun it with -seed (or make chaos
+// SEED=...) for a byte-identical replay. Exit status is non-zero when any
+// invariant was violated.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/chaos"
+)
+
+func main() {
+	seed := flag.Int64("seed", 0, "replay a single scenario by seed (0: sweep mode)")
+	n := flag.Int("n", 200, "sweep: number of seeded scenarios")
+	start := flag.Int64("start", 1, "sweep: first seed")
+	levelName := flag.String("level", "mixed", "fault intensity: none, light, heavy, mixed")
+	verbose := flag.Bool("v", false, "print a summary line per scenario")
+	flag.Parse()
+
+	level := chaos.ParseLevel(*levelName)
+	seeds := make([]int64, 0, *n)
+	if *seed != 0 {
+		seeds = append(seeds, *seed)
+		*verbose = true
+	} else {
+		for i := 0; i < *n; i++ {
+			seeds = append(seeds, *start+int64(i))
+		}
+	}
+
+	var plans, completed, stuck, lost, checked, failures int
+	began := time.Now()
+	for _, s := range seeds {
+		rep, err := chaos.Run(chaos.Config{Seed: s, Level: level})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chaos: seed %d: harness error: %v\n", s, err)
+			os.Exit(2)
+		}
+		if *verbose {
+			fmt.Println(rep.Summary())
+		}
+		plans += rep.Plans
+		completed += rep.Completed
+		stuck += rep.Stuck
+		lost += rep.LostToFaults
+		checked += rep.OracleChecked
+		if rep.Failed() {
+			failures++
+			fmt.Fprintf(os.Stderr, "chaos: seed %d VIOLATED (replay: make chaos SEED=%d):\n", s, s)
+			for _, v := range rep.Violations {
+				fmt.Fprintf(os.Stderr, "  %s\n", v)
+			}
+		}
+	}
+	elapsed := time.Since(began)
+	fmt.Printf("chaos: %d scenarios (level=%s) in %v (%.0f/s): %d plans, %d completed, %d stuck, %d lost-to-faults, %d oracle-checked, %d violations\n",
+		len(seeds), level, elapsed.Round(time.Millisecond), float64(len(seeds))/elapsed.Seconds(),
+		plans, completed, stuck, lost, checked, failures)
+	if failures > 0 {
+		os.Exit(1)
+	}
+}

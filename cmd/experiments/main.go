@@ -1,5 +1,5 @@
 // Command experiments regenerates every table/figure-level experiment of
-// the reproduction (E1–E13, see DESIGN.md and EXPERIMENTS.md) and prints
+// the reproduction (E1–E14, see DESIGN.md and EXPERIMENTS.md) and prints
 // paper-style rows.
 //
 // Experiments are independent (each builds its own simulated network and

@@ -1,0 +1,558 @@
+// Package chaos is the fault-injection differential harness: it generates
+// seeded random deployments (topologies, catalogs, collections, query
+// workloads) of the mutant-query-plan system, runs them on simnet's
+// deterministic event-queue scheduler with injected faults — message drops,
+// duplicates, reordering, transient partitions, peer crash/restart windows —
+// and differentially checks every run against a centralized oracle
+// (oracle.go) that evaluates each plan over the union of all data.
+//
+// Every scenario is a pure function of its seed: a failure anywhere replays
+// exactly with `make chaos SEED=<seed>` (or `go run ./cmd/chaos -seed N`).
+//
+// The invariants each scenario enforces:
+//
+//  1. Oracle equality — every result delivered to the client equals the
+//     centralized oracle's answer for that plan, as a multiset of canonical
+//     XML items. Faults may lose plans; they must never corrupt answers.
+//  2. Trail/hop consistency — every provenance trail verifies against the
+//     scenario keyring, names only servers the plan was actually delivered
+//     to, carries non-decreasing virtual times, and has no more processing
+//     stops than the result took hops.
+//  3. No silently lost plans — every submitted plan either completes, or
+//     surfaces through a peer's StuckErrors()/a submit error, or its loss is
+//     attributed to a recorded network fault (dropped or lost message).
+//  4. Race-clean frozen reads — the oracle evaluates concurrently with the
+//     network pump while aliasing the same frozen collection items, so
+//     `go test -race ./internal/chaos` stresses the freeze/COW ownership
+//     rule: anything that keeps a received subtree must Freeze() it, and
+//     frozen subtrees are read lock-free from many goroutines.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/algebra"
+	"repro/internal/catalog"
+	"repro/internal/hierarchy"
+	"repro/internal/mqp"
+	"repro/internal/namespace"
+	"repro/internal/peer"
+	"repro/internal/simnet"
+	"repro/internal/workload"
+)
+
+// Level selects the fault intensity of a scenario.
+type Level int
+
+// Fault levels. LevelMixed (the zero value) derives the intensity from the
+// scenario seed, so a sweep covers the whole range.
+const (
+	LevelMixed Level = iota
+	LevelNone
+	LevelLight
+	LevelHeavy
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelNone:
+		return "none"
+	case LevelLight:
+		return "light"
+	case LevelHeavy:
+		return "heavy"
+	default:
+		return "mixed"
+	}
+}
+
+// ParseLevel converts a level name; unknown names return LevelMixed.
+func ParseLevel(s string) Level {
+	switch s {
+	case "none":
+		return LevelNone
+	case "light":
+		return LevelLight
+	case "heavy":
+		return LevelHeavy
+	default:
+		return LevelMixed
+	}
+}
+
+// Config parameterizes one scenario. Only Seed is required; the zero value
+// of everything else picks seed-derived defaults.
+type Config struct {
+	Seed  int64
+	Level Level
+}
+
+// Report is the outcome of one scenario. Violations empty means every
+// invariant held.
+type Report struct {
+	Seed  int64
+	Level Level
+	Peers int
+	Items int
+	Plans int
+	// Completed counts plans with at least one result at the client;
+	// Results counts deliveries (duplication can produce more than one).
+	Completed int
+	Results   int
+	// Stuck counts non-completed plans surfaced via StuckErrors or a
+	// submit-time error; LostToFaults counts non-completed, non-stuck plans
+	// whose carrier message appears in the scheduler's drop/loss trace.
+	Stuck        int
+	LostToFaults int
+	// OracleChecked counts result-vs-oracle comparisons performed.
+	OracleChecked int
+	Messages      int64
+	DroppedMsgs   int
+	LostMsgs      int
+	Violations    []string
+}
+
+// Failed reports whether any invariant was violated.
+func (r *Report) Failed() bool { return len(r.Violations) > 0 }
+
+func (r *Report) violate(format string, args ...interface{}) {
+	r.Violations = append(r.Violations, fmt.Sprintf(format, args...))
+}
+
+// Summary renders a one-line digest for logs.
+func (r *Report) Summary() string {
+	return fmt.Sprintf("seed=%d level=%s peers=%d plans=%d completed=%d stuck=%d lost=%d msgs=%d dropped=%d violations=%d",
+		r.Seed, r.Level, r.Peers, r.Plans, r.Completed, r.Stuck, r.LostToFaults,
+		r.Messages, r.DroppedMsgs, len(r.Violations))
+}
+
+// planCase is one generated query: the submitted plan and the pristine clone
+// the oracle evaluates.
+type planCase struct {
+	id        string
+	oracle    *algebra.Plan
+	entry     string
+	at        time.Duration
+	submitErr error
+}
+
+// Run generates and executes one scenario and checks every invariant.
+// The returned error covers harness failures (a bug in the generator or
+// oracle); invariant violations land in the Report instead.
+func Run(cfg Config) (*Report, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	rep := &Report{Seed: cfg.Seed, Level: cfg.Level}
+
+	// --- World -----------------------------------------------------------
+	ns := workload.GarageSaleNamespace()
+	net := simnet.New()
+	// Legitimate routing in these topologies is a handful of hops; a tight
+	// depth bound makes forwarding cycles (e.g. a plan bouncing between an
+	// authoritative meta and an index that both lack the data) surface as
+	// stuck errors quickly, instead of breeding hundreds of hops' worth of
+	// duplicated traffic first.
+	net.SetMaxDepth(40)
+
+	nSellers := 3 + rng.Intn(6)
+	itemsPer := 2 + rng.Intn(4)
+	zipf := 1.2 + rng.Float64()*0.8
+	layered := rng.Float64() < 0.5
+	sellerStats := rng.Float64() < 0.5
+	prune := sellerStats && rng.Float64() < 0.5
+	pushSelect := rng.Float64() < 0.7
+
+	sellers := workload.GarageSale(ns, workload.GarageSaleConfig{
+		Seed: rng.Int63(), Sellers: nSellers, ItemsPerSeller: itemsPer, SpecialtyZipf: zipf,
+	})
+
+	keys := map[string][]byte{}
+	peers := map[string]*peer.Peer{}
+	addPeer := func(cfg peer.Config) (*peer.Peer, error) {
+		cfg.Key = []byte(cfg.Addr)
+		p, err := peer.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		keys[cfg.Addr] = cfg.Key
+		peers[cfg.Addr] = p
+		return p, nil
+	}
+
+	const metaAddr = "meta:9020"
+	const clientAddr = "client:9020"
+	if _, err := addPeer(peer.Config{Addr: metaAddr, Net: net, NS: ns, PushSelect: pushSelect,
+		Area: ns.Everything(), Authoritative: true, PruneStats: prune}); err != nil {
+		return nil, err
+	}
+
+	// One authoritative index server per state in layered deployments.
+	indexes := map[string]string{} // state path -> index addr
+	var indexAddrs []string
+	if layered {
+		for _, s := range sellers {
+			st := s.City.Truncate(2).String()
+			if _, ok := indexes[st]; ok {
+				continue
+			}
+			addr := "idx-" + strings.ReplaceAll(st, "/", "-") + ":9020"
+			area := namespace.NewArea(namespace.NewCell(s.City.Truncate(2), hierarchy.Top))
+			idx, err := addPeer(peer.Config{Addr: addr, Net: net, NS: ns, PushSelect: pushSelect,
+				Area: area, Authoritative: true, PruneStats: prune})
+			if err != nil {
+				return nil, err
+			}
+			if err := idx.RegisterWith(metaAddr, catalog.RoleIndex); err != nil {
+				return nil, err
+			}
+			indexes[st] = addr
+			indexAddrs = append(indexAddrs, addr)
+		}
+		sort.Strings(indexAddrs)
+	}
+
+	var oracleColls []Collection
+	for i, s := range sellers {
+		pcfg := peer.Config{Addr: s.Addr, Net: net, NS: ns, PushSelect: pushSelect, Area: s.Area}
+		switch rng.Intn(3) {
+		case 0:
+			// Default: plans travel to the data (ForwardOnlyPolicy).
+		case 1:
+			pcfg.Policy = mqp.DefaultPolicy{}
+		case 2:
+			pcfg.Policy = mqp.DefaultPolicy{MaxReduceCard: 4}
+		}
+		if sellerStats {
+			pcfg.StatsHistPath = "price"
+			pcfg.StatsKeyPaths = []string{"category"}
+		}
+		sp, err := addPeer(pcfg)
+		if err != nil {
+			return nil, err
+		}
+		pathExp := fmt.Sprintf("/chaos[s=%d]", i)
+		sp.AddCollection(peer.Collection{Name: "items", PathExp: pathExp, Area: s.Area, Items: s.Items})
+		rep.Items += len(s.Items)
+		up := metaAddr
+		if layered {
+			up = indexes[s.City.Truncate(2).String()]
+		}
+		if err := sp.RegisterWith(up, catalog.RoleBase); err != nil {
+			return nil, err
+		}
+		// The collection items are frozen by AddCollection; the oracle
+		// aliases exactly the documents the live network serves.
+		oracleColls = append(oracleColls, Collection{PathExp: pathExp, Area: s.Area, Items: s.Items})
+	}
+
+	client, err := addPeer(peer.Config{Addr: clientAddr, Net: net, NS: ns})
+	if err != nil {
+		return nil, err
+	}
+	if err := client.Catalog().Register(catalog.Registration{
+		Addr: metaAddr, Role: catalog.RoleMetaIndex,
+		Area: ns.Everything(), Authoritative: true,
+	}); err != nil {
+		return nil, err
+	}
+	rep.Peers = len(peers)
+
+	oracle, err := NewOracle(ns, oracleColls)
+	if err != nil {
+		return nil, err
+	}
+
+	// --- Fault schedule --------------------------------------------------
+	// The world is built inline (registrations deliver synchronously); only
+	// query traffic runs under the scheduler and its faults.
+	net.UseScheduler(rng.Int63())
+	faults, nCrashes, wantPartition := levelFaults(cfg.Level, rng)
+	net.SetFaults(faults)
+
+	var faultable []string // every peer but the client
+	for addr := range peers {
+		if addr != clientAddr {
+			faultable = append(faultable, addr)
+		}
+	}
+	sort.Strings(faultable)
+	const horizon = 800 * time.Millisecond
+	for i := 0; i < nCrashes && len(faultable) > 0; i++ {
+		addr := faultable[rng.Intn(len(faultable))]
+		from := time.Duration(rng.Int63n(int64(horizon)))
+		until := from + 50*time.Millisecond + time.Duration(rng.Int63n(int64(250*time.Millisecond)))
+		if rng.Float64() < 0.2 {
+			until = 0 // crash with no restart
+		}
+		net.ScheduleCrash(addr, from, until)
+	}
+	if wantPartition && len(faultable) > 1 {
+		split := append([]string(nil), faultable...)
+		rng.Shuffle(len(split), func(i, j int) { split[i], split[j] = split[j], split[i] })
+		cut := 1 + rng.Intn(len(split)-1)
+		from := time.Duration(rng.Int63n(int64(400 * time.Millisecond)))
+		until := from + time.Duration(rng.Int63n(int64(300*time.Millisecond)))
+		net.Partition(split[:cut], split[cut:], from, until)
+	}
+
+	// --- Workload --------------------------------------------------------
+	nPlans := 2 + rng.Intn(5)
+	cases := make([]*planCase, 0, nPlans)
+	for i := 0; i < nPlans; i++ {
+		area, maxPrice := genQuery(ns, sellers, rng, zipf)
+		plan := genPlan(rng, fmt.Sprintf("chaos-%d-q%d", cfg.Seed, i), clientAddr, area, maxPrice, ns)
+		if rng.Float64() < 0.5 {
+			plan.RetainOriginal()
+		}
+		if rng.Float64() < 0.3 {
+			mqp.SetPrefs(plan, mqp.Prefs{BudgetMS: 100 + rng.Intn(400), PreferCurrent: rng.Float64() < 0.5})
+		}
+		entry := metaAddr
+		if layered && len(indexAddrs) > 0 && rng.Float64() < 0.4 {
+			entry = indexAddrs[rng.Intn(len(indexAddrs))]
+		}
+		pc := &planCase{
+			id:     plan.ID,
+			oracle: plan.Clone(),
+			entry:  entry,
+			// Whole microseconds: virtual time is µs-granular on the wire
+			// (provenance visit times), so finer submission offsets would
+			// not survive a serialization round trip.
+			at: time.Duration(rng.Int63n(500_000)) * time.Microsecond,
+		}
+		pc.submitErr = net.Send(&simnet.Message{
+			From: clientAddr, To: entry, Kind: peer.KindMQP,
+			Body: algebra.Marshal(plan), At: pc.at,
+		})
+		cases = append(cases, pc)
+	}
+	rep.Plans = len(cases)
+
+	// --- Execute: oracle concurrent with the pump (invariant 4) ----------
+	expected := make([]map[string]int, len(cases))
+	oracleErrs := make([]error, len(cases))
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i, pc := range cases {
+			items, err := oracle.Evaluate(pc.oracle)
+			if err != nil {
+				oracleErrs[i] = err
+				continue
+			}
+			expected[i] = Multiset(items)
+		}
+	}()
+	if _, err := net.Run(); err != nil {
+		rep.violate("scheduler: %v", err)
+	}
+	wg.Wait()
+	for _, err := range oracleErrs {
+		if err != nil {
+			return rep, err
+		}
+	}
+
+	// --- Invariants ------------------------------------------------------
+	checkInvariants(rep, net, peers, keys, client, cases, expected)
+	return rep, nil
+}
+
+// genQuery picks a query area and price ceiling. Most queries target a
+// seller's cell (buyers look for what sellers sell); the rest are uniform,
+// so provably-empty areas and authoritative empty bindings stay covered.
+func genQuery(ns *namespace.Namespace, sellers []workload.Seller, rng *rand.Rand, zipf float64) (namespace.Area, int) {
+	if rng.Float64() < 0.75 {
+		s := sellers[rng.Intn(len(sellers))]
+		loc := s.City
+		if rng.Intn(3) == 0 {
+			loc = loc.Parent()
+		}
+		return namespace.NewArea(namespace.NewCell(loc, s.Spec)), 10 + rng.Intn(150)
+	}
+	q := workload.Queries(ns, rng.Int63(), 1, zipf)[0]
+	return q.Area, q.MaxPrice
+}
+
+// genPlan builds one of the harness's plan shapes over the area. Every
+// shape has exact multiset semantics both centrally and distributed (TopN is
+// deliberately absent: its answer is order-sensitive under ties).
+func genPlan(rng *rand.Rand, id, target string, area namespace.Area, maxPrice int, ns *namespace.Namespace) *algebra.Plan {
+	urn := func() *algebra.Node { return algebra.URN(namespace.EncodeURN(area)) }
+	pred := algebra.MustParsePredicate(fmt.Sprintf("price < %d", maxPrice))
+	var body *algebra.Node
+	switch rng.Intn(5) {
+	case 0:
+		body = algebra.Select(pred, urn())
+	case 1:
+		body = algebra.Count(algebra.Select(pred, urn()))
+	case 2:
+		// Union of the area with a generalized copy of it.
+		wide := ns.Generalize(area)
+		body = algebra.Select(pred, algebra.Union(urn(), algebra.URN(namespace.EncodeURN(wide))))
+	case 3:
+		body = algebra.Project("hit", []string{"name", "price", "city"}, algebra.Select(pred, urn()))
+	default:
+		// Mid-price band: cheap items subtracted from the full selection.
+		low := algebra.MustParsePredicate(fmt.Sprintf("price < %d", 1+maxPrice/2))
+		body = algebra.Difference(algebra.Select(pred, urn()), algebra.Select(low, urn()))
+	}
+	return algebra.NewPlan(id, target, algebra.Display(body))
+}
+
+// levelFaults maps a fault level to scheduler fault probabilities, a crash
+// count, and whether to cut a partition.
+func levelFaults(level Level, rng *rand.Rand) (simnet.Faults, int, bool) {
+	switch level {
+	case LevelNone:
+		return simnet.Faults{}, 0, false
+	case LevelLight:
+		return simnet.Faults{Drop: 0.03, Duplicate: 0.02, Reorder: 0.2},
+			rng.Intn(2), rng.Float64() < 0.15
+	case LevelHeavy:
+		return simnet.Faults{Drop: 0.12, Duplicate: 0.08, Reorder: 0.5},
+			1 + rng.Intn(2), rng.Float64() < 0.4
+	default: // LevelMixed: seed-derived intensity across the whole range.
+		scale := rng.Float64()
+		return simnet.Faults{
+				Drop:      0.15 * scale * rng.Float64(),
+				Duplicate: 0.10 * scale * rng.Float64(),
+				Reorder:   0.6 * scale,
+			},
+			rng.Intn(3), rng.Float64() < 0.3
+	}
+}
+
+// planIDOf extracts the plan id a simnet message carries, or "".
+func planIDOf(m *simnet.Message) string {
+	if m.Body == nil || m.Body.Name != "mqp" {
+		return ""
+	}
+	return m.Body.AttrDefault("id", "")
+}
+
+// checkInvariants evaluates invariants 1–3 against the scenario outcome.
+func checkInvariants(rep *Report, net *simnet.Network, peers map[string]*peer.Peer,
+	keys map[string][]byte, client *peer.Peer, cases []*planCase, expected []map[string]int) {
+
+	rep.Messages = net.Metrics().Messages
+	trace := net.SchedTrace()
+	rep.DroppedMsgs = len(trace.Dropped)
+	rep.LostMsgs = len(trace.Lost)
+
+	// Messages removed by faults, and deliveries made, by plan id.
+	faultIDs := map[string]bool{}
+	for _, m := range trace.Dropped {
+		if id := planIDOf(m); id != "" {
+			faultIDs[id] = true
+		}
+	}
+	for _, m := range trace.Lost {
+		if id := planIDOf(m); id != "" {
+			faultIDs[id] = true
+		}
+	}
+	deliveredTo := map[string]map[string]bool{} // plan id -> servers delivered to
+	for _, m := range trace.Delivered {
+		if id := planIDOf(m); id != "" {
+			if deliveredTo[id] == nil {
+				deliveredTo[id] = map[string]bool{}
+			}
+			deliveredTo[id][m.To] = true
+		}
+	}
+
+	// Stuck errors across all peers, attributed by the quoted plan id.
+	stuckFor := func(id string) bool {
+		needle := fmt.Sprintf("%q", id)
+		for _, p := range peers {
+			for _, err := range p.StuckErrors() {
+				if strings.Contains(err.Error(), needle) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+
+	results := map[string][]peer.Result{}
+	for _, res := range client.Results() {
+		results[res.Plan.ID] = append(results[res.Plan.ID], res)
+		rep.Results++
+	}
+	known := map[string]bool{}
+	for _, pc := range cases {
+		known[pc.id] = true
+	}
+	for id := range results {
+		if !known[id] {
+			rep.violate("phantom result for never-submitted plan %q", id)
+		}
+	}
+
+	keyring := func(server string) []byte { return keys[server] }
+	for i, pc := range cases {
+		rs := results[pc.id]
+		switch {
+		case len(rs) > 0:
+			rep.Completed++
+		case pc.submitErr != nil || stuckFor(pc.id):
+			rep.Stuck++
+		case faultIDs[pc.id]:
+			rep.LostToFaults++
+		default:
+			rep.violate("plan %q silently lost: no result, no stuck error, no recorded fault", pc.id)
+		}
+
+		for _, res := range rs {
+			// Invariant 1: oracle equality.
+			items, err := res.Plan.Results()
+			if err != nil {
+				rep.violate("plan %q: non-constant result: %v", pc.id, err)
+				continue
+			}
+			rep.OracleChecked++
+			if ok, diff := MultisetEqual(Multiset(items), expected[i]); !ok {
+				rep.violate("plan %q: result diverges from oracle: %s", pc.id, diff)
+			}
+			// Invariant 2: trail/hop consistency.
+			trail, err := peer.QueryTrail(res)
+			if err != nil {
+				rep.violate("plan %q: bad provenance: %v", pc.id, err)
+				continue
+			}
+			if idx, err := trail.Verify(keyring); err != nil {
+				rep.violate("plan %q: trail visit %d fails verification: %v", pc.id, idx, err)
+			}
+			stops := 0
+			prevServer := ""
+			var prevAt time.Duration
+			for vi, v := range trail.Visits {
+				if v.Server != prevServer {
+					stops++
+					prevServer = v.Server
+				}
+				if !deliveredTo[pc.id][v.Server] {
+					rep.violate("plan %q: trail names %s, which never received the plan", pc.id, v.Server)
+				}
+				if v.At < prevAt {
+					rep.violate("plan %q: trail time goes backwards at visit %d (%v < %v)", pc.id, vi, v.At, prevAt)
+				}
+				prevAt = v.At
+			}
+			if stops+1 > res.Hops {
+				rep.violate("plan %q: %d processing stops need at least %d hops, result took %d",
+					pc.id, stops, stops+1, res.Hops)
+			}
+		}
+	}
+	if rep.Completed+rep.Stuck+rep.LostToFaults != rep.Plans {
+		rep.violate("accounting: completed %d + stuck %d + lost %d != plans %d",
+			rep.Completed, rep.Stuck, rep.LostToFaults, rep.Plans)
+	}
+}

@@ -1,0 +1,134 @@
+package chaos
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/xmltree"
+)
+
+// sweepSize returns the scenario budget: the acceptance bar is 500 seeded
+// scenarios, trimmed to 200 under -short for CI.
+func sweepSize() int {
+	if testing.Short() {
+		return 200
+	}
+	return 500
+}
+
+// TestScenarioSweep is the harness's main claim: hundreds of seeded random
+// scenarios, every one holding all four invariants. Scenarios run across
+// parallel shards, so `-race` additionally stresses concurrent frozen reads
+// between the shards' pumps and oracles.
+func TestScenarioSweep(t *testing.T) {
+	n := sweepSize()
+	const shards = 8
+	for s := 0; s < shards; s++ {
+		s := s
+		t.Run(fmt.Sprintf("shard%d", s), func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(s + 1); seed <= int64(n); seed += shards {
+				rep, err := Run(Config{Seed: seed})
+				if err != nil {
+					t.Fatalf("seed %d: harness error: %v", seed, err)
+				}
+				if rep.Failed() {
+					t.Errorf("seed %d violated invariants (replay: make chaos SEED=%d):", seed, seed)
+					for _, v := range rep.Violations {
+						t.Errorf("  %s", v)
+					}
+					return
+				}
+			}
+		})
+	}
+}
+
+// TestScenarioDeterministic: the whole scenario — world, faults, outcome —
+// is a pure function of the seed, which is what makes `make chaos SEED=n`
+// a faithful replay of any sweep failure.
+func TestScenarioDeterministic(t *testing.T) {
+	for _, seed := range []int64{1, 42, 977} {
+		a, err := Run(Config{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(Config{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Summary() != b.Summary() {
+			t.Fatalf("seed %d not deterministic:\n%s\n%s", seed, a.Summary(), b.Summary())
+		}
+	}
+}
+
+// TestFaultFreeLosesNothing: with no injected faults nothing is dropped or
+// lost in flight, and the plan accounting closes without a loss bucket.
+func TestFaultFreeLosesNothing(t *testing.T) {
+	for seed := int64(1); seed <= 25; seed++ {
+		rep, err := Run(Config{Seed: seed, Level: LevelNone})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Failed() {
+			t.Fatalf("seed %d: %v", seed, rep.Violations)
+		}
+		if rep.DroppedMsgs != 0 || rep.LostMsgs != 0 || rep.LostToFaults != 0 {
+			t.Fatalf("seed %d: fault-free run recorded losses: %s", seed, rep.Summary())
+		}
+		if rep.Completed == 0 {
+			t.Fatalf("seed %d: fault-free run completed nothing: %s", seed, rep.Summary())
+		}
+	}
+}
+
+// TestHeavyFaultsStillChecked: under heavy faults plans may be lost, but
+// whatever completes is still oracle-equal, and the sweep must exercise the
+// loss-attribution path somewhere.
+func TestHeavyFaultsStillChecked(t *testing.T) {
+	sawLoss := false
+	for seed := int64(1); seed <= 40; seed++ {
+		rep, err := Run(Config{Seed: seed, Level: LevelHeavy})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Failed() {
+			t.Fatalf("seed %d: %v", seed, rep.Violations)
+		}
+		if rep.LostToFaults > 0 {
+			sawLoss = true
+		}
+	}
+	if !sawLoss {
+		t.Fatal("40 heavy-fault scenarios never lost a plan; fault injection looks dead")
+	}
+}
+
+func TestMultisetEqual(t *testing.T) {
+	a := []*xmltree.Node{xmltree.MustParse(`<a>1</a>`), xmltree.MustParse(`<a>1</a>`), xmltree.MustParse(`<b/>`)}
+	b := []*xmltree.Node{xmltree.MustParse(`<b/>`), xmltree.MustParse(`<a>1</a>`), xmltree.MustParse(`<a>1</a>`)}
+	if ok, diff := MultisetEqual(Multiset(a), Multiset(b)); !ok {
+		t.Fatalf("order must not matter: %s", diff)
+	}
+	if ok, _ := MultisetEqual(Multiset(a[:2]), Multiset(b)); ok {
+		t.Fatal("missing item not detected")
+	}
+	if ok, _ := MultisetEqual(Multiset(a), Multiset(a[:1])); ok {
+		t.Fatal("extra item not detected")
+	}
+}
+
+// BenchmarkScenario measures chaos throughput (scenarios/op); make
+// bench-chaos records it to BENCH_chaos.json.
+func BenchmarkScenario(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := Run(Config{Seed: int64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Failed() {
+			b.Fatalf("seed %d: %v", i+1, rep.Violations)
+		}
+	}
+}

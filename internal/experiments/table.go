@@ -1,6 +1,7 @@
 // Package experiments regenerates every figure-level scenario and
 // performance claim of the paper as a measured table (see DESIGN.md §3 for
-// the experiment index E1–E12). Each experiment is deterministic: seeded
+// the experiment index E1–E12; E13+ add ablations and robustness sweeps
+// beyond the paper's figures). Each experiment is deterministic: seeded
 // workloads, virtual time, no wall-clock dependence. cmd/experiments prints
 // the tables; bench_test.go wraps each experiment in a testing.B benchmark.
 package experiments
@@ -153,5 +154,6 @@ func All() []Runner {
 		{"E11", "Statistics annotations", E11Annotations},
 		{"E12", "Privacy-preserving join", E12PrivateJoin},
 		{"E13", "Optimization ablations", E13Ablations},
+		{"E14", "Fault-injection robustness vs oracle", E14Robustness},
 	}
 }

@@ -7,6 +7,7 @@
 package peer
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strconv"
@@ -318,11 +319,23 @@ func (p *Peer) TakeResult() (Result, bool) {
 	return r, true
 }
 
-// StuckErrors returns errors from plans that could make no progress here.
+// StuckErrors returns errors from plans that could make no progress here:
+// processor failures, plans with every next hop unreachable, results that
+// could not be delivered, and forwarding-loop trips. Each error message
+// carries the plan id (quoted), so a harness can attribute every submitted
+// plan to a result, a stuck error, or an injected network fault.
 func (p *Peer) StuckErrors() []error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return append([]error(nil), p.stuck...)
+}
+
+// noteStuck records an error that terminated a plan at this peer.
+func (p *Peer) noteStuck(err error) error {
+	p.mu.Lock()
+	p.stuck = append(p.stuck, err)
+	p.mu.Unlock()
+	return err
 }
 
 // Submit sends a plan to the server at addr for evaluation. The plan's
@@ -392,10 +405,17 @@ func (p *Peer) handleMQP(msg *simnet.Message) error {
 	p.mu.Unlock()
 
 	if out.Done {
-		return p.net.Send(&simnet.Message{
+		err := p.net.Send(&simnet.Message{
 			From: p.addr, To: plan.Target, Kind: KindResult,
 			Body: algebra.Marshal(plan), At: at, Hops: msg.Hops,
 		})
+		if err != nil {
+			// The answer exists but its owner is unreachable: surface the
+			// plan as stuck here so it does not vanish silently.
+			return p.noteStuck(fmt.Errorf("peer %s: result for plan %q undeliverable to %s: %w",
+				p.addr, plan.ID, plan.Target, err))
+		}
+		return nil
 	}
 	// Fault tolerance (§1): try forwarding candidates in preference order;
 	// an unreachable next hop falls through to the next candidate. The plan
@@ -414,11 +434,16 @@ func (p *Peer) handleMQP(msg *simnet.Message) error {
 		}
 		lastErr = err
 		if _, unreachable := err.(simnet.ErrUnreachable); !unreachable {
+			if errors.Is(err, simnet.ErrDepthExceeded) {
+				// A forwarding loop ends the plan here; record it so the
+				// plan is accounted for.
+				return p.noteStuck(fmt.Errorf("peer %s: plan %q: %w", p.addr, plan.ID, err))
+			}
 			return err
 		}
 	}
-	return fmt.Errorf("peer %s: all %d next hops unreachable for plan %q: %w",
-		p.addr, len(out.NextHops), plan.ID, lastErr)
+	return p.noteStuck(fmt.Errorf("peer %s: all %d next hops unreachable for plan %q: %w",
+		p.addr, len(out.NextHops), plan.ID, lastErr))
 }
 
 // Serve implements simnet.Peer: data pulls, harvesting, and category

@@ -1,0 +1,202 @@
+package peer
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/catalog"
+	"repro/internal/namespace"
+	"repro/internal/simnet"
+)
+
+// These tests pin the §4.3 delayed-replication model under injected faults:
+// a replica survives its source's failure and keeps serving within its
+// staleness bound; a failed refresh never clobbers the snapshot it could
+// not replace; and a restarted source refreshes cleanly.
+
+func replicaWorld(t *testing.T) (*simnet.Network, *namespace.Namespace, *Peer, *Peer) {
+	t.Helper()
+	net := simnet.New()
+	ns := testNS()
+	area := ns.MustParseArea("[USA/OR/Portland, Music/CDs]")
+	src := mustPeer(t, Config{Addr: "src:1", Net: net, NS: ns, Area: area, Key: []byte("kS")})
+	src.AddCollection(Collection{Name: "cds", PathExp: "/d", Area: area, Items: items(
+		`<sale><cd>v1-a</cd><price>5</price></sale>`,
+		`<sale><cd>v1-b</cd><price>9</price></sale>`,
+	)})
+	rep := mustPeer(t, Config{Addr: "rep:1", Net: net, NS: ns, Area: area, Key: []byte("kR")})
+	return net, ns, src, rep
+}
+
+// TestReplicateSourceDownMidReplication: replication from a crashed source
+// fails loudly, and — critically — a failed refresh leaves the previous
+// snapshot intact instead of half-replacing it.
+func TestReplicateSourceDownMidReplication(t *testing.T) {
+	net, ns, _, rep := replicaWorld(t)
+	area := ns.MustParseArea("[USA/OR/Portland, Music/CDs]")
+	coll := Collection{Name: "cds", PathExp: "/d", Area: area}
+
+	// First snapshot succeeds.
+	if err := rep.ReplicateFrom("src:1", "/d", coll, 45); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := rep.Collection("/d")
+	if !ok || len(got.Items) != 2 || got.StalenessMin != 45 {
+		t.Fatalf("replica = %+v", got)
+	}
+
+	// Source crashes; the refresh attempt surfaces the failure.
+	net.SetDown("src:1", true)
+	err := rep.ReplicateFrom("src:1", "/d", coll, 45)
+	var ue simnet.ErrUnreachable
+	if !errors.As(err, &ue) || ue.Addr != "src:1" {
+		t.Fatalf("refresh from crashed source = %v, want ErrUnreachable", err)
+	}
+	// The stale-but-valid snapshot is untouched.
+	got, ok = rep.Collection("/d")
+	if !ok || len(got.Items) != 2 || got.StalenessMin != 45 {
+		t.Fatalf("failed refresh damaged the replica: %+v", got)
+	}
+}
+
+// TestReplicateRequestLostInTransit: the same guarantee when the fetch is
+// lost by fault injection rather than refused at connect time.
+func TestReplicateRequestLostInTransit(t *testing.T) {
+	net, ns, _, rep := replicaWorld(t)
+	area := ns.MustParseArea("[USA/OR/Portland, Music/CDs]")
+	coll := Collection{Name: "cds", PathExp: "/d", Area: area}
+	if err := rep.ReplicateFrom("src:1", "/d", coll, 30); err != nil {
+		t.Fatal(err)
+	}
+	net.UseScheduler(1)
+	net.SetLinkFaults("rep:1", "src:1", simnet.Faults{Drop: 1})
+	err := rep.ReplicateFrom("src:1", "/d", coll, 30)
+	var ue simnet.ErrUnreachable
+	if !errors.As(err, &ue) {
+		t.Fatalf("dropped replication fetch = %v, want ErrUnreachable", err)
+	}
+	if got, ok := rep.Collection("/d"); !ok || len(got.Items) != 2 {
+		t.Fatalf("lost refresh damaged the replica: %+v", got)
+	}
+}
+
+// TestStaleReplicaServesDuringSourceOutage: with the source down, queries
+// routed at the replica still answer, and the answer carries the replica's
+// staleness bound through annotations and the provenance trail — the §4.3
+// contract that a delayed replica is explicit about how stale it may be.
+func TestStaleReplicaServesDuringSourceOutage(t *testing.T) {
+	net, ns, _, rep := replicaWorld(t)
+	area := ns.MustParseArea("[USA/OR/Portland, Music/CDs]")
+	if err := rep.ReplicateFrom("src:1", "/d", Collection{Name: "cds", PathExp: "/d", Area: area}, 45); err != nil {
+		t.Fatal(err)
+	}
+
+	// Only the replica registers with the meta server: it is the advertised
+	// holder of the collection while the source is origin-only.
+	meta := mustPeer(t, Config{Addr: "M:1", Net: net, NS: ns, PushSelect: true, Key: []byte("kM"),
+		Area: ns.MustParseArea("[USA, *]"), Authoritative: true})
+	_ = meta
+	if err := rep.RegisterWith("M:1", catalog.RoleBase); err != nil {
+		t.Fatal(err)
+	}
+	client := mustPeer(t, Config{Addr: "c:1", Net: net, NS: ns, Key: []byte("kC")})
+	if err := client.Catalog().Register(catalog.Registration{
+		Addr: "M:1", Role: catalog.RoleMetaIndex,
+		Area: ns.MustParseArea("[USA, *]"), Authoritative: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the source; the replica must carry the query alone.
+	net.SetDown("src:1", true)
+	plan := algebra.NewPlan("stale-q", "c:1", algebra.Display(
+		algebra.Select(algebra.MustParsePredicate("price < 100"),
+			algebra.URN(namespace.EncodeURN(area)))))
+	if err := client.Submit("M:1", plan); err != nil {
+		t.Fatal(err)
+	}
+	res, ok := client.TakeResult()
+	if !ok {
+		t.Fatal("no result with source down")
+	}
+	docs, err := res.Plan.Results()
+	if err != nil || len(docs) != 2 {
+		t.Fatalf("results = %v, %v", docs, err)
+	}
+	trail, err := QueryTrail(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trail.MaxStaleness() != 45 {
+		t.Fatalf("trail staleness = %d, want the replica's 45", trail.MaxStaleness())
+	}
+}
+
+// TestReplicaRefreshAfterRestart: once the source restarts (with new data),
+// a refresh replaces the snapshot and the staleness bound, and subsequent
+// answers reflect both.
+func TestReplicaRefreshAfterRestart(t *testing.T) {
+	net, ns, src, rep := replicaWorld(t)
+	area := ns.MustParseArea("[USA/OR/Portland, Music/CDs]")
+	coll := Collection{Name: "cds", PathExp: "/d", Area: area}
+	if err := rep.ReplicateFrom("src:1", "/d", coll, 45); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash, then restart with updated data (a restart that lost recent
+	// writes would look the same to the replica: it copies what is served).
+	net.SetDown("src:1", true)
+	if err := rep.ReplicateFrom("src:1", "/d", coll, 45); err == nil {
+		t.Fatal("refresh must fail while the source is down")
+	}
+	net.SetDown("src:1", false)
+	if err := src.SetItems("/d", items(
+		`<sale><cd>v2-a</cd><price>7</price></sale>`,
+	)); err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.ReplicateFrom("src:1", "/d", coll, 5); err != nil {
+		t.Fatalf("refresh after restart: %v", err)
+	}
+	got, ok := rep.Collection("/d")
+	if !ok || len(got.Items) != 1 || got.StalenessMin != 5 {
+		t.Fatalf("refreshed replica = %+v", got)
+	}
+	if got.Items[0].Value("cd") != "v2-a" {
+		t.Fatalf("refreshed snapshot still serves old data: %s", got.Items[0])
+	}
+}
+
+// TestHarvestUnderFaults: the §3.3 pull process fails loudly against a down
+// or unreachable base server, leaves the catalog unchanged, and succeeds
+// after a restart.
+func TestHarvestUnderFaults(t *testing.T) {
+	net, ns, _, _ := replicaWorld(t)
+	idx := mustPeer(t, Config{Addr: "idx:1", Net: net, NS: ns, Key: []byte("kI"),
+		Area: ns.MustParseArea("[USA, *]")})
+
+	net.SetDown("src:1", true)
+	before := len(idx.Catalog().Registrations())
+	if err := idx.Harvest("src:1"); err == nil {
+		t.Fatal("harvest from a down source must error")
+	}
+	if got := len(idx.Catalog().Registrations()); got != before {
+		t.Fatalf("failed harvest changed the catalog: %d -> %d", before, got)
+	}
+
+	net.SetDown("src:1", false)
+	if err := idx.Harvest("src:1"); err != nil {
+		t.Fatalf("harvest after restart: %v", err)
+	}
+	regs := idx.Catalog().Registrations()
+	found := false
+	for _, r := range regs {
+		if r.Addr == "src:1" && len(r.Collections) == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("harvest did not register the restarted source: %+v", regs)
+	}
+}

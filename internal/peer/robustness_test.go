@@ -2,11 +2,13 @@ package peer
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 
 	"repro/internal/algebra"
 	"repro/internal/catalog"
 	"repro/internal/namespace"
+	"repro/internal/simnet"
 )
 
 // TestFallbackRoutingSurvivesDownIndex: the client knows two index servers
@@ -77,6 +79,37 @@ func TestAllHopsDownSurfacesError(t *testing.T) {
 	if err := client.Submit("client:9020", plan); err == nil {
 		t.Fatal("expected error when the only route is down")
 	}
+}
+
+// TestUndeliverableResultSurfacesAsStuck: a plan whose answer exists but
+// whose owner is unreachable must not vanish — the finishing peer records it
+// in StuckErrors with the plan id, the attribution the chaos harness's
+// no-silent-loss invariant relies on.
+func TestUndeliverableResultSurfacesAsStuck(t *testing.T) {
+	net, client, ns := cdWorld(t)
+	net.SetDown("client:9020", true)
+	plan := algebra.NewPlan("orphan-q", "client:9020",
+		algebra.Display(algebra.Count(algebra.URN(namespace.EncodeURN(
+			ns.MustParseArea("[USA/OR/Portland, Music/CDs]"))))))
+	// Submit from the meta server's side: the client being down must not
+	// stop the query from being evaluated, only the result delivery.
+	err := net.Send(&simnet.Message{From: "x", To: "M:9020", Kind: KindMQP, Body: algebra.Marshal(plan)})
+	if err == nil {
+		t.Fatal("expected the undeliverable result to propagate an error")
+	}
+	stuck := false
+	for _, p := range []string{"M:9020", "s1:9020", "s2:9020"} {
+		sp, _ := net.Peer(p).(*Peer)
+		for _, serr := range sp.StuckErrors() {
+			if strings.Contains(serr.Error(), `"orphan-q"`) {
+				stuck = true
+			}
+		}
+	}
+	if !stuck {
+		t.Fatal("undeliverable result not recorded in any StuckErrors")
+	}
+	_ = client
 }
 
 // TestRemainderChainAcrossStates: a two-cell area spanning two authoritative

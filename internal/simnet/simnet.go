@@ -5,13 +5,23 @@
 // The paper's prototype ran over real sockets; the quantities its arguments
 // turn on — messages sent, bytes shipped, hops taken, end-to-end latency —
 // are exactly what simnet measures, deterministically and at laptop scale.
-// Delivery is synchronous (a Send invokes the destination handler inline),
-// which makes experiments reproducible; virtual time advances by the link
-// latency plus a configurable per-hop processing delay, so "latency" in
-// experiment output is simulated wall-clock, not host time.
+// Delivery has two modes:
+//
+//   - Inline (the default): a Send invokes the destination handler
+//     synchronously. This is what the experiment tables run on; virtual time
+//     advances by the link latency plus a configurable per-hop processing
+//     delay, so "latency" in experiment output is simulated wall-clock, not
+//     host time.
+//
+//   - Scheduled (UseScheduler): Send enqueues a delivery event and Run pumps
+//     events in virtual-time order. This mode adds seeded fault injection —
+//     per-link drop/duplicate/reorder probabilities, transient partitions,
+//     and peer crash/restart windows at scheduled virtual times (sched.go) —
+//     while staying fully deterministic for a given seed.
 package simnet
 
 import (
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"sort"
@@ -74,9 +84,29 @@ type Network struct {
 	latency func(a, b string) time.Duration
 	// procDelay is the per-hop processing time a peer spends on a message.
 	procDelay time.Duration
-	// maxDepth guards against forwarding loops.
+	// maxDepth guards against forwarding loops. The guard is per delivery
+	// chain (it checks the message's Hops count), so independent activities
+	// in flight at the same time never add up toward the limit.
 	maxDepth int
-	depth    int
+	// partitions are transient link cuts (see Partition); consulted on every
+	// send and, in scheduled mode, again at delivery time.
+	partitions []partition
+	// sched is non-nil in scheduled-delivery mode (see UseScheduler).
+	sched *scheduler
+}
+
+// partition is a transient bidirectional cut between two peer groups over a
+// virtual-time window [from, until). until <= from means it never heals.
+type partition struct {
+	a, b        map[string]bool
+	from, until time.Duration
+}
+
+func (p partition) blocks(from, to string, at time.Duration) bool {
+	if at < p.from || (p.until > p.from && at >= p.until) {
+		return false
+	}
+	return (p.a[from] && p.b[to]) || (p.b[from] && p.a[to])
 }
 
 // New creates an empty network with the default deterministic latency model
@@ -122,6 +152,17 @@ func (n *Network) SetProcDelay(d time.Duration) {
 	n.procDelay = d
 }
 
+// SetMaxDepth bounds the number of hops a single delivery chain may take
+// before Send fails with ErrDepthExceeded (default 256). Call it during
+// setup, before traffic flows — harnesses with known-shallow routing use a
+// tight bound so pathological forwarding cycles surface fast instead of
+// riding out hundreds of hops.
+func (n *Network) SetMaxDepth(d int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.maxDepth = d
+}
+
 // Add registers a peer; it replaces any previous peer at the same address.
 func (n *Network) Add(p Peer) {
 	n.mu.Lock()
@@ -154,6 +195,33 @@ func (n *Network) SetDown(addr string, down bool) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.down[addr] = down
+}
+
+// Partition cuts all links between groupA and groupB for the virtual-time
+// window [from, until). Pass until <= from for a partition that never heals.
+// Sends across the cut fail with ErrUnreachable (sender-visible, like a
+// refused connection); in scheduled mode a message already in flight when
+// the partition forms is lost silently at delivery time.
+func (n *Network) Partition(groupA, groupB []string, from, until time.Duration) {
+	p := partition{a: map[string]bool{}, b: map[string]bool{}, from: from, until: until}
+	for _, a := range groupA {
+		p.a[a] = true
+	}
+	for _, b := range groupB {
+		p.b[b] = true
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.partitions = append(n.partitions, p)
+}
+
+func (n *Network) blockedLocked(from, to string, at time.Duration) bool {
+	for _, p := range n.partitions {
+		if p.blocks(from, to, at) {
+			return true
+		}
+	}
+	return false
 }
 
 // ErrUnreachable is returned when the destination peer is down or unknown.
@@ -198,6 +266,10 @@ func wireSize(body *xmltree.Node) int {
 func (n *Network) account(kind string, size int, isRequest bool) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	n.accountLocked(kind, size, isRequest)
+}
+
+func (n *Network) accountLocked(kind string, size int, isRequest bool) {
 	n.metrics.Messages++
 	if isRequest {
 		n.metrics.Requests++
@@ -206,30 +278,50 @@ func (n *Network) account(kind string, size int, isRequest bool) {
 	n.metrics.PerKind[kind]++
 }
 
-// Send delivers a one-way message from msg.From to msg.To, invoking the
-// destination's Deliver inline. The delivered message's At is msg.At plus
-// link latency plus the processing delay, and Hops is incremented.
+// ErrDepthExceeded is wrapped by the error Send returns when a delivery
+// chain exceeds the forwarding-depth limit — almost always a routing loop.
+var ErrDepthExceeded = errors.New("forwarding depth limit exceeded; routing loop?")
+
+// Send delivers a one-way message from msg.From to msg.To. In inline mode
+// the destination's Deliver runs before Send returns; in scheduled mode the
+// delivery is enqueued for the Run pump (and may be dropped, duplicated or
+// delayed by injected faults). Either way the delivered message's At is
+// msg.At plus link latency plus the processing delay, and Hops is
+// incremented.
+//
+// A down, unknown or partitioned-away destination fails with ErrUnreachable
+// at send time in both modes — the refused-connection analog the
+// fault-tolerance fallback in peers relies on. Faults injected after this
+// check (drops, crashes before delivery) are silent: the message is recorded
+// as dropped or lost in the scheduler trace, never reported to the sender.
 func (n *Network) Send(msg *Message) error {
+	n.mu.Lock()
+	maxDepth := n.maxDepth
+	n.mu.Unlock()
+	if msg.Hops >= maxDepth {
+		return fmt.Errorf("simnet: message %s from %s to %s at depth %d: %w",
+			msg.Kind, msg.From, msg.To, msg.Hops, ErrDepthExceeded)
+	}
 	p, err := n.lookup(msg.To)
 	if err != nil {
 		return err
 	}
+	size := wireSize(msg.Body)
 	n.mu.Lock()
-	if n.depth >= n.maxDepth {
+	if n.blockedLocked(msg.From, msg.To, msg.At) {
 		n.mu.Unlock()
-		return fmt.Errorf("simnet: forwarding depth limit (%d) exceeded; routing loop?", n.maxDepth)
+		return ErrUnreachable{Addr: msg.To}
 	}
-	n.depth++
 	lat := n.latency(msg.From, msg.To)
 	proc := n.procDelay
-	n.mu.Unlock()
-	defer func() {
-		n.mu.Lock()
-		n.depth--
+	if s := n.sched; s != nil {
+		err := s.enqueueSendLocked(n, msg, lat+proc, size)
 		n.mu.Unlock()
-	}()
+		return err
+	}
+	n.mu.Unlock()
 
-	n.account(msg.Kind, wireSize(msg.Body), false)
+	n.account(msg.Kind, size, false)
 	delivered := &Message{
 		From: msg.From,
 		To:   msg.To,
@@ -243,18 +335,33 @@ func (n *Network) Send(msg *Message) error {
 
 // Request performs a synchronous request/response exchange. Both directions
 // are accounted; the returned time is the virtual time at which the reply
-// arrives back at the caller.
+// arrives back at the caller. Requests stay synchronous even in scheduled
+// mode (they model a blocking call inside one processing step), but they
+// honor partitions and the link's drop probability: a dropped request fails
+// with ErrUnreachable, the timeout analog the fetch fallback handles.
 func (n *Network) Request(from, to, kind string, body *xmltree.Node, at time.Duration) (*xmltree.Node, time.Duration, error) {
 	p, err := n.lookup(to)
 	if err != nil {
 		return nil, at, err
 	}
+	size := wireSize(body)
 	n.mu.Lock()
+	if n.blockedLocked(from, to, at) {
+		n.mu.Unlock()
+		return nil, at, ErrUnreachable{Addr: to}
+	}
 	lat := n.latency(from, to)
 	proc := n.procDelay
+	dropped := false
+	if s := n.sched; s != nil {
+		dropped = s.dropRequestLocked(from, to, kind, at)
+	}
 	n.mu.Unlock()
 
-	n.account(kind, wireSize(body), true)
+	n.account(kind, size, true)
+	if dropped {
+		return nil, at + lat + proc, ErrUnreachable{Addr: to}
+	}
 	req := &Message{From: from, To: to, Kind: kind, Body: body, At: at + lat + proc}
 	reply, err := p.Serve(n, req)
 	if err != nil {

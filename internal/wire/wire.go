@@ -1,13 +1,24 @@
 // Package wire is the minimal TCP transport used by cmd/mqpd and
-// cmd/mqpquery: one canonical XML document per connection, EOF-delimited.
-// It exists so the same MQP processor that runs on the simulated network
-// can serve real sockets.
+// cmd/mqpquery: one canonical XML document per connection. It exists so the
+// same MQP processor that runs on the simulated network can serve real
+// sockets.
+//
+// Framing: Send writes a 4-byte big-endian length prefix followed by the
+// canonical XML bytes, which bounds message size (MaxFrameBytes) and lets a
+// reply travel on the same connection without waiting for a half-close.
+// Recv auto-detects the frame: a first byte of '<' is the legacy
+// EOF-delimited raw stream (older senders keep working), anything else is a
+// length prefix.
 package wire
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
 	"fmt"
 	"io"
 	"net"
+	"sync"
 	"time"
 
 	"repro/internal/xmltree"
@@ -25,10 +36,14 @@ const WriteTimeout = 30 * time.Second
 // so tests can shorten it.
 var ReadTimeout = 30 * time.Second
 
-// Send connects to addr, writes one document, and closes. It is the
-// fire-and-forget MQP forwarding primitive. The document is staged in a
-// pooled buffer by xmltree and hits the socket as a single Write, so a plan
-// of any depth costs one syscall, not one per element.
+// MaxFrameBytes bounds a framed document: a peer cannot commit the receiver
+// to an arbitrarily large allocation by lying in the length prefix.
+const MaxFrameBytes = 8 << 20
+
+// Send connects to addr, writes one framed document, and closes. It is the
+// fire-and-forget MQP forwarding primitive. The frame is assembled in one
+// buffer and hits the socket as a single Write, so a plan of any depth costs
+// one syscall, not one per element.
 func Send(addr string, doc *xmltree.Node) error {
 	conn, err := net.DialTimeout("tcp", addr, DialTimeout)
 	if err != nil {
@@ -36,24 +51,105 @@ func Send(addr string, doc *xmltree.Node) error {
 	}
 	defer conn.Close()
 	_ = conn.SetWriteDeadline(time.Now().Add(WriteTimeout))
-	if _, err := doc.WriteTo(conn); err != nil {
+	if err := WriteFrame(conn, doc); err != nil {
 		return fmt.Errorf("wire: send to %s: %w", addr, err)
 	}
 	return nil
 }
 
-// ReadDoc reads one XML document from r (until EOF).
+// framePool stages outgoing frames so a send costs no steady-state
+// allocation: header and document share one buffer and hit the writer as a
+// single Write.
+var framePool = sync.Pool{New: func() interface{} { return new(bytes.Buffer) }}
+
+// WriteFrame writes one length-prefixed canonical XML document in a single
+// Write.
+func WriteFrame(w io.Writer, doc *xmltree.Node) error {
+	buf := framePool.Get().(*bytes.Buffer)
+	defer framePool.Put(buf)
+	buf.Reset()
+	buf.Write([]byte{0, 0, 0, 0})
+	if _, err := doc.WriteTo(buf); err != nil {
+		return err
+	}
+	n := buf.Len() - 4
+	if n > MaxFrameBytes {
+		return fmt.Errorf("wire: document of %d bytes exceeds frame limit %d", n, MaxFrameBytes)
+	}
+	b := buf.Bytes()
+	binary.BigEndian.PutUint32(b, uint32(n))
+	_, err := w.Write(b)
+	return err
+}
+
+// ReadFrame reads one length-prefixed document. Truncated prefixes,
+// zero-length and oversized frames, and payloads cut off mid-frame are all
+// errors — never a hang on a stream that will not grow, and never a parse of
+// bytes beyond the declared length.
+func ReadFrame(r io.Reader) (*xmltree.Node, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("wire: frame header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 {
+		return nil, fmt.Errorf("wire: empty frame")
+	}
+	if n > MaxFrameBytes {
+		return nil, fmt.Errorf("wire: frame of %d bytes exceeds limit %d", n, MaxFrameBytes)
+	}
+	// ReadAll over a LimitReader grows the buffer as bytes actually arrive,
+	// so a lying length prefix costs the receiver nothing up front.
+	payload, err := io.ReadAll(io.LimitReader(r, int64(n)))
+	if err != nil {
+		return nil, fmt.Errorf("wire: frame payload: %w", err)
+	}
+	if len(payload) != int(n) {
+		return nil, fmt.Errorf("wire: frame truncated: have %d of %d bytes: %w",
+			len(payload), n, io.ErrUnexpectedEOF)
+	}
+	doc, err := xmltree.ParseString(string(payload))
+	if err != nil {
+		return nil, fmt.Errorf("wire: frame body: %w", err)
+	}
+	return doc, nil
+}
+
+// ReadDoc reads one XML document from r (until EOF) — the legacy unframed
+// stream format.
 func ReadDoc(r io.Reader) (*xmltree.Node, error) {
 	return xmltree.Parse(r)
+}
+
+// recvAuto reads one document in either wire format. Leading XML whitespace
+// is skipped first (legacy raw senders may emit it, and the old EOF-stream
+// parser tolerated it); after that, '<' means a raw document and anything
+// else is a frame's length prefix — a valid prefix for a ≤MaxFrameBytes
+// frame always starts with 0x00, so the two formats cannot collide.
+func recvAuto(br *bufio.Reader) (*xmltree.Node, error) {
+	for {
+		b, err := br.Peek(1)
+		if err != nil {
+			return nil, err
+		}
+		switch b[0] {
+		case ' ', '\t', '\r', '\n':
+			_, _ = br.ReadByte()
+		case '<':
+			return ReadDoc(br)
+		default:
+			return ReadFrame(br)
+		}
+	}
 }
 
 // Recv reads one document from a connection under ReadTimeout. It is the
 // receive-side primitive symmetric to Send: every server connection goes
 // through it, so a slow or silent sender times out instead of leaking a
-// goroutine.
+// goroutine. Both framed and legacy raw-stream senders are accepted.
 func Recv(conn net.Conn) (*xmltree.Node, error) {
 	_ = conn.SetReadDeadline(time.Now().Add(ReadTimeout))
-	doc, err := ReadDoc(conn)
+	doc, err := recvAuto(bufio.NewReader(conn))
 	if err != nil {
 		return nil, fmt.Errorf("wire: recv from %s: %w", conn.RemoteAddr(), err)
 	}
@@ -123,7 +219,7 @@ func (s *Server) handle(conn net.Conn, h Handler) {
 		return
 	}
 	if reply != nil {
-		if _, err := reply.WriteTo(conn); err != nil {
+		if err := WriteFrame(conn, reply); err != nil {
 			report(fmt.Errorf("wire: reply: %w", err))
 		}
 	}
