@@ -7,7 +7,7 @@
 # over the parser and wire-framing targets.
 GO ?= go
 
-.PHONY: build test test-short bench bench-all bench-chaos race fmt vet chaos chaos-ci fuzz-smoke ci
+.PHONY: build test test-short bench bench-all bench-chaos race fmt vet chaos chaos-ci chaos-nofault fuzz-smoke ci
 
 build:
 	$(GO) build ./...
@@ -30,8 +30,9 @@ bench:
 	@sed -n 's/.*"Output":"\(.*\)".*/\1/p' BENCH_plan_hop.json \
 		| tr -d '\n' | sed 's/\\n/\n/g;s/\\t/\t/g' | grep 'ns/op' || true
 
-# Chaos throughput (full generate+run+oracle-check scenarios per op);
-# recorded to BENCH_chaos.json the same way bench records the hop path.
+# Chaos throughput (full generate+run+oracle-check scenarios per op) plus
+# the plan outcome rates (completed/partial/stuck/lost per plan); recorded
+# to BENCH_chaos.json the same way bench records the hop path.
 bench-chaos:
 	$(GO) test -run '^$$' -bench '^BenchmarkScenario$$' -benchmem -json ./internal/chaos > BENCH_chaos.json
 	@sed -n 's/.*"Output":"\(.*\)".*/\1/p' BENCH_chaos.json \
@@ -57,6 +58,12 @@ chaos:
 chaos-ci:
 	$(GO) run ./cmd/chaos -n 200
 
+# Liveness gate: a fault-free sweep must strand zero plans — every plan
+# completes or returns an explicit partial result (visited-server routing
+# memory, internal/route).
+chaos-nofault:
+	$(GO) run ./cmd/chaos -n 500 -level none -max-stuck 0
+
 # Fuzz smoke: 10s per target (canonical-XML parse fixpoint, wire framing).
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzParseRoundTrip$$' -fuzztime 10s ./internal/xmltree
@@ -69,4 +76,4 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-ci: fmt vet build test race chaos-ci fuzz-smoke
+ci: fmt vet build test race chaos-ci chaos-nofault fuzz-smoke

@@ -29,6 +29,7 @@ func main() {
 	start := flag.Int64("start", 1, "sweep: first seed")
 	levelName := flag.String("level", "mixed", "fault intensity: none, light, heavy, mixed")
 	verbose := flag.Bool("v", false, "print a summary line per scenario")
+	maxStuck := flag.Int("max-stuck", -1, "fail when more than this many plans end up stuck (-1: no gate); CI runs the fault-free sweep with -max-stuck 0")
 	flag.Parse()
 
 	level := chaos.ParseLevel(*levelName)
@@ -42,7 +43,7 @@ func main() {
 		}
 	}
 
-	var plans, completed, stuck, lost, checked, failures int
+	var plans, completed, partial, stuck, lost, checked, failures int
 	began := time.Now()
 	for _, s := range seeds {
 		rep, err := chaos.Run(chaos.Config{Seed: s, Level: level})
@@ -52,9 +53,13 @@ func main() {
 		}
 		if *verbose {
 			fmt.Println(rep.Summary())
+			for _, d := range rep.StuckDetails {
+				fmt.Printf("  stuck: %s\n", d)
+			}
 		}
 		plans += rep.Plans
 		completed += rep.Completed
+		partial += rep.Partial
 		stuck += rep.Stuck
 		lost += rep.LostToFaults
 		checked += rep.OracleChecked
@@ -67,10 +72,14 @@ func main() {
 		}
 	}
 	elapsed := time.Since(began)
-	fmt.Printf("chaos: %d scenarios (level=%s) in %v (%.0f/s): %d plans, %d completed, %d stuck, %d lost-to-faults, %d oracle-checked, %d violations\n",
+	fmt.Printf("chaos: %d scenarios (level=%s) in %v (%.0f/s): %d plans, %d completed, %d partial, %d stuck, %d lost-to-faults, %d oracle-checked, %d violations\n",
 		len(seeds), level, elapsed.Round(time.Millisecond), float64(len(seeds))/elapsed.Seconds(),
-		plans, completed, stuck, lost, checked, failures)
+		plans, completed, partial, stuck, lost, checked, failures)
 	if failures > 0 {
+		os.Exit(1)
+	}
+	if *maxStuck >= 0 && stuck > *maxStuck {
+		fmt.Fprintf(os.Stderr, "chaos: %d stuck plans exceed the -max-stuck %d gate\n", stuck, *maxStuck)
 		os.Exit(1)
 	}
 }

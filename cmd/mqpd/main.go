@@ -25,6 +25,7 @@ import (
 	"repro/internal/algebra"
 	"repro/internal/catalog"
 	"repro/internal/mqp"
+	"repro/internal/route"
 	"repro/internal/wire"
 	"repro/internal/workload"
 	"repro/internal/xmltree"
@@ -108,6 +109,12 @@ func main() {
 			dest := out.NextHop
 			if out.Done {
 				dest = plan.Target
+			}
+			if out.Partial {
+				// No productive hop remains: deliver an explicit partial
+				// result instead of forwarding into a routing loop.
+				dest = plan.Target
+				plan = route.Partial(plan)
 			}
 			log.Printf("mqpd: plan %s: bound=%d fetched=%d reduced=%d -> %s",
 				plan.ID, out.Bound, out.Fetched, out.Reduced, dest)

@@ -70,7 +70,11 @@ func main() {
 		if err != nil {
 			log.Fatalf("mqpquery: result not constant: %v", err)
 		}
-		fmt.Printf("<!-- %d items -->\n", len(items))
+		if res.PartialResult() {
+			fmt.Printf("<!-- partial result: %d items (sub-multiset of the full answer) -->\n", len(items))
+		} else {
+			fmt.Printf("<!-- %d items -->\n", len(items))
+		}
 		for _, it := range items {
 			fmt.Println(it.Indent())
 		}

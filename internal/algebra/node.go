@@ -435,6 +435,9 @@ type Plan struct {
 	Target   string
 	Root     *Node
 	Original *Node
+	// Visited is the plan's visited-server memory (routing state carried on
+	// the plan itself — see visited.go); nil until a router marks a visit.
+	Visited *Visited
 	// Extra sections are preserved verbatim through serialization; the mqp
 	// package stores provenance here. Keys are element names.
 	Extra map[string]*xmltree.Node
@@ -450,7 +453,8 @@ func NewPlan(id, target string, root *Node) *Plan {
 // extra sections like provenance — is aliased copy-on-write, so cloning an
 // in-flight plan costs operator headers, not its documents.
 func (p *Plan) Clone() *Plan {
-	cp := &Plan{ID: p.ID, Target: p.Target, Root: p.Root.Clone(), Original: p.Original.Clone()}
+	cp := &Plan{ID: p.ID, Target: p.Target, Root: p.Root.Clone(), Original: p.Original.Clone(),
+		Visited: p.Visited.Clone()}
 	if p.Extra != nil {
 		cp.Extra = make(map[string]*xmltree.Node, len(p.Extra))
 		for k, v := range p.Extra {

@@ -1,0 +1,263 @@
+package algebra
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+
+	"repro/internal/xmltree"
+)
+
+// Visited-server memory: the plan-carried routing state that makes mutant
+// query plans self-routing without livelocks. Each record remembers how many
+// times a server has processed the plan and the plan fingerprint as of that
+// server's most recent visit, so a router can tell a productive revisit (the
+// plan mutated since the server last saw it) from pure ping-pong (nothing
+// changed — forwarding back is guaranteed wasted work).
+//
+// The memory travels on the wire as a compact <visited> section of the
+// <mqp> document, alongside <provenance>:
+//
+//	<visited budget="3">
+//	  <v fp="1a2b3c4d5e6f7081" n="2" s="meta:9020"/>
+//	</visited>
+//
+// Interpretation of the records (filtering, budgets, partial results) lives
+// in internal/route; this file only carries the state.
+
+// AnnotPartial marks a result plan as an explicit partial result: the plan
+// could no longer travel productively, so a server returned what was already
+// reduced instead of bouncing the plan into a depth guard. Partial results
+// are sub-multisets of the complete answer.
+const AnnotPartial = "partial"
+
+// PartialResult reports whether the plan is flagged as a partial result.
+func (p *Plan) PartialResult() bool {
+	v, _ := p.Root.Annotation(AnnotPartial)
+	return v == "true"
+}
+
+// MarkPartialResult flags the plan as a partial result.
+func (p *Plan) MarkPartialResult() { p.Root.Annotate(AnnotPartial, "true") }
+
+// VisitRecord is one server's entry in the visited memory.
+type VisitRecord struct {
+	Server string
+	// Count is how many times the server has processed the plan.
+	Count int
+	// Fingerprint is the plan-root fingerprint as of the server's most
+	// recent visit (see Fingerprint).
+	Fingerprint uint64
+}
+
+// Visited is a plan's visited-server memory. The zero value is not usable;
+// construct with NewVisited (or Plan.VisitedMemory).
+type Visited struct {
+	// Budget, when positive, overrides the router's default revisit budget
+	// for this plan: the number of revisits a server may receive beyond its
+	// first visit.
+	Budget  int
+	records map[string]*VisitRecord
+	// elem caches the marshaled <visited> element, frozen so every hop that
+	// serializes the plan between mutations aliases it. Invalidated by Mark;
+	// elemBudget guards against direct writes to the exported Budget field.
+	elem       *xmltree.Node
+	elemBudget int
+}
+
+// NewVisited creates an empty visited memory.
+func NewVisited() *Visited {
+	return &Visited{records: map[string]*VisitRecord{}}
+}
+
+// VisitedMemory returns the plan's visited-server memory, creating it on
+// first use.
+func (p *Plan) VisitedMemory() *Visited {
+	if p.Visited == nil {
+		p.Visited = NewVisited()
+	}
+	return p.Visited
+}
+
+// Lookup returns the record for a server and whether it exists.
+func (v *Visited) Lookup(server string) (VisitRecord, bool) {
+	r, ok := v.records[server]
+	if !ok {
+		return VisitRecord{}, false
+	}
+	return *r, true
+}
+
+// Len returns the number of servers remembered.
+func (v *Visited) Len() int { return len(v.records) }
+
+// Servers returns the remembered servers, sorted.
+func (v *Visited) Servers() []string {
+	out := make([]string, 0, len(v.records))
+	for s := range v.records {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Mark records one visit by the server, updating its fingerprint to the
+// plan's current state.
+func (v *Visited) Mark(server string, fp uint64) {
+	r, ok := v.records[server]
+	if !ok {
+		r = &VisitRecord{Server: server}
+		v.records[server] = r
+	}
+	r.Count++
+	r.Fingerprint = fp
+	v.elem = nil
+}
+
+// Clone deep-copies the memory.
+func (v *Visited) Clone() *Visited {
+	if v == nil {
+		return nil
+	}
+	cp := &Visited{Budget: v.Budget, records: make(map[string]*VisitRecord, len(v.records)),
+		elem: v.elem, elemBudget: v.elemBudget}
+	for s, r := range v.records {
+		rc := *r
+		cp.records[s] = &rc
+	}
+	return cp
+}
+
+// Marshal renders the memory as its frozen <visited> element. The element is
+// cached until the next Mark, so serializing a plan on every fallback
+// candidate (or measuring it) reuses the same immutable subtree.
+func (v *Visited) Marshal() *xmltree.Node {
+	if v.elem != nil && v.elemBudget == v.Budget {
+		return v.elem
+	}
+	e := xmltree.Elem(visitedElem)
+	if v.Budget > 0 {
+		e.SetAttr("budget", strconv.Itoa(v.Budget))
+	}
+	for _, s := range v.Servers() {
+		r := v.records[s]
+		e.Add(xmltree.ElemAttrs("v",
+			xmltree.Attr{Name: "s", Value: r.Server},
+			xmltree.Attr{Name: "n", Value: strconv.Itoa(r.Count)},
+			xmltree.Attr{Name: "fp", Value: strconv.FormatUint(r.Fingerprint, 16)},
+		))
+	}
+	v.elem = e.Freeze()
+	v.elemBudget = v.Budget
+	return v.elem
+}
+
+// visitedElem is the element name of the visited section in <mqp> documents.
+const visitedElem = "visited"
+
+// UnmarshalVisited parses a <visited> section.
+func UnmarshalVisited(e *xmltree.Node) (*Visited, error) {
+	if e.Name != visitedElem {
+		return nil, fmt.Errorf("algebra: expected <%s>, got <%s>", visitedElem, e.Name)
+	}
+	v := NewVisited()
+	if b := e.AttrDefault("budget", ""); b != "" {
+		n, err := strconv.Atoi(b)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("algebra: bad visited budget %q", b)
+		}
+		v.Budget = n
+	}
+	for _, ve := range e.ChildrenNamed("v") {
+		server := ve.AttrDefault("s", "")
+		if server == "" {
+			return nil, fmt.Errorf("algebra: <v> without server")
+		}
+		// A non-positive count would defeat the revisit bound the records
+		// exist to enforce; reject it like any other malformed section.
+		n, err := strconv.Atoi(ve.AttrDefault("n", "1"))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("algebra: bad visit count %q for %s", ve.AttrDefault("n", "1"), server)
+		}
+		fp, err := strconv.ParseUint(ve.AttrDefault("fp", "0"), 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("algebra: bad fingerprint for %s: %w", server, err)
+		}
+		v.records[server] = &VisitRecord{Server: server, Count: n, Fingerprint: fp}
+	}
+	return v, nil
+}
+
+// Fingerprint digests the operator tree's routing-relevant state: kinds,
+// resource names, predicates, operator parameters, annotations, and data
+// payload shapes. Two fingerprints are equal exactly when no server has
+// mutated the plan in between — bind, fetch, reduce, rewrite and annotate
+// all change it, while sections outside the root (provenance, the visited
+// memory itself) do not, so a mere forward leaves it untouched.
+//
+// The digest is computed from the same representation the wire format
+// carries, so it is stable across a Marshal/Unmarshal round trip — the
+// property that lets a server compare its recorded fingerprint against a
+// plan that has hopped through other servers since.
+func Fingerprint(n *Node) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	writeInt := func(i int) {
+		v := uint64(i)
+		for b := 0; b < 8; b++ {
+			buf[b] = byte(v >> (8 * b))
+		}
+		h.Write(buf[:])
+	}
+	writeStr := func(s string) {
+		writeInt(len(s))
+		h.Write([]byte(s))
+	}
+	var walk func(m *Node)
+	walk = func(m *Node) {
+		writeInt(int(m.Kind))
+		writeStr(m.URL)
+		writeStr(m.PathExp)
+		writeStr(m.URN)
+		if m.Pred != nil {
+			writeStr(m.Pred.String())
+		}
+		writeStr(joinFields(m.Fields))
+		writeStr(m.As)
+		writeStr(m.LeftKey)
+		writeStr(m.RightKey)
+		writeStr(m.LeftName)
+		writeStr(m.RightName)
+		writeInt(m.N)
+		writeStr(m.OrderBy)
+		if m.Desc {
+			writeInt(1)
+		} else {
+			writeInt(0)
+		}
+		if len(m.Annotations) > 0 {
+			keys := make([]string, 0, len(m.Annotations))
+			for k := range m.Annotations {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				writeStr(k)
+				writeStr(m.Annotations[k])
+			}
+		}
+		writeInt(len(m.Docs))
+		for _, d := range m.Docs {
+			// ByteSize is memoized (permanently for the frozen payloads in
+			// flight), so digesting data payloads costs no serialization.
+			writeInt(d.ByteSize())
+		}
+		writeInt(len(m.Children))
+		for _, c := range m.Children {
+			walk(c)
+		}
+	}
+	walk(n)
+	return h.Sum64()
+}

@@ -1,0 +1,198 @@
+package algebra
+
+import (
+	"testing"
+
+	"repro/internal/xmltree"
+)
+
+func visitedTestPlan() *Plan {
+	data := Data(xmltree.MustParse(`<i><v>1</v></i>`).Freeze(),
+		xmltree.MustParse(`<i><v>2</v></i>`).Freeze())
+	data.SetCard(2)
+	body := Select(MustParsePredicate("v < 10 and v > 0"), Union(
+		data,
+		URL("http://s:9020/", "/data[id=1]"),
+		URN("urn:X:Y"),
+	))
+	body.Annotate("card", "5")
+	p := NewPlan("vq", "t:1", Display(Project("hit", []string{"v", "w"}, body)))
+	p.RetainOriginal()
+	return p
+}
+
+// TestVisitedWireRoundTrip: the <visited> section survives Marshal/Unmarshal
+// with counts, fingerprints and budget intact.
+func TestVisitedWireRoundTrip(t *testing.T) {
+	p := visitedTestPlan()
+	v := p.VisitedMemory()
+	v.Budget = 4
+	v.Mark("a:1", Fingerprint(p.Root))
+	v.Mark("a:1", 0xdeadbeef)
+	v.Mark("b:1", 42)
+
+	rt, err := Unmarshal(Marshal(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Visited == nil {
+		t.Fatal("visited section lost on the wire")
+	}
+	if rt.Visited.Budget != 4 {
+		t.Fatalf("budget = %d, want 4", rt.Visited.Budget)
+	}
+	if got := rt.Visited.Servers(); len(got) != 2 || got[0] != "a:1" || got[1] != "b:1" {
+		t.Fatalf("servers = %v", got)
+	}
+	ra, _ := rt.Visited.Lookup("a:1")
+	if ra.Count != 2 || ra.Fingerprint != 0xdeadbeef {
+		t.Fatalf("a:1 record = %+v", ra)
+	}
+	rb, _ := rt.Visited.Lookup("b:1")
+	if rb.Count != 1 || rb.Fingerprint != 42 {
+		t.Fatalf("b:1 record = %+v", rb)
+	}
+	// An empty memory is not emitted at all.
+	p2 := visitedTestPlan()
+	_ = p2.VisitedMemory()
+	rt2, err := Unmarshal(Marshal(p2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt2.Visited != nil {
+		t.Fatal("empty visited memory must not travel")
+	}
+	// ... but a budget override set before the first hop must: it is the
+	// client's per-plan revisit knob.
+	p3 := visitedTestPlan()
+	p3.VisitedMemory().Budget = 1
+	rt3, err := Unmarshal(Marshal(p3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt3.Visited == nil || rt3.Visited.Budget != 1 {
+		t.Fatalf("budget-only visited memory lost on the wire: %+v", rt3.Visited)
+	}
+}
+
+// TestFingerprintWireStable: the fingerprint a server records must equal the
+// fingerprint a later server computes after the plan crossed the wire —
+// otherwise every hop would look like progress and ping-pong filtering
+// would never trigger.
+func TestFingerprintWireStable(t *testing.T) {
+	p := visitedTestPlan()
+	fp := Fingerprint(p.Root)
+	for hop := 0; hop < 3; hop++ {
+		rt, err := Unmarshal(Marshal(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := Fingerprint(rt.Root); got != fp {
+			t.Fatalf("hop %d: fingerprint %x != %x — wire round trip perturbs it", hop, got, fp)
+		}
+		p = rt
+	}
+}
+
+// TestFingerprintSensitivity: every mutation class a server applies changes
+// the fingerprint, while state outside the root does not.
+func TestFingerprintSensitivity(t *testing.T) {
+	p := visitedTestPlan()
+	base := Fingerprint(p.Root)
+
+	ann := visitedTestPlan()
+	ann.Root.Children[0].Annotate("card", "9")
+	if Fingerprint(ann.Root) == base {
+		t.Fatal("annotation must change the fingerprint")
+	}
+
+	bound := visitedTestPlan()
+	bound.Root.Walk(func(n *Node) bool {
+		if n.Kind == KindUnion {
+			for i, c := range n.Children {
+				if c.Kind == KindURN {
+					n.Children[i] = Data()
+				}
+			}
+		}
+		return true
+	})
+	if Fingerprint(bound.Root) == base {
+		t.Fatal("binding a URN must change the fingerprint")
+	}
+
+	// Extra sections (provenance) and visited memory do not participate:
+	// a mere forward leaves the fingerprint untouched.
+	fwd := visitedTestPlan()
+	fwd.VisitedMemory().Mark("s:1", 7)
+	fwd.Extra = map[string]*xmltree.Node{"provenance": xmltree.Elem("provenance").Freeze()}
+	if Fingerprint(fwd.Root) != base {
+		t.Fatal("state outside the root must not change the fingerprint")
+	}
+}
+
+// TestVisitedMarshalFrozenAndCached: the marshaled element is frozen (every
+// serialization of the plan aliases it) and invalidated by Mark.
+func TestVisitedMarshalFrozenAndCached(t *testing.T) {
+	v := NewVisited()
+	v.Mark("a:1", 1)
+	e1 := v.Marshal()
+	if !e1.Frozen() {
+		t.Fatal("marshaled visited element must be frozen")
+	}
+	if e2 := v.Marshal(); e2 != e1 {
+		t.Fatal("marshal must be cached between marks")
+	}
+	v.Mark("b:1", 2)
+	e3 := v.Marshal()
+	if e3 == e1 {
+		t.Fatal("Mark must invalidate the marshal cache")
+	}
+	if len(e3.ChildrenNamed("v")) != 2 {
+		t.Fatalf("marshal = %s", e3)
+	}
+	// Direct writes to the exported Budget field must not serve a stale
+	// cached budget.
+	v.Budget = 9
+	if got := v.Marshal().AttrDefault("budget", ""); got != "9" {
+		t.Fatalf("budget attr = %q after direct Budget write, want 9", got)
+	}
+}
+
+// TestVisitedCloneIsDeep: plans are cloned for oracles and retries; the
+// clone's memory must not share records with the original.
+func TestVisitedCloneIsDeep(t *testing.T) {
+	p := visitedTestPlan()
+	p.VisitedMemory().Mark("a:1", 1)
+	cp := p.Clone()
+	cp.Visited.Mark("a:1", 2)
+	cp.Visited.Mark("b:1", 3)
+	orig, _ := p.Visited.Lookup("a:1")
+	if orig.Count != 1 || orig.Fingerprint != 1 {
+		t.Fatalf("clone mutated the original: %+v", orig)
+	}
+	if p.Visited.Len() != 1 {
+		t.Fatalf("clone leaked records into the original: %v", p.Visited.Servers())
+	}
+}
+
+// TestUnmarshalVisitedRejectsGarbage: malformed sections fail loudly rather
+// than decaying into empty memory (which would reopen livelocks).
+func TestUnmarshalVisitedRejectsGarbage(t *testing.T) {
+	for _, src := range []string{
+		`<visited><v n="1"/></visited>`,               // no server
+		`<visited><v s="a:1" n="x"/></visited>`,       // bad count
+		`<visited><v s="a:1" n="0"/></visited>`,       // zero count
+		`<visited><v s="a:1" n="-1000"/></visited>`,   // negative count defeats the budget
+		`<visited><v s="a:1" fp="zz"/></visited>`,     // bad fingerprint
+		`<visited budget="x"><v s="a:1"/></visited>`,  // bad budget
+		`<visited budget="-9"><v s="a:1"/></visited>`, // negative budget
+	} {
+		if _, err := UnmarshalVisited(xmltree.MustParse(src)); err == nil {
+			t.Errorf("no error for %s", src)
+		}
+	}
+	if _, err := UnmarshalVisited(xmltree.Elem("other")); err == nil {
+		t.Error("wrong element name accepted")
+	}
+}

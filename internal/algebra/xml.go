@@ -243,6 +243,13 @@ func marshal(p *Plan, copyDocs bool) *xmltree.Node {
 	if p.Original != nil {
 		doc.Add(xmltree.Elem("original", marshalNode(p.Original, copyDocs)))
 	}
+	if p.Visited != nil && (p.Visited.Len() > 0 || p.Visited.Budget > 0) {
+		// Emitted whenever there is state to carry — visit records, or just
+		// a per-plan budget override set before the first hop. Marshal is
+		// frozen and cached, so re-serializing the plan for every fallback
+		// candidate aliases one immutable subtree.
+		doc.Add(p.Visited.Marshal())
+	}
 	keys := make([]string, 0, len(p.Extra))
 	for k := range p.Extra {
 		keys = append(keys, k)
@@ -292,6 +299,12 @@ func Unmarshal(doc *xmltree.Node) (*Plan, error) {
 				return nil, err
 			}
 			p.Original = orig
+		case visitedElem:
+			v, err := UnmarshalVisited(c)
+			if err != nil {
+				return nil, err
+			}
+			p.Visited = v
 		default:
 			if p.Extra == nil {
 				p.Extra = map[string]*xmltree.Node{}

@@ -11,21 +11,31 @@
 //
 // The invariants each scenario enforces:
 //
-//  1. Oracle equality — every result delivered to the client equals the
-//     centralized oracle's answer for that plan, as a multiset of canonical
-//     XML items. Faults may lose plans; they must never corrupt answers.
+//  1. Oracle equality — every full result delivered to the client equals
+//     the centralized oracle's answer for that plan, as a multiset of
+//     canonical XML items, and every explicit partial result (the routing
+//     layer exhausted all productive hops — internal/route) is a verified
+//     sub-multiset of it. Faults may lose plans; they must never corrupt
+//     answers.
 //  2. Trail/hop consistency — every provenance trail verifies against the
 //     scenario keyring, names only servers the plan was actually delivered
 //     to, carries non-decreasing virtual times, and has no more processing
-//     stops than the result took hops.
-//  3. No silently lost plans — every submitted plan either completes, or
-//     surfaces through a peer's StuckErrors()/a submit error, or its loss is
-//     attributed to a recorded network fault (dropped or lost message).
+//     stops than the result took hops; the plan-carried visited-server
+//     memory names only servers that also signed the trail (visited ⊆
+//     trail).
+//  3. No silently lost plans — every submitted plan either completes (full
+//     or partial), or surfaces through a peer's StuckErrors()/a submit
+//     error, or its loss is attributed to a recorded network fault (dropped
+//     or lost message).
 //  4. Race-clean frozen reads — the oracle evaluates concurrently with the
 //     network pump while aliasing the same frozen collection items, so
 //     `go test -race ./internal/chaos` stresses the freeze/COW ownership
 //     rule: anything that keeps a received subtree must Freeze() it, and
 //     frozen subtrees are read lock-free from many goroutines.
+//  5. Fault-free liveness — with no faults injected, zero plans end up
+//     stuck: visited-server routing memory turns every former livelock
+//     (empty-area meta/index ping-pong, dual-seller decline bounces) into a
+//     completed or partial result.
 package chaos
 
 import (
@@ -42,6 +52,7 @@ import (
 	"repro/internal/mqp"
 	"repro/internal/namespace"
 	"repro/internal/peer"
+	"repro/internal/provenance"
 	"repro/internal/simnet"
 	"repro/internal/workload"
 )
@@ -100,10 +111,15 @@ type Report struct {
 	Peers int
 	Items int
 	Plans int
-	// Completed counts plans with at least one result at the client;
+	// Completed counts plans with at least one full result at the client;
 	// Results counts deliveries (duplication can produce more than one).
 	Completed int
 	Results   int
+	// Partial counts plans whose only deliveries were explicit partial
+	// results (the routing layer exhausted every productive hop and
+	// returned what was already reduced). Partials are oracle-checked as
+	// sub-multisets of the full answer.
+	Partial int
 	// Stuck counts non-completed plans surfaced via StuckErrors or a
 	// submit-time error; LostToFaults counts non-completed, non-stuck plans
 	// whose carrier message appears in the scheduler's drop/loss trace.
@@ -115,6 +131,9 @@ type Report struct {
 	DroppedMsgs   int
 	LostMsgs      int
 	Violations    []string
+	// StuckDetails holds the stuck-error messages recorded by all peers, for
+	// replay diagnosis (cmd/chaos -v prints them).
+	StuckDetails []string
 }
 
 // Failed reports whether any invariant was violated.
@@ -126,8 +145,8 @@ func (r *Report) violate(format string, args ...interface{}) {
 
 // Summary renders a one-line digest for logs.
 func (r *Report) Summary() string {
-	return fmt.Sprintf("seed=%d level=%s peers=%d plans=%d completed=%d stuck=%d lost=%d msgs=%d dropped=%d violations=%d",
-		r.Seed, r.Level, r.Peers, r.Plans, r.Completed, r.Stuck, r.LostToFaults,
+	return fmt.Sprintf("seed=%d level=%s peers=%d plans=%d completed=%d partial=%d stuck=%d lost=%d msgs=%d dropped=%d violations=%d",
+		r.Seed, r.Level, r.Peers, r.Plans, r.Completed, r.Partial, r.Stuck, r.LostToFaults,
 		r.Messages, r.DroppedMsgs, len(r.Violations))
 }
 
@@ -428,6 +447,16 @@ func levelFaults(level Level, rng *rand.Rand) (simnet.Faults, int, bool) {
 	}
 }
 
+// sortedAddrs returns the peer map's keys in deterministic order.
+func sortedAddrs(peers map[string]*peer.Peer) []string {
+	out := make([]string, 0, len(peers))
+	for a := range peers {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // planIDOf extracts the plan id a simnet message carries, or "".
 func planIDOf(m *simnet.Message) string {
 	if m.Body == nil || m.Body.Name != "mqp" {
@@ -468,13 +497,16 @@ func checkInvariants(rep *Report, net *simnet.Network, peers map[string]*peer.Pe
 	}
 
 	// Stuck errors across all peers, attributed by the quoted plan id.
+	for _, addr := range sortedAddrs(peers) {
+		for _, err := range peers[addr].StuckErrors() {
+			rep.StuckDetails = append(rep.StuckDetails, err.Error())
+		}
+	}
 	stuckFor := func(id string) bool {
 		needle := fmt.Sprintf("%q", id)
-		for _, p := range peers {
-			for _, err := range p.StuckErrors() {
-				if strings.Contains(err.Error(), needle) {
-					return true
-				}
+		for _, d := range rep.StuckDetails {
+			if strings.Contains(d, needle) {
+				return true
 			}
 		}
 		return false
@@ -498,11 +530,25 @@ func checkInvariants(rep *Report, net *simnet.Network, peers map[string]*peer.Pe
 	keyring := func(server string) []byte { return keys[server] }
 	for i, pc := range cases {
 		rs := results[pc.id]
+		full := 0
+		for _, res := range rs {
+			if !res.Partial {
+				full++
+			}
+		}
 		switch {
-		case len(rs) > 0:
+		case full > 0:
 			rep.Completed++
+		case len(rs) > 0:
+			rep.Partial++
 		case pc.submitErr != nil || stuckFor(pc.id):
 			rep.Stuck++
+			if rep.Level == LevelNone {
+				// Invariant 5: a fault-free network must never strand a
+				// plan — with visited-server routing memory, every plan
+				// terminates as a completed or partial result.
+				rep.violate("plan %q stuck in a fault-free run", pc.id)
+			}
 		case faultIDs[pc.id]:
 			rep.LostToFaults++
 		default:
@@ -510,14 +556,20 @@ func checkInvariants(rep *Report, net *simnet.Network, peers map[string]*peer.Pe
 		}
 
 		for _, res := range rs {
-			// Invariant 1: oracle equality.
+			// Invariant 1: oracle equality — full results must equal the
+			// oracle's answer; explicit partial results must be
+			// sub-multisets of it.
 			items, err := res.Plan.Results()
 			if err != nil {
 				rep.violate("plan %q: non-constant result: %v", pc.id, err)
 				continue
 			}
 			rep.OracleChecked++
-			if ok, diff := MultisetEqual(Multiset(items), expected[i]); !ok {
+			if res.Partial {
+				if ok, diff := MultisetSubset(Multiset(items), expected[i]); !ok {
+					rep.violate("plan %q: partial result exceeds oracle: %s", pc.id, diff)
+				}
+			} else if ok, diff := MultisetEqual(Multiset(items), expected[i]); !ok {
 				rep.violate("plan %q: result diverges from oracle: %s", pc.id, diff)
 			}
 			// Invariant 2: trail/hop consistency.
@@ -528,6 +580,13 @@ func checkInvariants(rep *Report, net *simnet.Network, peers map[string]*peer.Pe
 			}
 			if idx, err := trail.Verify(keyring); err != nil {
 				rep.violate("plan %q: trail visit %d fails verification: %v", pc.id, idx, err)
+			}
+			// The plan-carried routing memory must be consistent with the
+			// signed trail: every server the <visited> section names also
+			// signed a visit (visited ⊆ trail).
+			if missing := provenance.UncoveredVisits(res.Plan, trail); len(missing) > 0 {
+				rep.violate("plan %q: visited memory names %v, absent from the provenance trail",
+					pc.id, missing)
 			}
 			stops := 0
 			prevServer := ""
@@ -551,8 +610,8 @@ func checkInvariants(rep *Report, net *simnet.Network, peers map[string]*peer.Pe
 			}
 		}
 	}
-	if rep.Completed+rep.Stuck+rep.LostToFaults != rep.Plans {
-		rep.violate("accounting: completed %d + stuck %d + lost %d != plans %d",
-			rep.Completed, rep.Stuck, rep.LostToFaults, rep.Plans)
+	if rep.Completed+rep.Partial+rep.Stuck+rep.LostToFaults != rep.Plans {
+		rep.violate("accounting: completed %d + partial %d + stuck %d + lost %d != plans %d",
+			rep.Completed, rep.Partial, rep.Stuck, rep.LostToFaults, rep.Plans)
 	}
 }

@@ -17,7 +17,7 @@ func sweepSize() int {
 }
 
 // TestScenarioSweep is the harness's main claim: hundreds of seeded random
-// scenarios, every one holding all four invariants. Scenarios run across
+// scenarios, every one holding all five invariants. Scenarios run across
 // parallel shards, so `-race` additionally stresses concurrent frozen reads
 // between the shards' pumps and oracles.
 func TestScenarioSweep(t *testing.T) {
@@ -119,9 +119,33 @@ func TestMultisetEqual(t *testing.T) {
 	}
 }
 
-// BenchmarkScenario measures chaos throughput (scenarios/op); make
-// bench-chaos records it to BENCH_chaos.json.
+func TestMultisetSubset(t *testing.T) {
+	full := []*xmltree.Node{xmltree.MustParse(`<a>1</a>`), xmltree.MustParse(`<a>1</a>`), xmltree.MustParse(`<b/>`)}
+	if ok, diff := MultisetSubset(Multiset(full[:1]), Multiset(full)); !ok {
+		t.Fatalf("strict sub-multiset rejected: %s", diff)
+	}
+	if ok, diff := MultisetSubset(Multiset(nil), Multiset(full)); !ok {
+		t.Fatalf("empty multiset rejected: %s", diff)
+	}
+	if ok, diff := MultisetSubset(Multiset(full), Multiset(full)); !ok {
+		t.Fatalf("equal multiset rejected: %s", diff)
+	}
+	// The rejecting direction: an item the oracle lacks, and an item whose
+	// multiplicity exceeds the oracle's.
+	if ok, _ := MultisetSubset(Multiset(full), Multiset(full[:1])); ok {
+		t.Fatal("excess items not detected")
+	}
+	extra := append(append([]*xmltree.Node(nil), full...), xmltree.MustParse(`<c/>`))
+	if ok, _ := MultisetSubset(Multiset(extra), Multiset(full)); ok {
+		t.Fatal("foreign item not detected")
+	}
+}
+
+// BenchmarkScenario measures chaos throughput (scenarios/op) and the plan
+// outcome rates — completed/partial/stuck/lost per plan — so `make
+// bench-chaos` records liveness alongside speed in BENCH_chaos.json.
 func BenchmarkScenario(b *testing.B) {
+	var plans, completed, partial, stuck, lost int
 	for i := 0; i < b.N; i++ {
 		rep, err := Run(Config{Seed: int64(i + 1)})
 		if err != nil {
@@ -130,5 +154,16 @@ func BenchmarkScenario(b *testing.B) {
 		if rep.Failed() {
 			b.Fatalf("seed %d: %v", i+1, rep.Violations)
 		}
+		plans += rep.Plans
+		completed += rep.Completed
+		partial += rep.Partial
+		stuck += rep.Stuck
+		lost += rep.LostToFaults
+	}
+	if plans > 0 {
+		b.ReportMetric(float64(completed)/float64(plans), "completed/plan")
+		b.ReportMetric(float64(partial)/float64(plans), "partial/plan")
+		b.ReportMetric(float64(stuck)/float64(plans), "stuck/plan")
+		b.ReportMetric(float64(lost)/float64(plans), "lost/plan")
 	}
 }

@@ -1,0 +1,84 @@
+package chaos
+
+import "testing"
+
+// Pinned livelock regression seeds. Before the routing layer grew
+// visited-server memory (internal/route), these fault-free scenarios
+// stranded plans (~9% across the sweep): plans for empty areas ping-ponged
+// between the authoritative meta and an authoritative index until the
+// forwarding-depth guard tripped, and sellers that declined materializing
+// oversized collections left plans with "no binding, no route". Each pin
+// records the world's former failure and the behavior that must hold now:
+// zero stuck plans, every plan a completed or partial result.
+var livelockSeeds = []struct {
+	seed      int64
+	world     string
+	completed int
+	partial   int
+}{
+	// Empty-area meta/index ping-pong (layered topologies; formerly
+	// terminated via simnet.ErrDepthExceeded after 40 hops of bouncing).
+	{98, "meta/index ping-pong, every plan formerly stuck", 0, 2},
+	{16, "meta/index ping-pong, 2 of 3 plans formerly stuck", 1, 2},
+	{2, "meta/index ping-pong, 1 of 4 plans formerly stuck", 3, 1},
+	// Sellers declining oversized collections (formerly "no binding, no
+	// route" at the declining seller). Seed 408's plan now completes
+	// outright — the last stop is forced to materialize what it declined —
+	// while 84 and 22 also carry a ping-pong plan that partials.
+	{408, "seller decline, formerly stuck, now completes", 4, 0},
+	{84, "seller decline + ping-pong", 3, 1},
+	{22, "seller decline + ping-pong", 3, 1},
+}
+
+// TestLivelockRegression replays the two known livelock worlds fault-free
+// and pins their terminal behavior: no stuck plans, no violations, and the
+// exact completed/partial split (scenarios are pure functions of their
+// seeds, so these are stable pins, not flaky observations).
+func TestLivelockRegression(t *testing.T) {
+	for _, tc := range livelockSeeds {
+		rep, err := Run(Config{Seed: tc.seed, Level: LevelNone})
+		if err != nil {
+			t.Fatalf("seed %d (%s): harness error: %v", tc.seed, tc.world, err)
+		}
+		if rep.Failed() {
+			t.Fatalf("seed %d (%s): violations: %v", tc.seed, tc.world, rep.Violations)
+		}
+		if rep.Stuck != 0 {
+			t.Errorf("seed %d (%s): %d stuck plans (want 0): %v",
+				tc.seed, tc.world, rep.Stuck, rep.StuckDetails)
+		}
+		if rep.Completed != tc.completed || rep.Partial != tc.partial {
+			t.Errorf("seed %d (%s): completed=%d partial=%d, want completed=%d partial=%d",
+				tc.seed, tc.world, rep.Completed, rep.Partial, tc.completed, tc.partial)
+		}
+		if rep.Completed+rep.Partial != rep.Plans {
+			t.Errorf("seed %d (%s): %d of %d plans unaccounted",
+				tc.seed, tc.world, rep.Plans-rep.Completed-rep.Partial, rep.Plans)
+		}
+	}
+}
+
+// TestFaultFreeNeverStuck is the headline liveness claim as a test: across
+// a fault-free sub-sweep, zero plans end up stuck — every one completes or
+// returns an explicit partial result (the full 500-seed bar runs in
+// TestScenarioSweep and `make chaos`; cmd/chaos -level none -max-stuck 0 is
+// the CI gate).
+func TestFaultFreeNeverStuck(t *testing.T) {
+	n := int64(100)
+	if testing.Short() {
+		n = 40
+	}
+	for seed := int64(1); seed <= n; seed++ {
+		rep, err := Run(Config{Seed: seed, Level: LevelNone})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Failed() {
+			t.Fatalf("seed %d: %v", seed, rep.Violations)
+		}
+		if rep.Stuck != 0 {
+			t.Fatalf("seed %d: %d stuck plans in a fault-free run: %v",
+				seed, rep.Stuck, rep.StuckDetails)
+		}
+	}
+}

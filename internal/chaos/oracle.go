@@ -110,6 +110,18 @@ func Multiset(items []*xmltree.Node) map[string]int {
 	return m
 }
 
+// MultisetSubset reports whether sub ⊆ super (as multisets), and when it is
+// not, one human-readable difference. Partial results are checked with it:
+// they may miss items the full answer has, never carry extras.
+func MultisetSubset(sub, super map[string]int) (bool, string) {
+	for k, n := range sub {
+		if super[k] < n {
+			return false, fmt.Sprintf("item ×%d exceeds oracle's ×%d: %.120s", n, super[k], k)
+		}
+	}
+	return true, ""
+}
+
 // MultisetEqual reports whether two multisets agree, and when they do not,
 // one human-readable difference.
 func MultisetEqual(got, want map[string]int) (bool, string) {

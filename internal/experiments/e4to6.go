@@ -163,8 +163,13 @@ func E4RoutingComparison() (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
+			// An uncoverable area now terminates as an explicit (empty)
+			// partial result instead of a stuck error, so a count item may
+			// be absent entirely.
 			found := 0
-			fmt.Sscanf(got[0].InnerText(), "%d", &found)
+			if len(got) > 0 {
+				fmt.Sscanf(got[0].InnerText(), "%d", &found)
+			}
 			if truth == 0 {
 				recallSum++
 			} else {

@@ -5,17 +5,17 @@ import (
 	"strings"
 
 	"repro/internal/algebra"
+	"repro/internal/route"
 )
 
 // Ordering and transfer policies (§5.2): "MQPs will need to incorporate
 // ordering and transfer policies, such as 'do not bind preferences until
 // playlist is bound' or 'only let this MQP pass through servers on this
 // list.'" Both travel as annotations on the plan root so every server on
-// the itinerary can honor them.
+// the itinerary can honor them. The transfer policy is owned by the routing
+// layer (internal/route, which filters forwarding candidates with it); the
+// ordering policy is interpreted here, at binding time.
 const (
-	// annotAllowServers lists the only servers the plan may visit,
-	// comma-separated. Empty means unrestricted.
-	annotAllowServers = "allow-servers"
 	// annotBindAfter holds ordering constraints "later<earlier" (the URN
 	// named left may bind only once the URN named right no longer appears
 	// in the plan), semicolon-separated.
@@ -30,16 +30,12 @@ const (
 // servers (plus its target). Forwarding to, or processing at, any other
 // server fails.
 func RestrictServers(p *algebra.Plan, servers ...string) {
-	p.Root.Annotate(annotAllowServers, strings.Join(servers, ","))
+	route.RestrictServers(p, servers...)
 }
 
 // AllowedServers returns the transfer policy, or nil when unrestricted.
 func AllowedServers(p *algebra.Plan) []string {
-	v, ok := p.Root.Annotation(annotAllowServers)
-	if !ok || v == "" {
-		return nil
-	}
-	return strings.Split(v, ",")
+	return route.AllowedServers(p)
 }
 
 // BindAfter adds the ordering constraint: later may bind only after earlier
@@ -112,25 +108,4 @@ func (p *Processor) checkTransferPolicy(plan *algebra.Plan) error {
 		}
 	}
 	return fmt.Errorf("mqp: plan %q forbids processing at %s (transfer policy)", plan.ID, p.cfg.Self)
-}
-
-// filterHopsByPolicy drops forwarding candidates outside the transfer
-// policy.
-func filterHopsByPolicy(plan *algebra.Plan, hops []string) []string {
-	allowed := AllowedServers(plan)
-	if allowed == nil {
-		return hops
-	}
-	ok := make(map[string]bool, len(allowed)+1)
-	for _, a := range allowed {
-		ok[a] = true
-	}
-	ok[plan.Target] = true
-	var out []string
-	for _, h := range hops {
-		if ok[h] {
-			out = append(out, h)
-		}
-	}
-	return out
 }

@@ -13,7 +13,6 @@ package mqp
 import (
 	"fmt"
 	"strconv"
-	"strings"
 	"time"
 
 	"repro/internal/algebra"
@@ -21,6 +20,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/namespace"
 	"repro/internal/provenance"
+	"repro/internal/route"
 	"repro/internal/xmltree"
 )
 
@@ -211,6 +211,12 @@ func New(cfg Config) (*Processor, error) {
 type Outcome struct {
 	// Done means the plan reduced to a constant; ship it to plan.Target.
 	Done bool
+	// Partial means the plan is not constant but no productive hop remains:
+	// every forwarding candidate has already seen the plan in its current
+	// state, or has exhausted its revisit budget (internal/route). The
+	// transport should deliver an explicit partial result (route.Partial) to
+	// plan.Target instead of forwarding.
+	Partial bool
 	// NextHop is the preferred server to forward the plan to when not done.
 	NextHop string
 	// NextHops lists every forwarding candidate in preference order
@@ -226,14 +232,7 @@ type Outcome struct {
 
 // AddrOf extracts the peer address from a URL leaf value: it accepts both
 // bare "host:port" strings and "http://host:port/..." forms.
-func AddrOf(url string) string {
-	s := strings.TrimPrefix(url, "http://")
-	s = strings.TrimPrefix(s, "https://")
-	if i := strings.IndexByte(s, '/'); i >= 0 {
-		s = s[:i]
-	}
-	return s
-}
+func AddrOf(url string) string { return route.AddrOf(url) }
 
 // Step performs one server's processing cycle on the plan, mutating it in
 // place, and returns the outcome. The plan's provenance section is extended
@@ -288,8 +287,14 @@ func (p *Processor) Step(plan *algebra.Plan) (Outcome, error) {
 	// 2. Rewrites. Semantic pruning first (it needs the select still above
 	// the union): drop union branches whose published attribute indices
 	// prove the selection empty there (§3.2). Then flatten and push the
-	// (remaining) selections through unions/ors.
-	out.Rewrites += algebra.FlattenUnions(plan.Root)
+	// (remaining) selections through unions/ors. Flattening records a visit
+	// like every other mutation: a server whose only work is a flatten must
+	// still sign the trail, or the visited ⊆ trail consistency the chaos
+	// harness checks would flag it.
+	if n := algebra.FlattenUnions(plan.Root); n > 0 {
+		out.Rewrites += n
+		record(provenance.ActionOptimize, "flatten", 0)
+	}
 	if p.cfg.PruneStats {
 		if n := PruneByStats(plan.Root); n > 0 {
 			out.Rewrites += n
@@ -311,30 +316,11 @@ func (p *Processor) Step(plan *algebra.Plan) (Outcome, error) {
 		record(provenance.ActionOptimize, "or-choice", 0)
 	}
 
-	// 4. Resolve URLs: local ones always (unless declined while work
-	// remains elsewhere), remote ones per policy.
-	p.declineAllowed = p.hasForeignWork(plan.Root)
-	root, err = p.resolveURLs(plan.Root, &out, record, &routeCandidates)
-	if err != nil {
+	// 4+5. Materialize, rebind and reduce (declining allowed while the plan
+	// still has work elsewhere).
+	if err := p.materializeAndReduce(plan, false, &out, record, &routeCandidates); err != nil {
 		return Outcome{}, err
 	}
-	plan.Root = root
-
-	// 4b. A second binding pass: materializing local data may have
-	// satisfied §5.2 ordering prerequisites, unblocking URNs the first
-	// pass deferred.
-	root, err = p.bindURNs(plan, plan.Root, &out, record, &routeCandidates)
-	if err != nil {
-		return Outcome{}, err
-	}
-	plan.Root = root
-
-	// 5. Reduce maximal locally-evaluable sub-plans. Declining is only
-	// legitimate while the plan has work elsewhere; once this server is
-	// the last stop, it must evaluate (§5.1's "until there was enough
-	// additional data in P to give a smaller result at S").
-	p.declineAllowed = p.hasForeignWork(plan.Root)
-	plan.Root = p.reduce(plan.Root, true, &out, record)
 
 	if out.Bound+out.Fetched+out.Reduced+out.Rewrites == 0 {
 		record(provenance.ActionForward, "", 0)
@@ -343,17 +329,81 @@ func (p *Processor) Step(plan *algebra.Plan) (Outcome, error) {
 		provenance.ToPlan(plan, trail)
 	}
 
-	// 6. Routing decision.
+	// 6. Routing decision (internal/route): the plan carries its own routing
+	// state — select productive hops against its visited-server memory, then
+	// record this visit with the fingerprint of the state being forwarded.
 	if plan.IsConstant() {
 		out.Done = true
 		return out, nil
 	}
-	out.NextHops = filterHopsByPolicy(plan, p.nextHops(plan.Root, routeCandidates))
-	if len(out.NextHops) == 0 {
-		return out, fmt.Errorf("mqp: plan %q stuck at %s: no binding, no route", plan.ID, p.cfg.Self)
+	dec := route.Select(plan, p.cfg.Self, routeCandidates)
+	if dec.Reason != route.Forward && p.hasLocalWork(plan.Root) {
+		// Last stop (§5.1): declining local work is only legitimate while
+		// the plan can still travel. With no productive hop left, this
+		// server must materialize and evaluate whatever it declined, so the
+		// plan finishes — or at worst leaves as a richer partial.
+		if err := p.materializeAndReduce(plan, true, &out, record, &routeCandidates); err != nil {
+			return Outcome{}, err
+		}
+		if p.cfg.Key != nil {
+			provenance.ToPlan(plan, trail)
+		}
+		if plan.IsConstant() {
+			out.Done = true
+			return out, nil
+		}
+		dec = route.Select(plan, p.cfg.Self, routeCandidates)
 	}
+	dec.MarkVisited(plan, p.cfg.Self)
+	switch dec.Reason {
+	case route.NoRoute:
+		return out, fmt.Errorf("mqp: plan %q stuck at %s: no binding, no route", plan.ID, p.cfg.Self)
+	case route.Exhausted:
+		out.Partial = true
+		return out, nil
+	}
+	out.NextHops = dec.Hops
 	out.NextHop = out.NextHops[0]
 	return out, nil
+}
+
+// materializeAndReduce is the resolve→rebind→reduce tail of a processing
+// step (Step's stages 4, 4b and 5): resolve URLs per policy, run a second
+// binding pass (materialized data may satisfy §5.2 ordering prerequisites,
+// unblocking URNs the first pass deferred), and reduce maximal
+// locally-evaluable sub-plans. With declineForbidden the policy may not
+// decline anything — the last-stop rule (§5.1: once this server is the
+// plan's final stop, it must evaluate).
+func (p *Processor) materializeAndReduce(plan *algebra.Plan, declineForbidden bool, out *Outcome,
+	record func(provenance.Action, string, int), routes *[]string) error {
+	p.declineAllowed = !declineForbidden && p.hasForeignWork(plan.Root)
+	root, err := p.resolveURLs(plan.Root, out, record, routes)
+	if err != nil {
+		return err
+	}
+	plan.Root = root
+	root, err = p.bindURNs(plan, plan.Root, out, record, routes)
+	if err != nil {
+		return err
+	}
+	plan.Root = root
+	p.declineAllowed = !declineForbidden && p.hasForeignWork(plan.Root)
+	plan.Root = p.reduce(plan.Root, true, out, record)
+	return nil
+}
+
+// hasLocalWork reports whether the plan still holds URL leaves served here —
+// work this server declined or failed to materialize earlier in the step.
+func (p *Processor) hasLocalWork(root *algebra.Node) bool {
+	local := false
+	root.Walk(func(m *algebra.Node) bool {
+		if m.Kind == algebra.KindURL && AddrOf(m.URL) == p.cfg.Self {
+			local = true
+			return false
+		}
+		return true
+	})
+	return local
 }
 
 // bindURNs replaces resolvable URN leaves with catalog bindings (post-order
@@ -572,36 +622,4 @@ func maxStaleness(n *algebra.Node) int {
 		return true
 	})
 	return max
-}
-
-// nextHops collects forwarding candidates in preference order: explicit
-// route annotations on URN leaves first, then catalog route candidates,
-// then servers owning unresolved URL leaves. Duplicates and self are
-// dropped.
-func (p *Processor) nextHops(root *algebra.Node, catalogRoutes []string) []string {
-	var annotated, urls []string
-	root.Walk(func(m *algebra.Node) bool {
-		switch m.Kind {
-		case algebra.KindURN:
-			if r, ok := m.Annotation(catalog.AnnotRoute); ok && r != p.cfg.Self {
-				annotated = append(annotated, r)
-			}
-		case algebra.KindURL:
-			if a := AddrOf(m.URL); a != p.cfg.Self {
-				urls = append(urls, a)
-			}
-		}
-		return true
-	})
-	seen := map[string]bool{p.cfg.Self: true, "": true}
-	var out []string
-	for _, cands := range [][]string{annotated, catalogRoutes, urls} {
-		for _, c := range cands {
-			if !seen[c] {
-				seen[c] = true
-				out = append(out, c)
-			}
-		}
-	}
-	return out
 }

@@ -1,0 +1,143 @@
+package peer
+
+import (
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/catalog"
+	"repro/internal/mqp"
+	"repro/internal/namespace"
+	"repro/internal/provenance"
+	"repro/internal/simnet"
+)
+
+// The two livelock worlds the chaos harness surfaced (ROADMAP "known
+// liveness warts"), rebuilt by hand. Before the routing layer grew
+// visited-server memory, both bounced plans until the forwarding-depth
+// guard tripped and reported them as StuckErrors; now one terminates as an
+// explicit partial result and the other completes outright.
+
+// TestEmptyAreaPingPongReturnsPartial: a plan for an area nobody covers
+// bounces between an authoritative-but-ignorant meta and an authoritative
+// index — the meta's authoritative-empty bind is blocked because an
+// overlapping index always exists, and vice versa. With visited-server
+// memory, the second server sees that forwarding back is pure ping-pong
+// (the plan has not mutated since the meta saw it) and returns an explicit
+// empty partial result instead.
+func TestEmptyAreaPingPongReturnsPartial(t *testing.T) {
+	net := simnet.New()
+	net.SetMaxDepth(40)
+	ns := testNS()
+	pdxCDs := ns.MustParseArea("[USA/OR/Portland, Music/CDs]")
+
+	client := mustPeer(t, Config{Addr: "client:9020", Net: net, NS: ns, Key: []byte("kC")})
+	meta := mustPeer(t, Config{Addr: "M:9020", Net: net, NS: ns, Key: []byte("kM"),
+		Area: ns.MustParseArea("[*, *]"), Authoritative: true})
+	idx := mustPeer(t, Config{Addr: "idx:9020", Net: net, NS: ns, Key: []byte("kI"),
+		Area: ns.MustParseArea("[USA/OR, *]"), Authoritative: true})
+	if err := idx.RegisterWith("M:9020", catalog.RoleIndex); err != nil {
+		t.Fatal(err)
+	}
+	// A seller exists under the index, but for different merchandise than
+	// the query asks about — the index is authoritative yet ignorant of the
+	// queried cell, and the meta always sees the overlapping index.
+	seller := mustPeer(t, Config{Addr: "s1:9020", Net: net, NS: ns, Area: pdxCDs})
+	seller.AddCollection(Collection{Name: "cds", PathExp: "/data[id=1]", Area: pdxCDs, Items: items(
+		`<sale><cd>Blue Train</cd><price>8</price></sale>`)})
+	if err := seller.RegisterWith("idx:9020", catalog.RoleBase); err != nil {
+		t.Fatal(err)
+	}
+
+	empty := namespace.EncodeURN(ns.MustParseArea("[USA/OR/Portland, Furniture/Chairs]"))
+	plan := algebra.NewPlan("pingpong-q", "client:9020", algebra.Display(algebra.URN(empty)))
+	if err := client.Submit("M:9020", plan); err != nil {
+		t.Fatalf("submit: %v (the former livelock surfaced as a depth-guard error)", err)
+	}
+	res, ok := client.TakeResult()
+	if !ok {
+		t.Fatal("no result delivered")
+	}
+	if !res.Partial {
+		t.Fatalf("want an explicit partial result, got a full one: %s", res.Plan.Root)
+	}
+	items, err := res.Plan.Results()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 0 {
+		t.Fatalf("partial result for an empty area must be empty, got %d items", len(items))
+	}
+	if res.Hops > 4 {
+		t.Fatalf("partial result took %d hops; the ping-pong should die on the first bounce", res.Hops)
+	}
+	for _, p := range []*Peer{client, meta, idx, seller} {
+		if errs := p.StuckErrors(); len(errs) != 0 {
+			t.Fatalf("peer %s recorded stuck errors: %v", p.Addr(), errs)
+		}
+	}
+	// The partial still carries its provenance, and the plan-side routing
+	// memory is consistent with the signed trail.
+	trail, err := QueryTrail(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trail.Visits) == 0 {
+		t.Fatal("partial result lost its provenance trail")
+	}
+	if missing := provenance.UncoveredVisits(res.Plan, trail); len(missing) != 0 {
+		t.Fatalf("visited memory names servers missing from the trail: %v", missing)
+	}
+}
+
+// TestDualDeclineCompletes: two forward-only sellers whose policies both
+// decline materializing their oversized collections used to bounce a plan
+// between each other forever. Visited-server memory breaks the loop: when
+// every hop is exhausted, the router forces the last stop to materialize
+// its declined local work (§5.1 — declining is only legitimate while the
+// plan can still travel), and the query completes with the full answer.
+func TestDualDeclineCompletes(t *testing.T) {
+	net := simnet.New()
+	net.SetMaxDepth(40)
+	ns := testNS()
+	pdxCDs := ns.MustParseArea("[USA/OR/Portland, Music/CDs]")
+
+	decline := mqp.ForwardOnlyPolicy{DefaultPolicy: mqp.DefaultPolicy{MaxReduceCard: 1}}
+	client := mustPeer(t, Config{Addr: "client:9020", Net: net, NS: ns})
+	a := mustPeer(t, Config{Addr: "a:9020", Net: net, NS: ns, Area: pdxCDs, Policy: decline,
+		StatsHistPath: "price"})
+	b := mustPeer(t, Config{Addr: "b:9020", Net: net, NS: ns, Area: pdxCDs, Policy: decline,
+		StatsHistPath: "price"})
+	a.AddCollection(Collection{Name: "cds", PathExp: "/data[id=1]", Area: pdxCDs, Items: items(
+		`<sale><cd>Blue Train</cd><price>8</price></sale>`,
+		`<sale><cd>Kind of Blue</cd><price>15</price></sale>`)})
+	b.AddCollection(Collection{Name: "cds", PathExp: "/data[id=2]", Area: pdxCDs, Items: items(
+		`<sale><cd>Giant Steps</cd><price>9</price></sale>`,
+		`<sale><cd>My Favorite Things</cd><price>12</price></sale>`)})
+
+	plan := algebra.NewPlan("decline-q", "client:9020", algebra.Display(
+		algebra.Select(algebra.MustParsePredicate("price < 100"), algebra.Union(
+			algebra.URL("a:9020", "/data[id=1]"),
+			algebra.URL("b:9020", "/data[id=2]")))))
+	if err := client.Submit("a:9020", plan); err != nil {
+		t.Fatalf("submit: %v (the former livelock surfaced as a depth-guard error)", err)
+	}
+	res, ok := client.TakeResult()
+	if !ok {
+		t.Fatal("no result delivered")
+	}
+	if res.Partial {
+		t.Fatalf("dual-decline must complete via last-stop materialization, got a partial: %s", res.Plan.Root)
+	}
+	got, err := res.Plan.Results()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("want all 4 items, got %d: %s", len(got), res.Plan.Root)
+	}
+	for _, p := range []*Peer{client, a, b} {
+		if errs := p.StuckErrors(); len(errs) != 0 {
+			t.Fatalf("peer %s recorded stuck errors: %v", p.Addr(), errs)
+		}
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"repro/internal/mqp"
 	"repro/internal/namespace"
 	"repro/internal/provenance"
+	"repro/internal/route"
 	"repro/internal/simnet"
 	"repro/internal/stats"
 	"repro/internal/xmltree"
@@ -54,10 +55,15 @@ type Collection struct {
 }
 
 // Result records a finished query arriving back at its issuing peer.
+// Partial marks an explicit partial result: the plan could no longer travel
+// productively (every remaining hop had already seen it — see
+// internal/route), so a server returned what was already reduced. Partial
+// items are a sub-multiset of the complete answer.
 type Result struct {
-	Plan *algebra.Plan
-	At   time.Duration
-	Hops int
+	Plan    *algebra.Plan
+	At      time.Duration
+	Hops    int
+	Partial bool
 }
 
 // Config assembles a Peer.
@@ -109,7 +115,10 @@ type Peer struct {
 	// pullDelay accumulates request RTTs incurred during a Step (data
 	// pulls), added to the forwarded plan's virtual time.
 	pullDelay time.Duration
+	// stuck records terminal plan failures; stuckSeen dedupes identical
+	// entries (message duplication can redeliver the same doomed plan).
 	stuck     []error
+	stuckSeen map[string]bool
 }
 
 // New creates a peer and registers it on the network.
@@ -330,11 +339,21 @@ func (p *Peer) StuckErrors() []error {
 	return append([]error(nil), p.stuck...)
 }
 
-// noteStuck records an error that terminated a plan at this peer.
+// noteStuck records an error that terminated a plan at this peer. Every
+// terminal-failure path routes through here; repeated identical entries
+// (same plan, same failure — e.g. a duplicated delivery of a doomed plan)
+// are recorded once.
 func (p *Peer) noteStuck(err error) error {
 	p.mu.Lock()
-	p.stuck = append(p.stuck, err)
-	p.mu.Unlock()
+	defer p.mu.Unlock()
+	key := err.Error()
+	if p.stuckSeen == nil {
+		p.stuckSeen = map[string]bool{}
+	}
+	if !p.stuckSeen[key] {
+		p.stuckSeen[key] = true
+		p.stuck = append(p.stuck, err)
+	}
 	return err
 }
 
@@ -361,7 +380,8 @@ func (p *Peer) Deliver(net *simnet.Network, msg *simnet.Message) error {
 			return fmt.Errorf("peer %s: bad result: %w", p.addr, err)
 		}
 		p.mu.Lock()
-		p.results = append(p.results, Result{Plan: plan, At: msg.At, Hops: msg.Hops})
+		p.results = append(p.results, Result{Plan: plan, At: msg.At, Hops: msg.Hops,
+			Partial: plan.PartialResult()})
 		p.mu.Unlock()
 		return nil
 	case KindRegister:
@@ -384,7 +404,8 @@ func (p *Peer) handleMQP(msg *simnet.Message) error {
 	// MQP; accept it either way.
 	if plan.Target == p.addr && plan.IsConstant() {
 		p.mu.Lock()
-		p.results = append(p.results, Result{Plan: plan, At: msg.At, Hops: msg.Hops})
+		p.results = append(p.results, Result{Plan: plan, At: msg.At, Hops: msg.Hops,
+			Partial: plan.PartialResult()})
 		p.mu.Unlock()
 		return nil
 	}
@@ -395,19 +416,23 @@ func (p *Peer) handleMQP(msg *simnet.Message) error {
 
 	out, err := p.proc.Step(plan)
 	if err != nil {
-		p.mu.Lock()
-		p.stuck = append(p.stuck, err)
-		p.mu.Unlock()
-		return fmt.Errorf("peer %s: %w", p.addr, err)
+		return p.noteStuck(fmt.Errorf("peer %s: %w", p.addr, err))
 	}
 	p.mu.Lock()
 	at := p.now + p.pullDelay
 	p.mu.Unlock()
 
-	if out.Done {
+	if out.Done || out.Partial {
+		result := plan
+		if out.Partial {
+			// No productive hop remains: instead of bouncing the plan into
+			// the depth guard, return an explicit partial result carrying
+			// what was already reduced (a sub-multiset of the full answer).
+			result = route.Partial(plan)
+		}
 		err := p.net.Send(&simnet.Message{
-			From: p.addr, To: plan.Target, Kind: KindResult,
-			Body: algebra.Marshal(plan), At: at, Hops: msg.Hops,
+			From: p.addr, To: result.Target, Kind: KindResult,
+			Body: algebra.Marshal(result), At: at, Hops: msg.Hops,
 		})
 		if err != nil {
 			// The answer exists but its owner is unreachable: surface the

@@ -240,6 +240,26 @@ func ToPlan(p *algebra.Plan, t *Trail) {
 	p.Extra["provenance"] = t.Marshal()
 }
 
+// UncoveredVisits returns the servers recorded in the plan's visited-server
+// memory (the routing state of internal/route) that never signed a trail
+// visit. In a deployment where every server signs provenance, routing memory
+// must be consistent with the trail — a server marks the visited section
+// only while processing the plan, which also appends a signed visit — so a
+// non-empty return means either a forged <visited> entry or a server
+// dropping provenance records.
+func UncoveredVisits(p *algebra.Plan, t *Trail) []string {
+	if p.Visited == nil {
+		return nil
+	}
+	var out []string
+	for _, s := range p.Visited.Servers() {
+		if !t.Visited(s) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
 // VerificationQuery builds the §5.1 spoof check: a count(σ(resource)) plan
 // that a suspicious client can send toward the server that should hold the
 // resource. target is where the count should be delivered.

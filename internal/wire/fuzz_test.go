@@ -27,6 +27,8 @@ func frame(payload string) []byte {
 // accepted document survives a WriteFrame/ReadFrame round trip unchanged.
 func FuzzRecv(f *testing.F) {
 	f.Add(frame(`<mqp id="q" target="t:1"><plan><data/></plan></mqp>`))
+	f.Add(frame(`<mqp id="q" target="t:1"><plan><urn name="urn:X:Y"/></plan>` +
+		`<visited budget="3"><v fp="deadbeef42" n="2" s="meta:9020"/></visited></mqp>`))
 	f.Add([]byte{0, 0})                             // truncated length prefix
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, '<', 'a'}) // oversized length
 	f.Add([]byte{0, 0, 0, 0})                       // zero-length frame

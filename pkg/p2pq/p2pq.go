@@ -279,6 +279,11 @@ type QueryResult struct {
 	Latency time.Duration
 	Hops    int
 	Plan    *algebra.Plan
+	// Partial marks an explicit partial result: the plan could no longer
+	// travel productively (its visited-server memory exhausted every
+	// candidate), so a server returned what was already reduced. Items are
+	// then a sub-multiset of the complete answer.
+	Partial bool
 }
 
 // QueryTrailOf extracts the signed provenance trail a result carried (§5.1).
@@ -308,7 +313,8 @@ func (p *Peer) QueryVia(addr string, plan *algebra.Plan) (QueryResult, error) {
 	if err != nil {
 		return QueryResult{}, err
 	}
-	return QueryResult{Items: items, Latency: res.At, Hops: res.Hops, Plan: res.Plan}, nil
+	return QueryResult{Items: items, Latency: res.At, Hops: res.Hops, Plan: res.Plan,
+		Partial: res.Partial}, nil
 }
 
 // --- Plan builder --------------------------------------------------------
