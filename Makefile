@@ -7,7 +7,7 @@
 # over the parser and wire-framing targets.
 GO ?= go
 
-.PHONY: build test test-short bench bench-all bench-chaos race fmt vet chaos chaos-ci chaos-nofault fuzz-smoke ci
+.PHONY: build test test-short bench bench-all bench-chaos profile race fmt vet chaos chaos-ci chaos-nofault fuzz-smoke ci
 
 build:
 	$(GO) build ./...
@@ -25,10 +25,25 @@ test-short: build
 # Machinery benchmark suite (hop path, clone, serialization, engine) with
 # allocation stats; the raw test2json stream lands in BENCH_plan_hop.json
 # (one JSON object per line) and the benchmark lines echo to the console.
+# The receive side (zero-copy BenchmarkDecode vs the encoding/xml-based
+# BenchmarkParseLegacy, plus the full-codec hop) is recorded separately in
+# BENCH_decode.json so decode-path wins and regressions are visible on
+# their own.
 bench:
-	$(GO) test -run '^$$' -bench '^Benchmark(Plan|Micro|Canonical|ByteSize)' -benchmem -json . > BENCH_plan_hop.json
+	$(GO) test -run '^$$' -bench '^Benchmark(PlanHop$$|PlanClone|Micro|Canonical|ByteSize)' -benchmem -json . > BENCH_plan_hop.json
 	@sed -n 's/.*"Output":"\(.*\)".*/\1/p' BENCH_plan_hop.json \
 		| tr -d '\n' | sed 's/\\n/\n/g;s/\\t/\t/g' | grep 'ns/op' || true
+	$(GO) test -run '^$$' -bench '^Benchmark(Decode|ParseLegacy|PlanHopWire)$$' -benchmem -json . > BENCH_decode.json
+	@sed -n 's/.*"Output":"\(.*\)".*/\1/p' BENCH_decode.json \
+		| tr -d '\n' | sed 's/\\n/\n/g;s/\\t/\t/g' | grep 'ns/op' || true
+
+# CPU and heap profiles of the hop path (cpu.prof / mem.prof, inspect with
+# `go tool pprof`): the first stop when chasing a decode- or marshal-side
+# regression the alloc budgets or BENCH_decode.json surface.
+profile:
+	$(GO) test -run '^$$' -bench '^BenchmarkPlanHop$$' -benchmem \
+		-cpuprofile cpu.prof -memprofile mem.prof .
+	@echo "wrote cpu.prof and mem.prof; inspect with: go tool pprof cpu.prof"
 
 # Chaos throughput (full generate+run+oracle-check scenarios per op) plus
 # the plan outcome rates (completed/partial/stuck/lost per plan); recorded
@@ -64,9 +79,11 @@ chaos-ci:
 chaos-nofault:
 	$(GO) run ./cmd/chaos -n 500 -level none -max-stuck 0
 
-# Fuzz smoke: 10s per target (canonical-XML parse fixpoint, wire framing).
+# Fuzz smoke: 10s per target (canonical-XML parse fixpoint, zero-copy
+# decoder vs reference-parser differential, wire framing).
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzParseRoundTrip$$' -fuzztime 10s ./internal/xmltree
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeEquivalence$$' -fuzztime 10s ./internal/xmltree
 	$(GO) test -run '^$$' -fuzz '^FuzzRecv$$' -fuzztime 10s ./internal/wire
 
 fmt:

@@ -1,0 +1,117 @@
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/provenance"
+	"repro/internal/xmltree"
+	"time"
+)
+
+// Allocation budgets for the receive-side hot paths. These are regression
+// gates, not aspirations: each bound sits ~25% above the measured value so
+// real regressions fail while noise does not. Run via plain `go test`
+// (and therefore `make ci`).
+const (
+	// warmDecodeAllocBudget bounds one zero-copy decode of the
+	// representative in-flight plan (~21 KB, two 40-item payloads, retained
+	// original, provenance trail). Measured: 51 allocs — all slab chunks
+	// and escape materializations, none per-node.
+	warmDecodeAllocBudget = 75
+	// planHopAllocBudget bounds the tree-level hop (marshal, size,
+	// arena-backed unmarshal, provenance stamp, re-marshal) the experiments
+	// pay per link. Measured: 111 allocs (was 224 before the zero-copy
+	// receive path; 7937 before PR 2).
+	planHopAllocBudget = 120
+	// planHopWireAllocBudget bounds the full codec hop (serialize +
+	// zero-copy decode + unmarshal + provenance + re-serialize), the shape
+	// simnet delivery now exercises per message. Measured: ~164 allocs.
+	planHopWireAllocBudget = 200
+)
+
+func planFixtureForAllocs(t *testing.T) (*algebra.Plan, []byte, string) {
+	t.Helper()
+	plan, key := planHopFixture(t)
+	return plan, key, algebra.EncodeString(plan)
+}
+
+func TestWarmDecodeAllocBudget(t *testing.T) {
+	_, _, wire := planFixtureForAllocs(t)
+	// Prime the decoder pool and intern table so the measurement is the
+	// steady state a forwarding peer lives in.
+	if _, err := xmltree.DecodeString(wire); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		doc, err := xmltree.DecodeString(wire)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if doc.Name != "mqp" {
+			t.Fatal("bad decode")
+		}
+	})
+	if allocs > warmDecodeAllocBudget {
+		t.Fatalf("warm decode allocates %.0f/op; budget is %d — a decode-side regression", allocs, warmDecodeAllocBudget)
+	}
+}
+
+func TestPlanHopAllocBudget(t *testing.T) {
+	plan, key, _ := planFixtureForAllocs(t)
+	hop := func() {
+		doc := algebra.Marshal(plan)
+		if doc.ByteSize() == 0 {
+			t.Fatal("empty wire doc")
+		}
+		p2, err := algebra.Unmarshal(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := provenance.FromPlan(p2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr.Append(provenance.Visit{
+			Server: "hop:1", Action: provenance.ActionForward, At: time.Millisecond,
+		}, key)
+		provenance.ToPlan(p2, tr)
+		if algebra.Marshal(p2).ByteSize() == 0 {
+			t.Fatal("empty forwarded doc")
+		}
+	}
+	hop()
+	if allocs := testing.AllocsPerRun(20, hop); allocs > planHopAllocBudget {
+		t.Fatalf("plan hop allocates %.0f/op; budget is %d", allocs, planHopAllocBudget)
+	}
+}
+
+func TestPlanHopWireAllocBudget(t *testing.T) {
+	plan, key, _ := planFixtureForAllocs(t)
+	hop := func() {
+		s := algebra.EncodeString(plan)
+		doc, err := xmltree.DecodeString(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2, err := algebra.Unmarshal(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := provenance.FromPlan(p2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr.Append(provenance.Visit{
+			Server: "hop:1", Action: provenance.ActionForward, At: time.Millisecond,
+		}, key)
+		provenance.ToPlan(p2, tr)
+		if len(algebra.EncodeString(p2)) == 0 {
+			t.Fatal("empty forwarded doc")
+		}
+	}
+	hop()
+	if allocs := testing.AllocsPerRun(20, hop); allocs > planHopWireAllocBudget {
+		t.Fatalf("wire hop allocates %.0f/op; budget is %d", allocs, planHopWireAllocBudget)
+	}
+}

@@ -1,10 +1,14 @@
 package algebra
 
 import (
+	"encoding/base64"
+	"encoding/binary"
 	"fmt"
 	"hash/fnv"
 	"sort"
 	"strconv"
+	"strings"
+	"unicode"
 
 	"repro/internal/xmltree"
 )
@@ -132,21 +136,66 @@ func (v *Visited) Clone() *Visited {
 // Marshal renders the memory as its frozen <visited> element. The element is
 // cached until the next Mark, so serializing a plan on every fallback
 // candidate (or measuring it) reuses the same immutable subtree.
+//
+// Wire form (compact, since the zero-copy decode PR): one text run packing
+// every record, fingerprints in unpadded base64url —
+//
+//	<visited b="3">meta:9020 2 FnYrjV5vcIE;s1:9020 Cg4iPbzW_yQ</visited>
+//
+// Records are ';'-separated; fields are server, optional decimal count
+// (omitted when 1, the overwhelmingly common case), and fingerprint. A
+// server name that would collide with the separators falls back to the
+// legacy per-record element form (<v fp=... n=... s=.../>), which
+// UnmarshalVisited accepts alongside the compact one.
 func (v *Visited) Marshal() *xmltree.Node {
 	if v.elem != nil && v.elemBudget == v.Budget {
 		return v.elem
 	}
 	e := xmltree.Elem(visitedElem)
 	if v.Budget > 0 {
-		e.SetAttr("budget", strconv.Itoa(v.Budget))
+		e.SetAttr("b", strconv.Itoa(v.Budget))
 	}
-	for _, s := range v.Servers() {
-		r := v.records[s]
-		e.Add(xmltree.ElemAttrs("v",
-			xmltree.Attr{Name: "s", Value: r.Server},
-			xmltree.Attr{Name: "n", Value: strconv.Itoa(r.Count)},
-			xmltree.Attr{Name: "fp", Value: strconv.FormatUint(r.Fingerprint, 16)},
-		))
+	servers := v.Servers()
+	compact := true
+	for _, s := range servers {
+		// The packed form splits records on ';' and fields on Unicode
+		// whitespace (strings.Fields), so any name containing either must
+		// take the legacy element form to round-trip.
+		if s == "" || strings.ContainsRune(s, ';') ||
+			strings.IndexFunc(s, unicode.IsSpace) >= 0 {
+			compact = false
+			break
+		}
+	}
+	if compact {
+		if len(servers) > 0 {
+			var sb strings.Builder
+			var fp [8]byte
+			for i, s := range servers {
+				r := v.records[s]
+				if i > 0 {
+					sb.WriteByte(';')
+				}
+				sb.WriteString(r.Server)
+				if r.Count != 1 {
+					sb.WriteByte(' ')
+					sb.WriteString(strconv.Itoa(r.Count))
+				}
+				sb.WriteByte(' ')
+				binary.BigEndian.PutUint64(fp[:], r.Fingerprint)
+				sb.WriteString(base64.RawURLEncoding.EncodeToString(fp[:]))
+			}
+			e.Add(xmltree.TextNode(sb.String()))
+		}
+	} else {
+		for _, s := range servers {
+			r := v.records[s]
+			e.Add(xmltree.ElemAttrs("v",
+				xmltree.Attr{Name: "s", Value: r.Server},
+				xmltree.Attr{Name: "n", Value: strconv.Itoa(r.Count)},
+				xmltree.Attr{Name: "fp", Value: strconv.FormatUint(r.Fingerprint, 16)},
+			))
+		}
 	}
 	v.elem = e.Freeze()
 	v.elemBudget = v.Budget
@@ -156,13 +205,19 @@ func (v *Visited) Marshal() *xmltree.Node {
 // visitedElem is the element name of the visited section in <mqp> documents.
 const visitedElem = "visited"
 
-// UnmarshalVisited parses a <visited> section.
+// UnmarshalVisited parses a <visited> section: the compact text form
+// Marshal emits, or the legacy element-per-record form (older wire corpora,
+// exotic server names).
 func UnmarshalVisited(e *xmltree.Node) (*Visited, error) {
 	if e.Name != visitedElem {
 		return nil, fmt.Errorf("algebra: expected <%s>, got <%s>", visitedElem, e.Name)
 	}
 	v := NewVisited()
-	if b := e.AttrDefault("budget", ""); b != "" {
+	b := e.AttrDefault("b", "")
+	if b == "" {
+		b = e.AttrDefault("budget", "")
+	}
+	if b != "" {
 		n, err := strconv.Atoi(b)
 		if err != nil || n < 0 {
 			return nil, fmt.Errorf("algebra: bad visited budget %q", b)
@@ -185,6 +240,33 @@ func UnmarshalVisited(e *xmltree.Node) (*Visited, error) {
 			return nil, fmt.Errorf("algebra: bad fingerprint for %s: %w", server, err)
 		}
 		v.records[server] = &VisitRecord{Server: server, Count: n, Fingerprint: fp}
+	}
+	packed := strings.TrimSpace(e.InnerText())
+	if packed == "" {
+		return v, nil
+	}
+	for _, rec := range strings.Split(packed, ";") {
+		fields := strings.Fields(rec)
+		var server, countStr, fpStr string
+		switch len(fields) {
+		case 2:
+			server, countStr, fpStr = fields[0], "1", fields[1]
+		case 3:
+			server, countStr, fpStr = fields[0], fields[1], fields[2]
+		default:
+			return nil, fmt.Errorf("algebra: bad visited record %q", rec)
+		}
+		n, err := strconv.Atoi(countStr)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("algebra: bad visit count %q for %s", countStr, server)
+		}
+		raw, err := base64.RawURLEncoding.DecodeString(fpStr)
+		if err != nil || len(raw) != 8 {
+			return nil, fmt.Errorf("algebra: bad fingerprint %q for %s", fpStr, server)
+		}
+		v.records[server] = &VisitRecord{
+			Server: server, Count: n, Fingerprint: binary.BigEndian.Uint64(raw),
+		}
 	}
 	return v, nil
 }

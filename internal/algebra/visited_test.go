@@ -148,14 +148,119 @@ func TestVisitedMarshalFrozenAndCached(t *testing.T) {
 	if e3 == e1 {
 		t.Fatal("Mark must invalidate the marshal cache")
 	}
-	if len(e3.ChildrenNamed("v")) != 2 {
-		t.Fatalf("marshal = %s", e3)
+	if rt, err := UnmarshalVisited(e3); err != nil || rt.Len() != 2 {
+		t.Fatalf("marshal = %s (err %v)", e3, err)
 	}
 	// Direct writes to the exported Budget field must not serve a stale
 	// cached budget.
 	v.Budget = 9
-	if got := v.Marshal().AttrDefault("budget", ""); got != "9" {
+	if got := v.Marshal().AttrDefault("b", ""); got != "9" {
 		t.Fatalf("budget attr = %q after direct Budget write, want 9", got)
+	}
+}
+
+// TestVisitedCompactWireForm pins the compact encoding: one packed text
+// run, count omitted when 1, budget in the short attr — and verifies it
+// survives a full string serialization round trip through the zero-copy
+// decoder.
+func TestVisitedCompactWireForm(t *testing.T) {
+	v := NewVisited()
+	v.Budget = 3
+	v.Mark("meta:9020", 0x1a2b3c4d5e6f7081)
+	v.Mark("meta:9020", 0x1a2b3c4d5e6f7081)
+	v.Mark("s1:9020", 1)
+	e := v.Marshal()
+	if got, want := e.AttrDefault("b", ""), "3"; got != want {
+		t.Fatalf("budget attr = %q, want %q", got, want)
+	}
+	if len(e.Elements()) != 0 {
+		t.Fatalf("compact form must carry no per-record elements: %s", e)
+	}
+	// The compact form must be meaningfully smaller than the legacy
+	// element-per-record encoding it replaces.
+	legacySize := len(`<visited budget="3">` +
+		`<v fp="1a2b3c4d5e6f7081" n="2" s="meta:9020"/>` +
+		`<v fp="1" n="1" s="s1:9020"/>` + `</visited>`)
+	if e.ByteSize() >= legacySize*3/4 {
+		t.Fatalf("compact visited is %d B; legacy was %d B — want at least 25%% smaller", e.ByteSize(), legacySize)
+	}
+	// Round trip through real wire bytes and the zero-copy decoder.
+	doc, err := xmltree.DecodeString(e.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := UnmarshalVisited(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Budget != 3 {
+		t.Fatalf("budget = %d", rt.Budget)
+	}
+	if r, ok := rt.Lookup("meta:9020"); !ok || r.Count != 2 || r.Fingerprint != 0x1a2b3c4d5e6f7081 {
+		t.Fatalf("meta record = %+v ok=%v", r, ok)
+	}
+	if r, ok := rt.Lookup("s1:9020"); !ok || r.Count != 1 || r.Fingerprint != 1 {
+		t.Fatalf("s1 record = %+v ok=%v", r, ok)
+	}
+}
+
+// TestVisitedLegacyWireForm: the PR 4 element-per-record encoding (committed
+// fuzz corpora, mixed-version peers) must still parse.
+func TestVisitedLegacyWireForm(t *testing.T) {
+	rt, err := UnmarshalVisited(xmltree.MustParse(
+		`<visited budget="3"><v fp="deadbeef42" n="2" s="meta:9020"/></visited>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Budget != 3 {
+		t.Fatalf("budget = %d", rt.Budget)
+	}
+	if r, ok := rt.Lookup("meta:9020"); !ok || r.Count != 2 || r.Fingerprint != 0xdeadbeef42 {
+		t.Fatalf("record = %+v ok=%v", r, ok)
+	}
+}
+
+// TestVisitedExoticServerFallsBack: a server name that would collide with
+// the packed separators ships in the legacy element form and still round
+// trips exactly.
+func TestVisitedExoticServerFallsBack(t *testing.T) {
+	// Any name the packed form cannot round-trip — ';' records separators,
+	// and all Unicode whitespace, since the parser splits fields with
+	// strings.Fields — must take the legacy element form.
+	for _, server := range []string{"weird host;name", "tab\thost:1", "nb sp:1", "nl\nhost:1"} {
+		v := NewVisited()
+		v.Mark(server, 7)
+		e := v.Marshal()
+		if len(e.ChildrenNamed("v")) != 1 {
+			t.Fatalf("%q: expected legacy fallback, got %s", server, e)
+		}
+		doc, err := xmltree.DecodeString(e.String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt, err := UnmarshalVisited(doc)
+		if err != nil {
+			t.Fatalf("%q: %v", server, err)
+		}
+		if r, ok := rt.Lookup(server); !ok || r.Count != 1 || r.Fingerprint != 7 {
+			t.Fatalf("%q: record = %+v ok=%v", server, r, ok)
+		}
+	}
+}
+
+// TestVisitedCompactRejectsGarbage: malformed packed records fail loudly.
+func TestVisitedCompactRejectsGarbage(t *testing.T) {
+	for _, src := range []string{
+		`<visited>onlyserver</visited>`,              // missing fingerprint
+		`<visited>a:1 0 AAAAAAAAAAE</visited>`,       // zero count
+		`<visited>a:1 x AAAAAAAAAAE</visited>`,       // bad count
+		`<visited>a:1 2 zz</visited>`,                // bad fingerprint
+		`<visited>a:1 2 AAAAAAAAAAE extra</visited>`, // too many fields
+		`<visited b="x">a:1 AAAAAAAAAAE</visited>`,   // bad budget
+	} {
+		if _, err := UnmarshalVisited(xmltree.MustParse(src)); err == nil {
+			t.Errorf("no error for %s", src)
+		}
 	}
 }
 

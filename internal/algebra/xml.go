@@ -50,61 +50,85 @@ func MarshalNode(n *Node) *xmltree.Node {
 // copyDocs false, mutable payloads are shared too instead of deep-cloned —
 // only safe when the produced tree is measured or serialized and then
 // discarded, never retained or mutated.
+//
+// The staging tree is built at final size: attribute lists and child slices
+// are allocated exactly once per element (serialization sorts attributes,
+// so emit order is free), which matters because the hop path marshals every
+// plan it forwards.
 func marshalNode(n *Node, copyDocs bool) *xmltree.Node {
-	e := xmltree.Elem(n.Kind.String())
+	var e *xmltree.Node
+	switch n.Kind {
+	case KindURL:
+		if n.PathExp != "" {
+			e = xmltree.ElemAttrs("url",
+				xmltree.Attr{Name: "href", Value: n.URL},
+				xmltree.Attr{Name: "path", Value: n.PathExp})
+		} else {
+			e = xmltree.ElemAttrs("url", xmltree.Attr{Name: "href", Value: n.URL})
+		}
+	case KindURN:
+		e = xmltree.ElemAttrs("urn", xmltree.Attr{Name: "name", Value: n.URN})
+	case KindSelect:
+		e = xmltree.ElemAttrs("select", xmltree.Attr{Name: "pred", Value: n.Pred.String()})
+	case KindProject:
+		e = xmltree.ElemAttrs("project",
+			xmltree.Attr{Name: "as", Value: n.As},
+			xmltree.Attr{Name: "fields", Value: joinFields(n.Fields)})
+	case KindJoin:
+		e = xmltree.ElemAttrs("join",
+			xmltree.Attr{Name: "leftkey", Value: n.LeftKey},
+			xmltree.Attr{Name: "rightkey", Value: n.RightKey},
+			xmltree.Attr{Name: "leftname", Value: n.LeftName},
+			xmltree.Attr{Name: "rightname", Value: n.RightName})
+	case KindTopN:
+		order := "asc"
+		if n.Desc {
+			order = "desc"
+		}
+		e = xmltree.ElemAttrs("topn",
+			xmltree.Attr{Name: "n", Value: strconv.Itoa(n.N)},
+			xmltree.Attr{Name: "by", Value: n.OrderBy},
+			xmltree.Attr{Name: "order", Value: order})
+	default:
+		e = xmltree.Elem(n.Kind.String())
+	}
+	total := len(n.Children) + len(n.Docs)
 	if len(n.Annotations) > 0 {
-		ann := xmltree.Elem(annotationsElem)
+		total++
+	}
+	if total == 0 {
+		return e
+	}
+	kids := make([]*xmltree.Node, 0, total)
+	if len(n.Annotations) > 0 {
 		keys := make([]string, 0, len(n.Annotations))
 		for k := range n.Annotations {
 			keys = append(keys, k)
 		}
 		sort.Strings(keys)
-		for _, k := range keys {
-			a := xmltree.Elem("annot")
-			a.SetAttr("k", k)
-			a.SetAttr("v", n.Annotations[k])
-			ann.Add(a)
+		annKids := make([]*xmltree.Node, len(keys))
+		for i, k := range keys {
+			annKids[i] = xmltree.ElemAttrs("annot",
+				xmltree.Attr{Name: "k", Value: k},
+				xmltree.Attr{Name: "v", Value: n.Annotations[k]})
 		}
-		e.Add(ann)
+		ann := xmltree.Elem(annotationsElem)
+		ann.Children = annKids
+		kids = append(kids, ann)
 	}
-	switch n.Kind {
-	case KindData:
+	if n.Kind == KindData {
 		for _, d := range n.Docs {
 			if copyDocs {
-				e.Add(d.Share())
+				kids = append(kids, d.Share())
 			} else {
-				e.Add(d)
+				kids = append(kids, d)
 			}
-		}
-	case KindURL:
-		e.SetAttr("href", n.URL)
-		if n.PathExp != "" {
-			e.SetAttr("path", n.PathExp)
-		}
-	case KindURN:
-		e.SetAttr("name", n.URN)
-	case KindSelect:
-		e.SetAttr("pred", n.Pred.String())
-	case KindProject:
-		e.SetAttr("as", n.As)
-		e.SetAttr("fields", joinFields(n.Fields))
-	case KindJoin:
-		e.SetAttr("leftkey", n.LeftKey)
-		e.SetAttr("rightkey", n.RightKey)
-		e.SetAttr("leftname", n.LeftName)
-		e.SetAttr("rightname", n.RightName)
-	case KindTopN:
-		e.SetAttr("n", strconv.Itoa(n.N))
-		e.SetAttr("by", n.OrderBy)
-		if n.Desc {
-			e.SetAttr("order", "desc")
-		} else {
-			e.SetAttr("order", "asc")
 		}
 	}
 	for _, c := range n.Children {
-		e.Add(marshalNode(c, copyDocs))
+		kids = append(kids, marshalNode(c, copyDocs))
 	}
+	e.Children = kids
 	return e
 }
 
@@ -133,9 +157,39 @@ func splitFields(s string) []string {
 	return out
 }
 
+// arenaChunk sizes the per-plan operator arena. Operator shells are small
+// (a handful to a few dozen nodes per plan), so one chunk covers almost
+// every plan on the wire and a deep plan costs one allocation per 32
+// operators instead of one per operator.
+const arenaChunk = 32
+
+// nodeArena batch-allocates the mutable operator shell a hop rewrites. The
+// arena is per-unmarshal: operator nodes from one decoded plan sit in a few
+// contiguous blocks (better locality for the rewrite walks), and the blocks
+// are reclaimed together when the plan goes out of scope. Only the shell is
+// arena-backed — data payloads and extra sections stay frozen aliases of
+// the decoder output.
+type nodeArena struct {
+	blk []Node
+}
+
+func (a *nodeArena) take() *Node {
+	if len(a.blk) == 0 {
+		a.blk = make([]Node, arenaChunk)
+	}
+	n := &a.blk[0]
+	a.blk = a.blk[1:]
+	return n
+}
+
 // UnmarshalNode converts an XML element back into an operator subtree.
 func UnmarshalNode(e *xmltree.Node) (*Node, error) {
-	n := &Node{}
+	var ar nodeArena
+	return unmarshalNode(e, &ar)
+}
+
+func unmarshalNode(e *xmltree.Node, ar *nodeArena) (*Node, error) {
+	n := ar.take()
 	switch e.Name {
 	case "data":
 		n.Kind = KindData
@@ -197,7 +251,7 @@ func UnmarshalNode(e *xmltree.Node) (*Node, error) {
 	default:
 		return nil, fmt.Errorf("algebra: unknown operator element <%s>", e.Name)
 	}
-	for _, c := range e.Children {
+	for i, c := range e.Children {
 		if c.IsText() {
 			continue
 		}
@@ -212,15 +266,25 @@ func UnmarshalNode(e *xmltree.Node) (*Node, error) {
 			continue
 		}
 		if n.Kind == KindData {
+			if n.Docs == nil {
+				// Everything from here on is payload: size the slice once
+				// instead of growing it through appends (payloads routinely
+				// carry dozens of items).
+				n.Docs = make([]*xmltree.Node, 0, len(e.Children)-i)
+			}
 			// The receiver owns the decoded document, so payload items are
 			// frozen in place and aliased instead of deep-cloned; every
-			// later hop shares the same immutable subtree.
+			// later hop shares the same immutable subtree. (Decoder-produced
+			// payloads are born frozen, making this a no-op per item.)
 			n.Docs = append(n.Docs, c.Freeze())
 			continue
 		}
-		child, err := UnmarshalNode(c)
+		child, err := unmarshalNode(c, ar)
 		if err != nil {
 			return nil, err
+		}
+		if n.Children == nil {
+			n.Children = make([]*Node, 0, len(e.Children)-i)
 		}
 		n.Children = append(n.Children, child)
 	}
@@ -265,7 +329,10 @@ func marshal(p *Plan, copyDocs bool) *xmltree.Node {
 	return doc
 }
 
-// Unmarshal parses an <mqp> document back into a Plan.
+// Unmarshal parses an <mqp> document back into a Plan. The mutable
+// operator shell (plan and retained original) is allocated from one
+// per-plan arena; everything else — data payloads, extra sections — is
+// frozen and aliased from the document.
 func Unmarshal(doc *xmltree.Node) (*Plan, error) {
 	if doc.Name != "mqp" {
 		return nil, fmt.Errorf("algebra: expected <mqp>, got <%s>", doc.Name)
@@ -274,6 +341,7 @@ func Unmarshal(doc *xmltree.Node) (*Plan, error) {
 		ID:     doc.AttrDefault("id", ""),
 		Target: doc.AttrDefault("target", ""),
 	}
+	var ar nodeArena
 	for _, c := range doc.Children {
 		if c.IsText() {
 			continue
@@ -284,7 +352,7 @@ func Unmarshal(doc *xmltree.Node) (*Plan, error) {
 			if len(elems) != 1 {
 				return nil, fmt.Errorf("algebra: <plan> must have exactly one operator, has %d", len(elems))
 			}
-			root, err := UnmarshalNode(elems[0])
+			root, err := unmarshalNode(elems[0], &ar)
 			if err != nil {
 				return nil, err
 			}
@@ -294,7 +362,7 @@ func Unmarshal(doc *xmltree.Node) (*Plan, error) {
 			if len(elems) != 1 {
 				return nil, fmt.Errorf("algebra: <original> must have exactly one operator")
 			}
-			orig, err := UnmarshalNode(elems[0])
+			orig, err := unmarshalNode(elems[0], &ar)
 			if err != nil {
 				return nil, err
 			}
@@ -342,18 +410,33 @@ func WireSize(p *Plan) int {
 	return marshal(p, false).ByteSize()
 }
 
-// Decode parses a serialized plan.
+// Decode parses a serialized plan through the zero-copy receive path: the
+// stream is buffered once and the document is decoded straight from that
+// buffer (xmltree.Decode), so plan payloads alias the read bytes instead of
+// being re-stringified.
 func Decode(r io.Reader) (*Plan, error) {
-	doc, err := xmltree.Parse(r)
+	buf, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeBytes(buf)
+}
+
+// DecodeBytes parses a plan from its XML wire bytes, zero-copy. The buffer
+// is retained by the plan's payloads and must not be modified afterwards
+// (the xmltree.Decode ownership rule).
+func DecodeBytes(buf []byte) (*Plan, error) {
+	doc, err := xmltree.Decode(buf)
 	if err != nil {
 		return nil, err
 	}
 	return Unmarshal(doc)
 }
 
-// DecodeString parses a plan from its XML string form.
+// DecodeString parses a plan from its XML string form, zero-copy: decoded
+// payloads alias the string.
 func DecodeString(s string) (*Plan, error) {
-	doc, err := xmltree.ParseString(s)
+	doc, err := xmltree.DecodeString(s)
 	if err != nil {
 		return nil, err
 	}

@@ -33,6 +33,8 @@ import (
 	"fmt"
 	"math/rand"
 	"time"
+
+	"repro/internal/xmltree"
 )
 
 // Faults are per-link, per-message fault-injection probabilities (each in
@@ -198,8 +200,11 @@ func (s *scheduler) jitterLocked(window time.Duration) time.Duration {
 }
 
 // enqueueSendLocked applies send-side faults and enqueues the delivery.
-// Reachability (down peers, partitions) was already checked by Send.
-func (s *scheduler) enqueueSendLocked(n *Network, msg *Message, transit time.Duration, size int) error {
+// Reachability (down peers, partitions) was already checked by Send, which
+// also ran the body through the wire codec: wireBody is the decoded frame
+// the destination (and a duplicated delivery) will see; the trace keeps it
+// too, so fault attribution reads exactly what was on the wire.
+func (s *scheduler) enqueueSendLocked(n *Network, msg *Message, wireBody *xmltree.Node, transit time.Duration, size int) error {
 	f := s.faultsLocked(msg.From, msg.To)
 	window := f.ReorderWindow
 	if window <= 0 {
@@ -216,7 +221,7 @@ func (s *scheduler) enqueueSendLocked(n *Network, msg *Message, transit time.Dur
 	}
 	deliver := func(at time.Duration) *Message {
 		return &Message{
-			From: msg.From, To: msg.To, Kind: msg.Kind, Body: msg.Body,
+			From: msg.From, To: msg.To, Kind: msg.Kind, Body: wireBody,
 			At: at, Hops: msg.Hops + 1,
 		}
 	}

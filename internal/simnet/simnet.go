@@ -282,6 +282,29 @@ func (n *Network) accountLocked(kind string, size int, isRequest bool) {
 // chain exceeds the forwarding-depth limit — almost always a routing loop.
 var ErrDepthExceeded = errors.New("forwarding depth limit exceeded; routing loop?")
 
+// encodeBody runs a message body through the real wire codec: canonical
+// serialization at the sender, zero-copy decode at the receiver's side of
+// the link. Every simulated delivery therefore exercises the exact decoder
+// the socket transport uses (and chaos sweeps and the experiment tables
+// inherit that coverage for free). The decoded document aliases the
+// serialized string and is frozen at birth — receivers alias what they
+// keep, per the xmltree ownership rule, exactly as with a real frame.
+//
+// The serialization happens outside the network lock (it is the analog of
+// writing to a socket), and canonical serialization is a decode fixpoint,
+// so delivered content is byte-identical to what inline reference passing
+// carried before.
+func encodeBody(kind string, body *xmltree.Node) (*xmltree.Node, error) {
+	if body == nil {
+		return nil, nil
+	}
+	decoded, err := xmltree.DecodeString(body.String())
+	if err != nil {
+		return nil, fmt.Errorf("simnet: %s body not wire-decodable: %w", kind, err)
+	}
+	return decoded, nil
+}
+
 // Send delivers a one-way message from msg.From to msg.To. In inline mode
 // the destination's Deliver runs before Send returns; in scheduled mode the
 // delivery is enqueued for the Run pump (and may be dropped, duplicated or
@@ -307,6 +330,13 @@ func (n *Network) Send(msg *Message) error {
 		return err
 	}
 	size := wireSize(msg.Body)
+	// The body crosses the link through the real codec (serialize, then
+	// zero-copy decode); msg itself is not mutated — the caller may offer
+	// the same body to several fallback candidates.
+	wireBody, err := encodeBody(msg.Kind, msg.Body)
+	if err != nil {
+		return err
+	}
 	n.mu.Lock()
 	if n.blockedLocked(msg.From, msg.To, msg.At) {
 		n.mu.Unlock()
@@ -315,7 +345,7 @@ func (n *Network) Send(msg *Message) error {
 	lat := n.latency(msg.From, msg.To)
 	proc := n.procDelay
 	if s := n.sched; s != nil {
-		err := s.enqueueSendLocked(n, msg, lat+proc, size)
+		err := s.enqueueSendLocked(n, msg, wireBody, lat+proc, size)
 		n.mu.Unlock()
 		return err
 	}
@@ -326,7 +356,7 @@ func (n *Network) Send(msg *Message) error {
 		From: msg.From,
 		To:   msg.To,
 		Kind: msg.Kind,
-		Body: msg.Body,
+		Body: wireBody,
 		At:   msg.At + lat + proc,
 		Hops: msg.Hops + 1,
 	}

@@ -42,20 +42,26 @@ func FuzzRecv(f *testing.F) {
 	f.Add(frame(`<open><unclosed></open>`))         // well-framed bad XML
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		doc, err := recvAuto(bufio.NewReader(bytes.NewReader(data)))
+		doc, frame, err := recvAuto(bufio.NewReader(bytes.NewReader(data)))
 		if err != nil {
 			return // malformed input must only error, never panic or hang
 		}
+		if frame == nil {
+			t.Fatal("accepted document without a retained frame")
+		}
+		if !doc.Frozen() {
+			t.Fatal("received document not frozen at birth")
+		}
 		if doc.ByteSize() > MaxFrameBytes {
-			// The legacy raw-stream path has no size bound; a document this
-			// large is accepted but legitimately cannot be re-framed.
+			// Escaping can make the canonical form larger than the accepted
+			// raw bytes; such a document legitimately cannot be re-framed.
 			return
 		}
 		var buf bytes.Buffer
 		if err := WriteFrame(&buf, doc); err != nil {
 			t.Fatalf("re-framing an accepted document failed: %v", err)
 		}
-		doc2, err := ReadFrame(bytes.NewReader(buf.Bytes()))
+		doc2, _, err := ReadFrame(bytes.NewReader(buf.Bytes()))
 		if err != nil {
 			t.Fatalf("re-reading a written frame failed: %v", err)
 		}
@@ -72,12 +78,15 @@ func TestFrameRoundTrip(t *testing.T) {
 	if err := WriteFrame(&buf, want); err != nil {
 		t.Fatal(err)
 	}
-	got, err := ReadFrame(&buf)
+	got, frame, err := ReadFrame(&buf)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !xmltree.Equal(got, want) {
 		t.Fatalf("round trip: %s", got)
+	}
+	if len(frame) != got.ByteSize() {
+		t.Fatalf("retained frame is %d bytes, document sizes to %d", len(frame), got.ByteSize())
 	}
 }
 
@@ -91,7 +100,7 @@ func TestReadFrameBounds(t *testing.T) {
 		"framed junk":      frame(`]]>`),
 	}
 	for name, data := range cases {
-		if _, err := ReadFrame(bytes.NewReader(data)); err == nil {
+		if _, _, err := ReadFrame(bytes.NewReader(data)); err == nil {
 			t.Errorf("%s: ReadFrame accepted %q", name, data)
 		}
 	}
@@ -106,12 +115,15 @@ func TestRecvAcceptsBothFormats(t *testing.T) {
 		"legacy":            []byte(`<hello who="world"/>`),
 		"legacy whitespace": []byte("\n\t <hello who=\"world\"/>"),
 	} {
-		doc, err := recvAuto(bufio.NewReader(bytes.NewReader(data)))
+		doc, frame, err := recvAuto(bufio.NewReader(bytes.NewReader(data)))
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
 		if doc.Name != "hello" {
 			t.Fatalf("%s: got %s", name, doc)
+		}
+		if len(frame) == 0 {
+			t.Fatalf("%s: no retained frame", name)
 		}
 	}
 }

@@ -16,12 +16,20 @@ func TestRecvReadsOneDocument(t *testing.T) {
 		defer client.Close()
 		_, _ = xmltree.MustParse(`<mqp id="r"><plan><data/></plan></mqp>`).WriteTo(client)
 	}()
-	doc, err := Recv(server)
+	doc, frame, err := Recv(server)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if doc.Name != "mqp" || doc.AttrDefault("id", "") != "r" {
 		t.Fatalf("got %s", doc.String())
+	}
+	// The retained frame is the exact raw stream; the decoded document is
+	// frozen at birth and aliases it.
+	if string(frame) != doc.String() {
+		t.Fatalf("retained frame %q differs from canonical form %q", frame, doc.String())
+	}
+	if !doc.Frozen() {
+		t.Fatal("received document not frozen")
 	}
 }
 
@@ -37,7 +45,7 @@ func TestRecvTimesOut(t *testing.T) {
 	defer server.Close()
 
 	start := time.Now()
-	_, err := Recv(server) // client never writes
+	_, _, err := Recv(server) // client never writes
 	if err == nil {
 		t.Fatal("Recv of a silent connection must error")
 	}

@@ -82,43 +82,63 @@ func WriteFrame(w io.Writer, doc *xmltree.Node) error {
 	return err
 }
 
-// ReadFrame reads one length-prefixed document. Truncated prefixes,
+// ReadFrame reads one length-prefixed document and returns it together with
+// the retained frame buffer the document's nodes alias. Truncated prefixes,
 // zero-length and oversized frames, and payloads cut off mid-frame are all
 // errors — never a hang on a stream that will not grow, and never a parse of
 // bytes beyond the declared length.
-func ReadFrame(r io.Reader) (*xmltree.Node, error) {
+//
+// Ownership: the returned frame is retained by the document — names, text
+// and attribute values of the decoded nodes are zero-copy slices into it.
+// The frame must never be modified or reused while any node from the
+// document is reachable (the xmltree born-frozen rule); it is returned so
+// callers can account its exact wire size or archive the raw bytes.
+func ReadFrame(r io.Reader) (*xmltree.Node, []byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, fmt.Errorf("wire: frame header: %w", err)
+		return nil, nil, fmt.Errorf("wire: frame header: %w", err)
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n == 0 {
-		return nil, fmt.Errorf("wire: empty frame")
+		return nil, nil, fmt.Errorf("wire: empty frame")
 	}
 	if n > MaxFrameBytes {
-		return nil, fmt.Errorf("wire: frame of %d bytes exceeds limit %d", n, MaxFrameBytes)
+		return nil, nil, fmt.Errorf("wire: frame of %d bytes exceeds limit %d", n, MaxFrameBytes)
 	}
 	// ReadAll over a LimitReader grows the buffer as bytes actually arrive,
 	// so a lying length prefix costs the receiver nothing up front.
 	payload, err := io.ReadAll(io.LimitReader(r, int64(n)))
 	if err != nil {
-		return nil, fmt.Errorf("wire: frame payload: %w", err)
+		return nil, nil, fmt.Errorf("wire: frame payload: %w", err)
 	}
 	if len(payload) != int(n) {
-		return nil, fmt.Errorf("wire: frame truncated: have %d of %d bytes: %w",
+		return nil, nil, fmt.Errorf("wire: frame truncated: have %d of %d bytes: %w",
 			len(payload), n, io.ErrUnexpectedEOF)
 	}
-	doc, err := xmltree.ParseString(string(payload))
+	doc, err := xmltree.Decode(payload)
 	if err != nil {
-		return nil, fmt.Errorf("wire: frame body: %w", err)
+		return nil, nil, fmt.Errorf("wire: frame body: %w", err)
 	}
-	return doc, nil
+	return doc, payload, nil
 }
 
 // ReadDoc reads one XML document from r (until EOF) — the legacy unframed
-// stream format.
-func ReadDoc(r io.Reader) (*xmltree.Node, error) {
-	return xmltree.Parse(r)
+// stream format. The stream is buffered into the same retained-frame shape
+// as ReadFrame, then zero-copy decoded, so legacy senders feed the exact
+// receive path framed senders do.
+func ReadDoc(r io.Reader) (*xmltree.Node, []byte, error) {
+	buf, err := io.ReadAll(io.LimitReader(r, MaxFrameBytes+1))
+	if err != nil {
+		return nil, nil, fmt.Errorf("wire: raw stream: %w", err)
+	}
+	if len(buf) > MaxFrameBytes {
+		return nil, nil, fmt.Errorf("wire: raw document exceeds frame limit %d", MaxFrameBytes)
+	}
+	doc, err := xmltree.Decode(buf)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wire: raw document: %w", err)
+	}
+	return doc, buf, nil
 }
 
 // recvAuto reads one document in either wire format. Leading XML whitespace
@@ -126,11 +146,11 @@ func ReadDoc(r io.Reader) (*xmltree.Node, error) {
 // parser tolerated it); after that, '<' means a raw document and anything
 // else is a frame's length prefix — a valid prefix for a ≤MaxFrameBytes
 // frame always starts with 0x00, so the two formats cannot collide.
-func recvAuto(br *bufio.Reader) (*xmltree.Node, error) {
+func recvAuto(br *bufio.Reader) (*xmltree.Node, []byte, error) {
 	for {
 		b, err := br.Peek(1)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		switch b[0] {
 		case ' ', '\t', '\r', '\n':
@@ -143,17 +163,18 @@ func recvAuto(br *bufio.Reader) (*xmltree.Node, error) {
 	}
 }
 
-// Recv reads one document from a connection under ReadTimeout. It is the
-// receive-side primitive symmetric to Send: every server connection goes
-// through it, so a slow or silent sender times out instead of leaking a
-// goroutine. Both framed and legacy raw-stream senders are accepted.
-func Recv(conn net.Conn) (*xmltree.Node, error) {
+// Recv reads one document from a connection under ReadTimeout and returns
+// it with its retained frame buffer (see ReadFrame). It is the receive-side
+// primitive symmetric to Send: every server connection goes through it, so
+// a slow or silent sender times out instead of leaking a goroutine. Both
+// framed and legacy raw-stream senders are accepted.
+func Recv(conn net.Conn) (*xmltree.Node, []byte, error) {
 	_ = conn.SetReadDeadline(time.Now().Add(ReadTimeout))
-	doc, err := recvAuto(bufio.NewReader(conn))
+	doc, frame, err := recvAuto(bufio.NewReader(conn))
 	if err != nil {
-		return nil, fmt.Errorf("wire: recv from %s: %w", conn.RemoteAddr(), err)
+		return nil, nil, fmt.Errorf("wire: recv from %s: %w", conn.RemoteAddr(), err)
 	}
-	return doc, nil
+	return doc, frame, nil
 }
 
 // Handler processes one received document. A non-nil reply is written back
@@ -208,7 +229,7 @@ func (s *Server) handle(conn net.Conn, h Handler) {
 		default:
 		}
 	}
-	doc, err := Recv(conn)
+	doc, _, err := Recv(conn)
 	if err != nil {
 		report(err)
 		return

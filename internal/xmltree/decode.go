@@ -1,0 +1,1116 @@
+// Zero-copy receive-side decoder.
+//
+// Decode and DecodeString build an xmltree document directly from the wire
+// buffer: element and attribute names are interned in a package-level table,
+// and text runs and attribute values that need no unescaping alias the input
+// instead of being copied. The produced subtree is **born frozen** — every
+// node's canonical byte size is computed incrementally as its element closes
+// and its memo generation is pinned to the frozen sentinel — so decoder
+// output obeys the package ownership rule with no post-parse Freeze walk.
+//
+// Ownership: because decoded nodes alias the input, the buffer handed to
+// Decode (or the string handed to DecodeString) must stay immutable for the
+// life of any node produced from it. Strings are immutable by construction;
+// a []byte frame is retained by reference and must never be written again.
+//
+// Compatibility: Decode is a behavioral mirror of Parse (the encoding/xml
+// reference implementation kept above): on any input the two either produce
+// structurally equal trees or both reject. FuzzDecodeEquivalence enforces
+// the contract over the shared fuzz corpus. The mirrored quirks worth
+// knowing: \r and \r\n in text and attribute values become \n while &#xD;
+// survives; text runs merge across comments and CDATA boundaries;
+// whitespace-only runs are dropped; "]]>" is an error outside CDATA;
+// comments may not contain "--"; an <?xml?> declaration is validated for
+// version and encoding; namespace prefixes are stripped from names, xmlns
+// machinery is dropped, and a prefix bound to the URI "xmlns" hides its
+// attributes exactly as encoding/xml's namespace translation does.
+package xmltree
+
+import (
+	"encoding/xml"
+	"errors"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"unicode"
+	"unicode/utf8"
+	"unsafe"
+)
+
+// Decode parses one XML document from buf, aliasing buf's bytes for names,
+// text, and attribute values wherever no unescaping is required. The caller
+// must not modify buf afterwards: the returned subtree (frozen at birth)
+// holds references into it for as long as any node is reachable.
+func Decode(buf []byte) (*Node, error) {
+	if len(buf) == 0 {
+		return nil, errors.New("xmltree: decode: no root element")
+	}
+	return DecodeString(unsafe.String(unsafe.SliceData(buf), len(buf)))
+}
+
+// DecodeString parses one XML document from s with the same zero-copy,
+// frozen-at-birth semantics as Decode; node strings are substrings of s.
+func DecodeString(s string) (*Node, error) {
+	d := decPool.Get().(*decoder)
+	d.s = s
+	root, err := d.run()
+	d.release()
+	return root, err
+}
+
+// --- Name interning ----------------------------------------------------
+
+// internMax bounds the intern table so adversarial inputs (fuzzing, hostile
+// peers) cannot grow it without bound; past the cap names are still copied
+// out of the buffer, just not remembered.
+const internMax = 4096
+
+// internTab is a copy-on-write map: reads are plain lock-free lookups (one
+// per decoded name — the hottest lookup in the decoder), and the rare
+// insertion of a new name clones the table under internMu.
+var (
+	internMu  sync.Mutex
+	internTab atomic.Pointer[map[string]string]
+)
+
+func init() {
+	// Seed with the wire vocabulary so steady-state decodes never clone:
+	// plan structure, operator elements, their attributes, and the
+	// provenance/visited sections.
+	tab := make(map[string]string, 128)
+	for _, s := range []string{
+		"mqp", "plan", "original", "visited", "provenance", "visit",
+		"data", "url", "urn", "select", "project", "join", "union", "or",
+		"difference", "count", "topn", "display", "annotations", "annot",
+		"id", "target", "href", "path", "name", "pred", "as", "fields",
+		"leftkey", "rightkey", "leftname", "rightname", "n", "by", "order",
+		"k", "v", "s", "fp", "budget", "b", "server", "action", "at",
+		"resource", "sig", "stop", "hops", "item", "title", "price",
+		"seller", "cd", "song", "artist", "zip", "condition", "staleness",
+		"partial", "result", "register", "fetch", "export", "category",
+		"categories", "collection", "statement", "area", "registration",
+	} {
+		tab[s] = s
+	}
+	internTab.Store(&tab)
+}
+
+// intern returns a stable copy of name. The argument may alias a decode
+// buffer; the returned string never does, so interned names do not pin
+// frames alive.
+func intern(name string) string {
+	if v, ok := (*internTab.Load())[name]; ok {
+		return v
+	}
+	c := strings.Clone(name)
+	internMu.Lock()
+	defer internMu.Unlock()
+	old := *internTab.Load()
+	if v, ok := old[c]; ok {
+		return v
+	}
+	if len(old) >= internMax {
+		return c
+	}
+	tab := make(map[string]string, len(old)+1)
+	for k, v := range old {
+		tab[k] = v
+	}
+	tab[c] = c
+	internTab.Store(&tab)
+	return c
+}
+
+// --- Decoder state ------------------------------------------------------
+
+// nodeChunkSize batches node and slice allocation: a decode allocates one
+// []Node block per 64 nodes instead of one heap object per node, and child
+// and attribute slices are carved from shared slabs the same way. Blocks are
+// owned by the decoded trees once handed out; leftover block capacity is
+// reused by the next decode from the pool.
+const nodeChunkSize = 64
+
+// scratchMax caps the pooled scratch/slab capacity retained between decodes
+// so one pathological document does not pin large buffers in the pool.
+const scratchMax = 1 << 16
+
+type openElem struct {
+	n       *Node
+	rawName string // prefixed name as written, for end-tag matching
+	kidMark int    // kidStk length when the element opened
+	nsMark  int    // nsUndo length when the element opened
+}
+
+type nsUndo struct {
+	prefix string
+	old    string
+	had    bool
+}
+
+type decoder struct {
+	s    string
+	pos  int
+	root *Node
+
+	open    []openElem
+	kidStk  []*Node // flattened children of all open elements
+	attrStk []Attr  // raw attributes of the element being parsed
+
+	ns     map[string]string // live prefix -> URI bindings (xmlns tracking)
+	nsUndo []nsUndo
+
+	nodeChunk []Node
+	nodeUsed  int
+	kidChunk  []*Node
+	kidUsed   int
+	attrChunk []Attr
+	attrUsed  int
+
+	scratch []byte // unescape staging for values that cannot alias s
+	// wsOnly reports whether the last scanText run was entirely whitespace
+	// (strings.TrimSpace would empty it); computed during the validation
+	// scan so addText never re-reads the run.
+	wsOnly bool
+}
+
+var decPool = sync.Pool{New: func() interface{} {
+	return &decoder{ns: make(map[string]string)}
+}}
+
+func (d *decoder) release() {
+	d.s = ""
+	d.pos = 0
+	d.root = nil
+	clear(d.open)
+	d.open = d.open[:0]
+	clear(d.kidStk)
+	d.kidStk = d.kidStk[:0]
+	clear(d.attrStk)
+	d.attrStk = d.attrStk[:0]
+	clear(d.ns)
+	clear(d.nsUndo)
+	d.nsUndo = d.nsUndo[:0]
+	if cap(d.scratch) > scratchMax {
+		d.scratch = nil
+	} else {
+		d.scratch = d.scratch[:0]
+	}
+	decPool.Put(d)
+}
+
+func (d *decoder) newNode() *Node {
+	if d.nodeUsed == len(d.nodeChunk) {
+		d.nodeChunk = make([]Node, nodeChunkSize)
+		d.nodeUsed = 0
+	}
+	n := &d.nodeChunk[d.nodeUsed]
+	d.nodeUsed++
+	return n
+}
+
+func (d *decoder) kidSlice(kids []*Node) []*Node {
+	n := len(kids)
+	if n == 0 {
+		return nil
+	}
+	if len(d.kidChunk)-d.kidUsed < n {
+		size := nodeChunkSize
+		if n > size {
+			size = n
+		}
+		d.kidChunk = make([]*Node, size)
+		d.kidUsed = 0
+	}
+	out := d.kidChunk[d.kidUsed : d.kidUsed+n : d.kidUsed+n]
+	d.kidUsed += n
+	copy(out, kids)
+	return out
+}
+
+func (d *decoder) attrSlice(attrs []Attr) []Attr {
+	n := len(attrs)
+	if n == 0 {
+		return nil
+	}
+	if len(d.attrChunk)-d.attrUsed < n {
+		size := nodeChunkSize
+		if n > size {
+			size = n
+		}
+		d.attrChunk = make([]Attr, size)
+		d.attrUsed = 0
+	}
+	out := d.attrChunk[d.attrUsed : d.attrUsed+n : d.attrUsed+n]
+	d.attrUsed += n
+	copy(out, attrs)
+	return out
+}
+
+// --- Errors -------------------------------------------------------------
+
+func (d *decoder) err(msg string) error {
+	return errors.New("xmltree: decode: " + msg)
+}
+
+func (d *decoder) eof() error {
+	return d.err("unexpected EOF")
+}
+
+// --- Main loop ----------------------------------------------------------
+
+func (d *decoder) run() (*Node, error) {
+	for d.pos < len(d.s) {
+		if d.s[d.pos] != '<' {
+			text, err := d.scanText(-1, false)
+			if err != nil {
+				return nil, err
+			}
+			d.addText(text)
+			continue
+		}
+		d.pos++
+		if d.pos == len(d.s) {
+			return nil, d.eof()
+		}
+		var err error
+		switch d.s[d.pos] {
+		case '/':
+			d.pos++
+			err = d.endElement()
+		case '?':
+			d.pos++
+			err = d.procInst()
+		case '!':
+			d.pos++
+			err = d.bang()
+		default:
+			err = d.startElement()
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(d.open) > 0 {
+		return nil, d.err("unterminated element <" + d.open[len(d.open)-1].n.Name + ">")
+	}
+	if d.root == nil {
+		return nil, d.err("no root element")
+	}
+	return d.root, nil
+}
+
+// space skips XML whitespace inside markup.
+func (d *decoder) space() {
+	for d.pos < len(d.s) {
+		switch d.s[d.pos] {
+		case ' ', '\t', '\n', '\r':
+			d.pos++
+		default:
+			return
+		}
+	}
+}
+
+// --- Names --------------------------------------------------------------
+
+// isNameByte mirrors encoding/xml's single-byte name alphabet: names are
+// delimited by any ASCII byte outside it, while all multi-byte characters
+// are read and validated rune-wise afterwards.
+func isNameByte(c byte) bool {
+	return 'A' <= c && c <= 'Z' ||
+		'a' <= c && c <= 'z' ||
+		'0' <= c && c <= '9' ||
+		c == '_' || c == ':' || c == '.' || c == '-'
+}
+
+// rawName reads one XML name (prefix included). It mirrors readName + the
+// isName character-class check; names containing non-ASCII runes are settled
+// by probing encoding/xml itself, so the exotic cases cannot drift.
+func (d *decoder) rawName() (string, error) {
+	s := d.s
+	i := d.pos
+	if i >= len(s) {
+		return "", d.eof()
+	}
+	ascii := true
+	start := i
+	for i < len(s) {
+		c := s[i]
+		if c < utf8.RuneSelf {
+			if !isNameByte(c) {
+				break
+			}
+		} else {
+			ascii = false
+		}
+		i++
+	}
+	if i == start {
+		return "", d.err("expected name")
+	}
+	if i >= len(s) {
+		// The byte after a name is read by the tokenizer before the name is
+		// returned, so a name running into EOF is an unexpected-EOF error.
+		return "", d.eof()
+	}
+	name := s[start:i]
+	if ascii {
+		// ASCII fast path of encoding/xml's name start class: letters,
+		// underscore, or colon. Digits, '.' and '-' may only continue.
+		if c := name[0]; !('A' <= c && c <= 'Z' || 'a' <= c && c <= 'z' || c == '_' || c == ':') {
+			return "", d.err("invalid XML name: " + name)
+		}
+	} else if !exoticNameOK(name) {
+		return "", d.err("invalid XML name: " + name)
+	}
+	d.pos = i
+	return name, nil
+}
+
+// exoticNameOK validates a name containing non-ASCII bytes by asking the
+// reference tokenizer, in the spirit of localNameOK. The probe is a
+// processing instruction, not an element, because PI targets take the raw
+// name character class with no namespace split — names with colons must
+// stay valid here and be judged by splitName separately.
+func exoticNameOK(name string) bool {
+	dec := xml.NewDecoder(strings.NewReader("<?" + name + " ?>"))
+	_, err := dec.Token()
+	return err == nil
+}
+
+// splitName applies encoding/xml's namespace split: more than one colon is
+// a tokenizer error; exactly one colon with non-empty halves splits into
+// (prefix, local); a leading or trailing colon keeps the whole name as the
+// local (which the localName check then rejects or the attr filter drops).
+func splitName(raw string) (prefix, local string, ok bool) {
+	c := strings.IndexByte(raw, ':')
+	if c < 0 {
+		return "", raw, true
+	}
+	if strings.IndexByte(raw[c+1:], ':') >= 0 {
+		return "", "", false
+	}
+	if c == 0 || c == len(raw)-1 {
+		return "", raw, true
+	}
+	return raw[:c], raw[c+1:], true
+}
+
+// --- Elements -----------------------------------------------------------
+
+func (d *decoder) startElement() error {
+	raw, err := d.rawName()
+	if err != nil {
+		return err
+	}
+	_, local, ok := splitName(raw)
+	if !ok {
+		return d.err("element name " + raw + " has multiple colons")
+	}
+	if !localNameOK(local) {
+		return d.err("element name " + local + " invalid after dropping namespace prefix")
+	}
+	if len(d.open) == 0 && d.root != nil {
+		return d.err("multiple root elements")
+	}
+
+	attrMark := len(d.attrStk)
+	nsMark := len(d.nsUndo)
+	empty := false
+	for {
+		d.space()
+		if d.pos >= len(d.s) {
+			return d.eof()
+		}
+		c := d.s[d.pos]
+		if c == '/' {
+			d.pos++
+			if d.pos >= len(d.s) {
+				return d.eof()
+			}
+			if d.s[d.pos] != '>' {
+				return d.err("expected /> in element")
+			}
+			d.pos++
+			empty = true
+			break
+		}
+		if c == '>' {
+			d.pos++
+			break
+		}
+		araw, err := d.rawName()
+		if err != nil {
+			return err
+		}
+		d.space()
+		if d.pos >= len(d.s) {
+			return d.eof()
+		}
+		if d.s[d.pos] != '=' {
+			return d.err("attribute name without = in element")
+		}
+		d.pos++
+		d.space()
+		if d.pos >= len(d.s) {
+			return d.eof()
+		}
+		q := d.s[d.pos]
+		if q != '"' && q != '\'' {
+			return d.err("unquoted or missing attribute value in element")
+		}
+		d.pos++
+		val, err := d.scanText(int(q), false)
+		if err != nil {
+			return err
+		}
+		d.attrStk = append(d.attrStk, Attr{Name: araw, Value: val})
+	}
+
+	// Namespace-declaration pass, in document order, before any attribute
+	// is filtered: later attributes of this element see earlier bindings.
+	rawAttrs := d.attrStk[attrMark:]
+	for _, a := range rawAttrs {
+		prefix, local, ok := splitName(a.Name)
+		if !ok {
+			return d.err("attribute name " + a.Name + " has multiple colons")
+		}
+		if prefix == "xmlns" {
+			d.setNs(local, a.Value)
+		} else if prefix == "" && local == "xmlns" {
+			d.setNs("", a.Value)
+		}
+	}
+
+	// Filter-and-strip pass, mirroring Parse: xmlns machinery dropped, a
+	// prefix whose bound URI is the literal "xmlns" dropped (encoding/xml's
+	// translation would give those attrs Space "xmlns"), invalid stripped
+	// locals dropped, duplicate locals first-wins.
+	n := d.newNode()
+	n.Name = intern(local)
+	kept := rawAttrs[:0]
+	for _, a := range rawAttrs {
+		prefix, alocal, _ := splitName(a.Name)
+		// Any attribute whose stripped local is "xmlns" is namespace
+		// machinery — prefixed or not (Parse checks the local name after
+		// prefix stripping, so x:xmlns goes too).
+		if prefix == "xmlns" || alocal == "xmlns" {
+			continue
+		}
+		if prefix != "" && prefix != "xml" && d.ns[prefix] == "xmlns" {
+			continue
+		}
+		if !localNameOK(alocal) {
+			continue
+		}
+		dup := false
+		for _, k := range kept {
+			if k.Name == alocal {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		kept = append(kept, Attr{Name: intern(alocal), Value: a.Value})
+	}
+	n.Attrs = d.attrSlice(kept)
+	d.attrStk = d.attrStk[:attrMark]
+
+	if empty {
+		d.undoNs(nsMark)
+		d.finish(n)
+		return nil
+	}
+	// Fast path for the dominant wire shape, <name>text</name>: scan the
+	// text run and, when the matching end tag follows immediately, build
+	// the completed element without touching the open-element stack. A
+	// mismatch (child element, comment, unbalanced tag) falls back to the
+	// generic path with the text already banked.
+	if d.pos < len(d.s) && d.s[d.pos] != '<' {
+		text, err := d.scanText(-1, false)
+		if err != nil {
+			return err
+		}
+		if end, ok := d.matchEnd(d.pos+2, raw); d.pos+1 < len(d.s) && d.s[d.pos] == '<' && d.s[d.pos+1] == '/' && ok {
+			d.pos = end
+			if !d.wsOnly {
+				tn := d.newNode()
+				tn.Text = text
+				n.Children = d.kidSlice1(tn)
+			}
+			d.undoNs(nsMark)
+			d.finish(n)
+			return nil
+		}
+		d.open = append(d.open, openElem{n: n, rawName: raw, kidMark: len(d.kidStk), nsMark: nsMark})
+		d.addText(text)
+		return nil
+	}
+	d.open = append(d.open, openElem{n: n, rawName: raw, kidMark: len(d.kidStk), nsMark: nsMark})
+	return nil
+}
+
+// matchEnd reports whether the bytes at i (positioned just after "</") are
+// exactly the name raw followed by the optional trailing space the
+// tokenizer permits and the closing '>', returning the position just past
+// that '>'.
+func (d *decoder) matchEnd(i int, raw string) (int, bool) {
+	s := d.s
+	if i < 0 || i+len(raw) > len(s) || s[i:i+len(raw)] != raw {
+		return 0, false
+	}
+	i += len(raw)
+	for i < len(s) {
+		switch s[i] {
+		case ' ', '\t', '\n', '\r':
+			i++
+		case '>':
+			return i + 1, true
+		default:
+			return 0, false
+		}
+	}
+	return 0, false
+}
+
+// kidSlice1 carves a one-child slice from the slab (the text-only-element
+// fast path).
+func (d *decoder) kidSlice1(n *Node) []*Node {
+	if len(d.kidChunk)-d.kidUsed < 1 {
+		d.kidChunk = make([]*Node, nodeChunkSize)
+		d.kidUsed = 0
+	}
+	out := d.kidChunk[d.kidUsed : d.kidUsed+1 : d.kidUsed+1]
+	d.kidUsed++
+	out[0] = n
+	return out
+}
+
+func (d *decoder) endElement() error {
+	// Matching end tags are recognized by direct byte comparison against
+	// the innermost open element — its name was validated when the tag
+	// opened, so no re-scan is needed. Anything that does not match falls
+	// to the slow path, which produces the precise accept/reject behavior.
+	if k := len(d.open); k > 0 {
+		if end, ok := d.matchEnd(d.pos, d.open[k-1].rawName); ok {
+			d.pos = end
+			return d.closeTop()
+		}
+	}
+	raw, err := d.rawName()
+	if err != nil {
+		return err
+	}
+	d.space()
+	if d.pos >= len(d.s) {
+		return d.eof()
+	}
+	if d.s[d.pos] != '>' {
+		return d.err("invalid characters between </" + raw + " and >")
+	}
+	d.pos++
+	if len(d.open) == 0 {
+		return d.err("unbalanced end element " + raw)
+	}
+	oe := d.open[len(d.open)-1]
+	if oe.rawName != raw {
+		return d.err("element <" + oe.rawName + "> closed by </" + raw + ">")
+	}
+	return d.closeTop()
+}
+
+// closeTop completes the innermost open element.
+func (d *decoder) closeTop() error {
+	oe := d.open[len(d.open)-1]
+	d.open = d.open[:len(d.open)-1]
+	n := oe.n
+	n.Children = d.kidSlice(d.kidStk[oe.kidMark:])
+	d.kidStk = d.kidStk[:oe.kidMark]
+	d.undoNs(oe.nsMark)
+	d.finish(n)
+	return nil
+}
+
+// finish freezes a completed node and attaches it to its parent (or makes
+// it the root). Child sizes are already memoized, so the byteSize call is
+// the incremental born-frozen step, not a subtree walk.
+func (d *decoder) finish(n *Node) {
+	n.byteSize(frozenGen)
+	if len(d.open) == 0 {
+		d.root = n
+		return
+	}
+	d.kidStk = append(d.kidStk, n)
+}
+
+// addText applies Parse's text policy to one decoded run: dropped outside
+// the root and when whitespace-only, merged with an adjacent text sibling
+// (runs split by CDATA sections or comments), appended otherwise. Merged
+// text stays mutable until the parent closes and freezes it. Whether the
+// run is whitespace-only was already determined during scanText's
+// validation pass (d.wsOnly), so no re-scan happens here.
+func (d *decoder) addText(text string) {
+	if len(d.open) == 0 || d.wsOnly {
+		return
+	}
+	top := &d.open[len(d.open)-1]
+	if k := len(d.kidStk); k > top.kidMark && d.kidStk[k-1].IsText() {
+		d.kidStk[k-1].Text += text
+		return
+	}
+	n := d.newNode()
+	n.Text = text
+	d.kidStk = append(d.kidStk, n)
+}
+
+// --- Namespace bindings -------------------------------------------------
+
+func (d *decoder) setNs(prefix, url string) {
+	old, had := d.ns[prefix]
+	d.nsUndo = append(d.nsUndo, nsUndo{prefix: prefix, old: old, had: had})
+	d.ns[prefix] = url
+}
+
+func (d *decoder) undoNs(mark int) {
+	for i := len(d.nsUndo) - 1; i >= mark; i-- {
+		u := d.nsUndo[i]
+		if u.had {
+			d.ns[u.prefix] = u.old
+		} else {
+			delete(d.ns, u.prefix)
+		}
+	}
+	d.nsUndo = d.nsUndo[:mark]
+}
+
+// --- Text ---------------------------------------------------------------
+
+// scanText decodes one text region starting at d.pos, mirroring the
+// reference tokenizer's text(quote, cdata): quote < 0 reads character data
+// up to the next '<' (or EOF at top level); quote >= 0 reads a quoted
+// attribute value through its closing quote; cdata reads through "]]>".
+// The returned string aliases d.s whenever no entity expansion or line-end
+// rewriting touched the run.
+func (d *decoder) scanText(quote int, cdata bool) (string, error) {
+	s := d.s
+	i := d.pos
+	start := i
+	buf := d.scratch[:0]
+	copied := false
+	var b0, b1 byte
+	trunc := 0
+	// flush copies the clean prefix before the first transformation.
+	flush := func(end int) {
+		if !copied {
+			buf = append(buf, s[start:end]...)
+			copied = true
+		}
+	}
+	for {
+		if i >= len(s) {
+			if cdata {
+				return "", d.err("unexpected EOF in CDATA section")
+			}
+			if quote >= 0 {
+				return "", d.eof()
+			}
+			break
+		}
+		b := s[i]
+		if quote < 0 && b0 == ']' && b1 == ']' && b == '>' {
+			if cdata {
+				i++
+				trunc = 2
+				break
+			}
+			return "", d.err("unescaped ]]> not in CDATA section")
+		}
+		if b == '<' && !cdata {
+			if quote >= 0 {
+				return "", d.err("unescaped < inside quoted string")
+			}
+			break
+		}
+		if quote >= 0 && b == byte(quote) {
+			i++
+			break
+		}
+		if b == '&' && !cdata {
+			flush(i)
+			exp, ni, err := d.entity(i + 1)
+			if err != nil {
+				return "", err
+			}
+			buf = append(buf, exp...)
+			i = ni
+			b0, b1 = 0, 0
+			continue
+		}
+		// Unescaped \r and \r\n are rewritten to \n, exactly as the
+		// reference tokenizer does before its character validation.
+		if b == '\r' {
+			flush(i)
+			buf = append(buf, '\n')
+		} else if b1 == '\r' && b == '\n' {
+			flush(i)
+		} else if copied {
+			buf = append(buf, b)
+		}
+		b0, b1 = b1, b
+		i++
+	}
+	d.pos = i
+	var out string
+	if copied {
+		buf = buf[:len(buf)-trunc]
+		ws, err := validChars(bstr(buf))
+		if err != nil {
+			return "", err
+		}
+		d.wsOnly = ws
+		out = string(buf)
+		d.scratch = buf[:0]
+	} else {
+		end := i
+		switch {
+		case cdata:
+			end -= trunc + 1 // drop "]]" and the consumed '>'
+		case quote >= 0:
+			end-- // drop the consumed closing quote
+		}
+		out = s[start:end]
+		ws, err := validChars(out)
+		if err != nil {
+			return "", err
+		}
+		d.wsOnly = ws
+	}
+	return out, nil
+}
+
+// bstr views a byte slice as a string for validation without copying; the
+// slice is not retained.
+func bstr(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	return unsafe.String(unsafe.SliceData(b), len(b))
+}
+
+// validChars applies the XML 1.0 character-range and UTF-8 validity checks
+// the reference tokenizer runs over every decoded text run, and reports on
+// the same pass whether the run is whitespace-only (the strings.TrimSpace
+// predicate Parse uses to drop insignificant runs).
+func validChars(s string) (wsOnly bool, err error) {
+	wsOnly = true
+	for i := 0; i < len(s); {
+		c := s[i]
+		if c < utf8.RuneSelf {
+			switch {
+			case c == 0x20 || c == 0x09 || c == 0x0A || c == 0x0D:
+			case c > 0x20:
+				wsOnly = false
+			default:
+				return false, errors.New("xmltree: decode: illegal character code")
+			}
+			i++
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if r == utf8.RuneError && size == 1 {
+			return false, errors.New("xmltree: decode: invalid UTF-8")
+		}
+		if !inCharacterRange(r) {
+			return false, errors.New("xmltree: decode: illegal character code")
+		}
+		if wsOnly && !unicode.IsSpace(r) {
+			wsOnly = false
+		}
+		i += size
+	}
+	return wsOnly, nil
+}
+
+// inCharacterRange is the XML Char production over non-ASCII runes (ASCII
+// is settled byte-wise in validChars).
+func inCharacterRange(r rune) bool {
+	return r <= 0xD7FF ||
+		r >= 0xE000 && r <= 0xFFFD ||
+		r >= 0x10000 && r <= 0x10FFFF
+}
+
+// entity decodes one character reference starting just after '&' and
+// returns the expansion and the index after the ';'. Only the five
+// predefined named entities exist; character references accept any rune up
+// to unicode.MaxRune (surrogates collapse to U+FFFD exactly as Go's
+// rune-to-string conversion does), with out-of-range characters caught by
+// the caller's validation pass.
+func (d *decoder) entity(i int) (string, int, error) {
+	s := d.s
+	if i >= len(s) {
+		return "", 0, d.eof()
+	}
+	if s[i] == '#' {
+		i++
+		if i >= len(s) {
+			return "", 0, d.eof()
+		}
+		base := 10
+		if s[i] == 'x' {
+			base = 16
+			i++
+			if i >= len(s) {
+				return "", 0, d.eof()
+			}
+		}
+		start := i
+		for i < len(s) && digitOK(s[i], base) {
+			i++
+		}
+		if i >= len(s) {
+			return "", 0, d.eof()
+		}
+		if s[i] != ';' {
+			return "", 0, d.err("invalid character entity (no semicolon)")
+		}
+		n, err := strconv.ParseUint(s[start:i], base, 64)
+		if err != nil || n > unicode.MaxRune {
+			return "", 0, d.err("invalid character entity")
+		}
+		return string(rune(n)), i + 1, nil
+	}
+	start := i
+	for i < len(s) {
+		c := s[i]
+		if c < utf8.RuneSelf && !isNameByte(c) {
+			break
+		}
+		i++
+	}
+	if i >= len(s) {
+		return "", 0, d.eof()
+	}
+	if s[i] != ';' {
+		return "", 0, d.err("invalid character entity (no semicolon)")
+	}
+	var exp string
+	switch s[start:i] {
+	case "lt":
+		exp = "<"
+	case "gt":
+		exp = ">"
+	case "amp":
+		exp = "&"
+	case "apos":
+		exp = "'"
+	case "quot":
+		exp = `"`
+	default:
+		return "", 0, d.err("invalid character entity &" + s[start:i] + ";")
+	}
+	return exp, i + 1, nil
+}
+
+func digitOK(c byte, base int) bool {
+	if '0' <= c && c <= '9' {
+		return true
+	}
+	return base == 16 && ('a' <= c && c <= 'f' || 'A' <= c && c <= 'F')
+}
+
+// --- Comments, CDATA, PIs, directives -----------------------------------
+
+// bang dispatches the constructs behind "<!": comments, CDATA sections,
+// and directives. Comment and directive content is consumed (with the
+// reference tokenizer's exact accept/reject behavior) and discarded;
+// CDATA content feeds the enclosing element as an ordinary text run.
+func (d *decoder) bang() error {
+	if d.pos >= len(d.s) {
+		return d.eof()
+	}
+	switch d.s[d.pos] {
+	case '-':
+		d.pos++
+		if d.pos >= len(d.s) {
+			return d.eof()
+		}
+		if d.s[d.pos] != '-' {
+			return d.err("invalid sequence <!- not part of <!--")
+		}
+		d.pos++
+		return d.comment()
+	case '[':
+		d.pos++
+		const intro = "CDATA["
+		for k := 0; k < len(intro); k++ {
+			if d.pos >= len(d.s) {
+				return d.eof()
+			}
+			if d.s[d.pos] != intro[k] {
+				return d.err("invalid <![ sequence")
+			}
+			d.pos++
+		}
+		text, err := d.scanText(-1, true)
+		if err != nil {
+			return err
+		}
+		d.addText(text)
+		return nil
+	default:
+		return d.directive()
+	}
+}
+
+// comment consumes a comment body and its "-->" terminator. Per the spec
+// (and the reference tokenizer), "--" may not appear inside a comment, so
+// "--->" is an error rather than a long terminator. Content is not
+// character-validated — the tokenizer never inspects it.
+func (d *decoder) comment() error {
+	s := d.s
+	i := d.pos
+	var b0, b1 byte
+	for {
+		if i >= len(s) {
+			return d.eof()
+		}
+		b := s[i]
+		i++
+		if b0 == '-' && b1 == '-' {
+			if b != '>' {
+				return d.err(`invalid sequence "--" not allowed in comments`)
+			}
+			d.pos = i
+			return nil
+		}
+		b0, b1 = b1, b
+	}
+}
+
+// procInst consumes a processing instruction. The target must be a valid
+// XML name; an xml declaration additionally has its version and encoding
+// validated, mirroring the reference tokenizer (which would need a charset
+// reader for any encoding other than UTF-8).
+func (d *decoder) procInst() error {
+	// PI targets take the raw name class with no namespace split: colons
+	// are unrestricted here, unlike element and attribute names.
+	target, err := d.rawName()
+	if err != nil {
+		return err
+	}
+	d.space()
+	s := d.s
+	rel := strings.Index(s[d.pos:], "?>")
+	if rel < 0 {
+		return d.eof()
+	}
+	inst := s[d.pos : d.pos+rel]
+	d.pos += rel + 2
+	if target == "xml" {
+		if ver := piParam("version", inst); ver != "" && ver != "1.0" {
+			return d.err("unsupported XML version " + ver)
+		}
+		if enc := piParam("encoding", inst); enc != "" && !strings.EqualFold(enc, "utf-8") {
+			return d.err("unsupported document encoding " + enc)
+		}
+	}
+	return nil
+}
+
+// piParam extracts a pseudo-attribute from an <?xml?> declaration body with
+// the reference tokenizer's (approximate) scan: the first param= whose next
+// byte is a quote wins, and the value runs to the matching quote.
+func piParam(param, s string) string {
+	param += "="
+	lenp := len(param)
+	i := 0
+	var sep byte
+	for i < len(s) {
+		sub := s[i:]
+		k := strings.Index(sub, param)
+		if k < 0 || lenp+k >= len(sub) {
+			return ""
+		}
+		i += lenp + k + 1
+		if c := sub[lenp+k]; c == '\'' || c == '"' {
+			sep = c
+			break
+		}
+	}
+	if sep == 0 {
+		return ""
+	}
+	j := strings.IndexByte(s[i:], sep)
+	if j < 0 {
+		return ""
+	}
+	return s[i : i+j]
+}
+
+// directive consumes a <!DIRECTIVE ...> through its closing '>' with the
+// reference tokenizer's exact nesting rules: quoted spans protect angle
+// brackets, bare angle brackets nest, and embedded comments are skipped
+// (without the "--" restriction that applies to free-standing comments).
+// Content is discarded — the document model has no use for doctypes.
+func (d *decoder) directive() error {
+	s := d.s
+	i := d.pos + 1 // the first byte after <! was inspected by bang
+	var inquote byte
+	depth := 0
+	for {
+		if i >= len(s) {
+			return d.eof()
+		}
+		b := s[i]
+		i++
+		if inquote == 0 && b == '>' && depth == 0 {
+			d.pos = i
+			return nil
+		}
+	handleB:
+		switch {
+		case b == inquote:
+			// Covers the closing quote and, vacuously, a NUL byte while
+			// unquoted — the reference tokenizer shares the quirk.
+			inquote = 0
+		case inquote != 0:
+			// Quoted content is opaque.
+		case b == '\'' || b == '"':
+			inquote = b
+		case b == '>':
+			depth--
+		case b == '<':
+			// A "<!--" here starts an embedded comment; any shorter match
+			// pushes the mismatching byte back through the state machine
+			// with one extra nesting level, exactly as the reference does.
+			const pat = "!--"
+			for k := 0; k < len(pat); k++ {
+				if i >= len(s) {
+					return d.eof()
+				}
+				nb := s[i]
+				i++
+				if nb != pat[k] {
+					depth++
+					b = nb
+					goto handleB
+				}
+			}
+			var c0, c1 byte
+			for {
+				if i >= len(s) {
+					return d.eof()
+				}
+				cb := s[i]
+				i++
+				if c0 == '-' && c1 == '-' && cb == '>' {
+					break
+				}
+				c0, c1 = c1, cb
+			}
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package xmltree
+
+import (
+	"strings"
+	"testing"
+	"unsafe"
+)
+
+func unsafeStringData(s string) *byte { return unsafe.StringData(s) }
+
+// FuzzDecodeEquivalence is the differential oracle for the zero-copy
+// decoder: on every input, Decode and the encoding/xml-based Parse must
+// agree — both reject, or both accept with structurally equal trees and
+// identical canonical serializations. The seeds cover the wire vocabulary
+// plus every tokenizer quirk the decoder mirrors (entities, CDATA, CR/LF
+// rewriting, comments, directives, xml declarations, namespace stripping);
+// regression entries found by fuzzing live in
+// testdata/fuzz/FuzzDecodeEquivalence.
+func FuzzDecodeEquivalence(f *testing.F) {
+	for _, s := range decodeCases {
+		f.Add(s)
+	}
+	f.Add(`<mqp id="q" target="c:1"><plan><union><data><i>1</i></data><url href="h:1" path="/d"/></union></plan>` +
+		`<visited b="3">m:9020 2 q29tcGFjdA;s:1 1 AAAAAAAB</visited><provenance algo="hmac-sha256"><visit at="1000" server="a:1"/></provenance></mqp>`)
+	f.Fuzz(func(t *testing.T, s string) {
+		if len(s) > 1<<16 {
+			t.Skip("oversized input")
+		}
+		ref, refErr := ParseString(s)
+		got, gotErr := DecodeString(s)
+		if (refErr == nil) != (gotErr == nil) {
+			t.Fatalf("accept/reject disagreement:\ninput: %q\nParse err:  %v\nDecode err: %v", s, refErr, gotErr)
+		}
+		if refErr != nil {
+			return
+		}
+		if !Equal(ref, got) {
+			t.Fatalf("tree disagreement:\ninput: %q\nParse:  %q\nDecode: %q", s, ref.String(), got.String())
+		}
+		if rs, gs := ref.String(), got.String(); rs != gs {
+			t.Fatalf("serialization disagreement:\ninput: %q\nParse:  %q\nDecode: %q", s, rs, gs)
+		}
+		// Decoder output must be frozen at birth with exact memoized sizes:
+		// the born-frozen contract the receive path relies on.
+		if !got.Frozen() {
+			t.Fatalf("decoded root not frozen: %q", s)
+		}
+		if got.ByteSize() != len(got.String()) {
+			t.Fatalf("decoded ByteSize %d != serialized length %d: %q", got.ByteSize(), len(got.String()), s)
+		}
+		// And decoding the canonical form must reproduce the tree (the
+		// fixpoint property Parse already guarantees).
+		c := got.String()
+		got2, err := DecodeString(c)
+		if err != nil {
+			t.Fatalf("canonical form rejected by Decode: %v\ncanonical: %q", err, c)
+		}
+		if !Equal(got, got2) {
+			t.Fatalf("canonical re-decode differs:\ncanonical: %q", c)
+		}
+	})
+}
+
+// FuzzDecodeBytes drives the []byte entry point (the wire path) to make
+// sure the unsafe buffer-to-string view never diverges from DecodeString.
+func FuzzDecodeBytes(f *testing.F) {
+	f.Add([]byte(`<a b="1">x<c/></a>`))
+	f.Add([]byte(`<a>&amp;<![CDATA[x]]></a>`))
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		if len(buf) > 1<<16 {
+			t.Skip("oversized input")
+		}
+		want, wantErr := DecodeString(strings.Clone(string(buf)))
+		got, gotErr := Decode(buf)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("Decode/DecodeString disagreement: %v vs %v on %q", gotErr, wantErr, buf)
+		}
+		if wantErr == nil && !Equal(want, got) {
+			t.Fatalf("Decode tree differs from DecodeString on %q", buf)
+		}
+	})
+}

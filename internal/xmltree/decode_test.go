@@ -1,0 +1,236 @@
+package xmltree
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// decodeCases are inputs with known-interesting tokenizer behavior; each is
+// checked for Decode/Parse agreement (tree-equal or both reject).
+var decodeCases = []string{
+	``,
+	`<a/>`,
+	`<a></a>`,
+	`<a b="1" a="2">text<b/> tail </a>`,
+	`<mqp id="q" target="c:1"><plan><data><item zip="97201"><price>5</price></item></data></plan></mqp>`,
+	`<a>&amp;&lt;&gt;&apos;&quot;</a>`,
+	`<a>&#65;&#x41;&#x00041;</a>`,
+	`<a b="&#38;#60;"/>`,
+	`<a>pre<![CDATA[mid <raw> & bits]]>post</a>`,
+	`<a> <![CDATA[ ]]> </a>`,
+	`<a>x<!-- comment -->y</a>`,
+	`<a><!-- c -- d --></a>`,
+	`<a><!-- x ---></a>`,
+	`<a>]]></a>`,
+	`<a b="]]>"/>`,
+	`<a>&unknown;</a>`,
+	`<a>&#0;</a>`,
+	`<a>&#x1F;</a>`,
+	`<a>&#xD800;</a>`,
+	`<a>&#xFFFE;</a>`,
+	`<a>&#x110000;</a>`,
+	`<a>&#x41</a>`,
+	`<a>&amp</a>`,
+	`<a>&#;</a>`,
+	`<a>& b</a>`,
+	"<a>x\r\ny\rz</a>",
+	"<a b=\"x\ty\nz\rw\"/>",
+	"<a b=\"x&#x9;y&#xA;z&#xD;w\"/>",
+	"<a>x&#xD;\ny</a>",
+	"<a><![CDATA[x\r\ny\rz]]></a>",
+	`<?xml version="1.0"?><a/>`,
+	`<?xml version="2.0"?><a/>`,
+	`<?xml encoding="latin-1"?><a/>`,
+	`<?xml version='1.0' encoding='UTF-8'?><a/>`,
+	`<a><?php echo ?></a>`,
+	`<!DOCTYPE a [<!ENTITY e "v">]><a/>`,
+	`<!DOCTYPE a <!-- c --> ><a/>`,
+	`<!DOCTYPE a "unclosed><a/>`,
+	`<a><!X></a>`,
+	`<a><!></a>`,
+	`<a:b:c/>`,
+	`<:a/>`,
+	`<a:/>`,
+	`<1a/>`,
+	`<ä/>`,
+	`<a b=x/>`,
+	`<a b></a>`,
+	`<a  b = "1" />`,
+	`<a/><a/>`,
+	`<a></b>`,
+	`<a></a >`,
+	`<a></ a>`,
+	`<a b="1" b="2"/>`,
+	`<a xmlns="u" xmlns:p="v" p:c="1"/>`,
+	`<a x:xmlns="v"/>`,
+	`<a xmlns:x="u" x:xmlns="v" b="1"/>`,
+	`<a xmlns:p="u"><b p:q="1"/></a>`,
+	`<a><b xmlns:p="xmlns" p:q="1"/></a>`,
+	`<a xml:lang="en"/>`,
+	`<a p:q="1"/>`,
+	`<a -- b="1"/>`,
+	`<a/ >`,
+	`<a><b/></a>trailing`,
+	`<a></a><!-- after -->`,
+	"\ufeff<a/>",
+	`<a b="c<d"/>`,
+	`<![CDATA[x]]>`,
+	`<a><![CDATA[x]]y]]></a>`,
+	`<a><![CDATA[]]]]><![CDATA[>]]></a>`,
+	`<a><![CDAT[x]]></a>`,
+	`<a`,
+	`<a b="`,
+	`<a/><b c="`,
+	`<a><!-- c `,
+	`<a href="http://x:1/" path="/data[id=245]"><annotations><annot k="card" v="10"/></annotations></a>`,
+	"<a\n b\n=\n'1'/>",
+	`<a>x<!-- c -->y<![CDATA[z]]>w</a>`,
+	"<a>\x01</a>",
+	"<a>\xff\xfe</a>",
+	"<a><!-- \x01\xff --></a>",
+	"<!DOCTYPE \x01\xff><a/>",
+}
+
+// TestDecodeMatchesParse pins the decoder to the reference implementation
+// on the hand-picked corpus; FuzzDecodeEquivalence explores beyond it.
+func TestDecodeMatchesParse(t *testing.T) {
+	for _, s := range decodeCases {
+		checkDecodeAgreement(t, s)
+	}
+}
+
+func checkDecodeAgreement(t *testing.T, s string) {
+	t.Helper()
+	ref, refErr := ParseString(s)
+	got, gotErr := DecodeString(s)
+	if (refErr == nil) != (gotErr == nil) {
+		t.Fatalf("accept/reject disagreement on %q:\n  Parse:  tree=%v err=%v\n  Decode: tree=%v err=%v",
+			s, ref, refErr, got, gotErr)
+	}
+	if refErr != nil {
+		return
+	}
+	if !Equal(ref, got) {
+		t.Fatalf("tree disagreement on %q:\n  Parse:  %s\n  Decode: %s", s, ref, got)
+	}
+	// Canonical serializations must match byte for byte, and the decoded
+	// tree must be frozen at birth with correct memoized sizes throughout.
+	rs, gs := ref.String(), got.String()
+	if rs != gs {
+		t.Fatalf("serialization disagreement on %q:\n  Parse:  %q\n  Decode: %q", s, rs, gs)
+	}
+	assertBornFrozen(t, got, s)
+}
+
+func assertBornFrozen(t *testing.T, n *Node, input string) {
+	t.Helper()
+	if !n.Frozen() {
+		t.Fatalf("decoded node <%s>%q not frozen at birth (input %q)", n.Name, n.Text, input)
+	}
+	if got, want := n.ByteSize(), len(n.String()); got != want {
+		t.Fatalf("decoded node <%s> ByteSize = %d, want %d (input %q)", n.Name, got, want, input)
+	}
+	for _, c := range n.Children {
+		assertBornFrozen(t, c, input)
+	}
+}
+
+// TestDecodeFrozenMutationPanics verifies decoder output obeys the frozen
+// contract: mutators panic rather than corrupting buffer-aliasing nodes.
+func TestDecodeFrozenMutationPanics(t *testing.T) {
+	n, err := DecodeString(`<a b="1"><c>x</c></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetAttr on decoded (frozen) node did not panic")
+		}
+	}()
+	n.SetAttr("b", "2")
+}
+
+// TestDecodeZeroCopyAliasing pins the zero-copy property: attribute values
+// and text runs that need no unescaping are substrings of the input, not
+// copies, while escaped runs are materialized.
+func TestDecodeZeroCopyAliasing(t *testing.T) {
+	input := `<a name="plainvalue"><t>plain text run</t><e>esc&amp;aped</e></a>`
+	n, err := DecodeString(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aliases := func(sub string) bool {
+		// A substring shares the input's backing array exactly when its
+		// data pointer lies within the input's span.
+		return strings.Contains(input, sub) && func() bool {
+			off := strings.Index(input, sub)
+			return input[off:off+len(sub)] == sub
+		}()
+	}
+	v, _ := n.Attr("name")
+	if v != "plainvalue" || !aliases(v) {
+		t.Fatalf("attr value %q should alias input", v)
+	}
+	if txt := n.Child("t").InnerText(); txt != "plain text run" {
+		t.Fatalf("text = %q", txt)
+	}
+	if txt := n.Child("e").InnerText(); txt != "esc&aped" {
+		t.Fatalf("escaped text = %q", txt)
+	}
+}
+
+// TestDecodeConcurrentFrozenReads drives concurrent readers over one
+// decoded (buffer-aliasing, frozen) document; run under -race this pins
+// the advertised lock-free sharing of decoder output.
+func TestDecodeConcurrentFrozenReads(t *testing.T) {
+	doc := `<mqp id="q1" target="c:1"><plan><data>` +
+		strings.Repeat(`<item zip="97201"><title>T &amp; A</title><price>9.99</price></item>`, 20) +
+		`</data></plan></mqp>`
+	n, err := DecodeString(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := n.String()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if n.String() != want {
+					t.Error("unstable serialization")
+					return
+				}
+				if n.ByteSize() != len(want) {
+					t.Error("unstable size")
+					return
+				}
+				if n.Find("plan/data/item/title") == nil {
+					t.Error("lost path match")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestDecodeInterning verifies repeated names across separate decodes share
+// one string, so decoded documents do not pin frames through their names.
+func TestDecodeInterning(t *testing.T) {
+	a, err := DecodeString(`<somename attrname="1"/>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DecodeString(`<somename attrname="2"/>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unsafeStringData(a.Name) != unsafeStringData(b.Name) {
+		t.Fatal("element names not interned across decodes")
+	}
+	if unsafeStringData(a.Attrs[0].Name) != unsafeStringData(b.Attrs[0].Name) {
+		t.Fatal("attribute names not interned across decodes")
+	}
+}
