@@ -7,7 +7,7 @@
 # over the parser and wire-framing targets.
 GO ?= go
 
-.PHONY: build test test-short bench bench-all bench-chaos profile race fmt vet chaos chaos-ci chaos-nofault fuzz-smoke ci
+.PHONY: build test test-short bench bench-all bench-chaos bench-runtime loadgen-smoke profile race fmt vet chaos chaos-ci chaos-nofault fuzz-smoke ci
 
 build:
 	$(GO) build ./...
@@ -57,6 +57,18 @@ bench-chaos:
 bench-all:
 	$(GO) test -run '^$$' -bench . -benchmem .
 
+# Concurrent-runtime throughput: one worker-pool peer under a closed-loop
+# multi-query load (cmd/loadgen), reporting plans/s, result latency
+# percentiles and prepared-plan cache hit rate to BENCH_runtime.json.
+bench-runtime:
+	$(GO) run ./cmd/loadgen -out BENCH_runtime.json
+
+# CI gate for the runtime path: a short loadgen run must complete plans
+# (admission control, worker pool, plan cache and result collection all
+# exercised end to end) without writing over the recorded benchmark.
+loadgen-smoke:
+	$(GO) run ./cmd/loadgen -smoke -out -
+
 race:
 	$(GO) test -race ./internal/...
 
@@ -93,4 +105,4 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-ci: fmt vet build test race chaos-ci chaos-nofault fuzz-smoke
+ci: fmt vet build test race loadgen-smoke chaos-ci chaos-nofault fuzz-smoke

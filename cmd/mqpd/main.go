@@ -38,6 +38,7 @@ func (a *aliasFlags) Set(v string) error { *a = append(*a, v); return nil }
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:9020", "listen address (host:port)")
+	planCache := flag.Int("plan-cache", 128, "prepared-plan cache entries (0 disables)")
 	var aliases, collections aliasFlags
 	flag.Var(&aliases, "alias", "URN alias mapping urn=target (repeatable)")
 	flag.Var(&collections, "collection", "collection mapping pathExp=items.xml (repeatable)")
@@ -81,7 +82,7 @@ func main() {
 	proc, err := mqp.New(mqp.Config{
 		Self:    *addr,
 		Catalog: cat,
-		FetchLocal: func(_ string, pathExp string) ([]*xmltree.Node, int, error) {
+		FetchLocal: func(_ *mqp.StepContext, _ string, pathExp string) ([]*xmltree.Node, int, error) {
 			items, ok := store[pathExp]
 			if !ok {
 				return nil, 0, fmt.Errorf("no collection %q", pathExp)
@@ -90,6 +91,9 @@ func main() {
 		},
 		PushSelect: true,
 		Key:        []byte("mqpd-" + *addr),
+		// The file-backed store is fixed after startup; the catalog's own
+		// generation (registrations, aliases) drives cache invalidation.
+		PlanCacheSize: *planCache,
 	})
 	if err != nil {
 		log.Fatalf("mqpd: %v", err)

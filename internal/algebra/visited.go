@@ -45,6 +45,22 @@ func (p *Plan) PartialResult() bool {
 // MarkPartialResult flags the plan as a partial result.
 func (p *Plan) MarkPartialResult() { p.Root.Annotate(AnnotPartial, "true") }
 
+// AnnotPartialReason says why a partial result was emitted instead of a
+// complete one: "exhausted" (routing ran out of productive hops), "admission"
+// (a peer's frame queue rejected the plan under overload), "canceled" (the
+// submission's context expired mid-processing) or "shutdown" (the serving
+// peer drained its queue while closing). Absent on pre-runtime partials.
+const AnnotPartialReason = "partial-reason"
+
+// SetPartialReason records why the plan came back partial.
+func (p *Plan) SetPartialReason(reason string) { p.Root.Annotate(AnnotPartialReason, reason) }
+
+// PartialReason returns the recorded reason, or "" when none was set.
+func (p *Plan) PartialReason() string {
+	v, _ := p.Root.Annotation(AnnotPartialReason)
+	return v
+}
+
 // VisitRecord is one server's entry in the visited memory.
 type VisitRecord struct {
 	Server string

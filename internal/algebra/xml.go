@@ -5,6 +5,7 @@ import (
 	"io"
 	"sort"
 	"strconv"
+	"sync"
 
 	"repro/internal/xmltree"
 )
@@ -182,10 +183,18 @@ func (a *nodeArena) take() *Node {
 	return n
 }
 
+// arenaPool recycles arenas across decodes: a delivery chain that unmarshals
+// plan after plan draws nodes from the unused tail of a previous plan's chunk
+// instead of allocating a fresh one each time. Handing an arena back is safe
+// at any point — take never revisits handed-out nodes (blk only advances), so
+// a pooled arena can only give the next decode the still-zeroed remainder.
+var arenaPool = sync.Pool{New: func() interface{} { return &nodeArena{} }}
+
 // UnmarshalNode converts an XML element back into an operator subtree.
 func UnmarshalNode(e *xmltree.Node) (*Node, error) {
-	var ar nodeArena
-	return unmarshalNode(e, &ar)
+	ar := arenaPool.Get().(*nodeArena)
+	defer arenaPool.Put(ar)
+	return unmarshalNode(e, ar)
 }
 
 func unmarshalNode(e *xmltree.Node, ar *nodeArena) (*Node, error) {
@@ -341,7 +350,8 @@ func Unmarshal(doc *xmltree.Node) (*Plan, error) {
 		ID:     doc.AttrDefault("id", ""),
 		Target: doc.AttrDefault("target", ""),
 	}
-	var ar nodeArena
+	ar := arenaPool.Get().(*nodeArena)
+	defer arenaPool.Put(ar)
 	for _, c := range doc.Children {
 		if c.IsText() {
 			continue
@@ -352,7 +362,7 @@ func Unmarshal(doc *xmltree.Node) (*Plan, error) {
 			if len(elems) != 1 {
 				return nil, fmt.Errorf("algebra: <plan> must have exactly one operator, has %d", len(elems))
 			}
-			root, err := unmarshalNode(elems[0], &ar)
+			root, err := unmarshalNode(elems[0], ar)
 			if err != nil {
 				return nil, err
 			}
@@ -362,7 +372,7 @@ func Unmarshal(doc *xmltree.Node) (*Plan, error) {
 			if len(elems) != 1 {
 				return nil, fmt.Errorf("algebra: <original> must have exactly one operator")
 			}
-			orig, err := unmarshalNode(elems[0], &ar)
+			orig, err := unmarshalNode(elems[0], ar)
 			if err != nil {
 				return nil, err
 			}

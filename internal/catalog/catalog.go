@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/algebra"
 	"repro/internal/namespace"
@@ -101,6 +102,12 @@ type Catalog struct {
 	cache        map[string]Binding
 	cacheEnabled bool
 	hits, misses int64
+
+	// gen counts catalog mutations. Consumers that cache anything derived
+	// from catalog state (the mqp prepared-plan cache above all) key their
+	// entries on the value read before deriving; a mismatch later means the
+	// catalog changed underneath and the derivation must be redone.
+	gen atomic.Uint64
 }
 
 // New creates an empty catalog for the peer at self over namespace ns.
@@ -198,10 +205,16 @@ func (c *Catalog) addStatementLocked(s Statement) {
 }
 
 func (c *Catalog) invalidateLocked() {
+	c.gen.Add(1)
 	if len(c.cache) > 0 {
 		c.cache = map[string]Binding{}
 	}
 }
+
+// Generation returns the catalog's mutation counter. It increments on every
+// aliasing, registration or statement change; two equal readings bracket a
+// window in which every Resolve answer was stable.
+func (c *Catalog) Generation() uint64 { return c.gen.Load() }
 
 // Statements returns the retained statements.
 func (c *Catalog) Statements() []Statement {

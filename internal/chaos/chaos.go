@@ -193,6 +193,12 @@ func Run(cfg Config) (*Report, error) {
 	peers := map[string]*peer.Peer{}
 	addPeer := func(cfg peer.Config) (*peer.Peer, error) {
 		cfg.Key = []byte(cfg.Addr)
+		// Every chaos peer runs the prepared-plan cache so the differential
+		// oracle continuously validates cache hits against live processing:
+		// any divergence a cached step introduces (wrong payload, wrong
+		// provenance, wrong route) trips an invariant. Peers stay
+		// synchronous (Workers=0) — scheduled delivery owns determinism.
+		cfg.PlanCacheSize = 32
 		p, err := peer.New(cfg)
 		if err != nil {
 			return nil, err

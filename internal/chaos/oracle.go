@@ -65,7 +65,7 @@ func NewOracle(ns *namespace.Namespace, colls []Collection) (*Oracle, error) {
 	proc, err := mqp.New(mqp.Config{
 		Self:    oracleAddr,
 		Catalog: cat,
-		FetchLocal: func(_ string, pathExp string) ([]*xmltree.Node, int, error) {
+		FetchLocal: func(_ *mqp.StepContext, _ string, pathExp string) ([]*xmltree.Node, int, error) {
 			items, ok := store[pathExp]
 			if !ok {
 				return nil, 0, fmt.Errorf("chaos: oracle has no collection %q", pathExp)

@@ -8,9 +8,16 @@
 // Processors are deliberately independent of the transport: the peer package
 // wires them to simnet, and cmd/mqpd wires the same code to real TCP
 // sockets.
+//
+// A Processor is stateless per step: everything one processing cycle needs
+// lives in a StepContext plus stack-local state, so a single instance serves
+// any number of concurrent workers. The only shared mutable state is the
+// optional prepared-plan cache (plancache.go), which is internally
+// synchronized and hands out immutable entries.
 package mqp
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"time"
@@ -24,10 +31,32 @@ import (
 	"repro/internal/xmltree"
 )
 
+// StepContext carries the per-invocation state of one processing cycle: the
+// cancellation context of the submission, the virtual time of the message
+// being processed (stamped on provenance records), and the request RTTs the
+// step accumulated pulling remote data (added to the forwarded plan's
+// virtual time by the transport). The zero value is usable: no cancellation,
+// time zero.
+type StepContext struct {
+	// Ctx, when non-nil, cancels the step: processing checks it between
+	// stages and returns an explicit partial (Outcome.Canceled) once it is
+	// done, so a timed-out plan surfaces instead of silently burning work.
+	Ctx context.Context
+	// Now is the virtual time of the message being processed.
+	Now time.Duration
+	// PullDelay accumulates the RTTs of data pulls made during the step.
+	PullDelay time.Duration
+}
+
+func (sc *StepContext) canceled() bool {
+	return sc != nil && sc.Ctx != nil && sc.Ctx.Err() != nil
+}
+
 // Fetcher resolves a URL leaf to data. pathExp identifies the collection at
 // the server (§3.2). It returns the items and their staleness bound in
-// minutes.
-type Fetcher func(addr, pathExp string) (items []*xmltree.Node, stalenessMin int, err error)
+// minutes. The StepContext is the invoking step's; a remote fetcher charges
+// the pull RTT to sc.PullDelay.
+type Fetcher func(sc *StepContext, addr, pathExp string) (items []*xmltree.Node, stalenessMin int, err error)
 
 // Policy is the policy manager of Fig. 2: it decides which locally
 // evaluable sub-plans to evaluate, which Or alternative to keep, and
@@ -161,7 +190,8 @@ type Config struct {
 	PruneStats bool
 	// Key signs provenance visits; nil disables provenance recording.
 	Key []byte
-	// Now supplies virtual time for provenance records.
+	// Now supplies virtual time for the one-argument Step convenience
+	// wrapper; StepCtx callers pass time explicitly instead.
 	Now func() time.Duration
 	// Authority is the interest area this server is authoritative for
 	// (§3.3): it "strives to know about all base servers within its area
@@ -178,16 +208,25 @@ type Config struct {
 	// counts) a server publishes on a collection it declined to
 	// materialize (§5.1). Nil disables.
 	StatsFor func(pathExp string) map[string]string
+	// PlanCacheSize, when positive, enables the prepared-plan cache with
+	// the given entry cap: a plan structurally identical to one already
+	// processed (same fingerprint, confirmed by structural equality) skips
+	// the bind/rewrite/resolve/reduce stages and reuses the prepared
+	// result. Entries invalidate automatically when the catalog — or any
+	// state covered by CacheGeneration — changes.
+	PlanCacheSize int
+	// CacheGeneration, when non-nil, folds an additional mutation counter
+	// into plan-cache invalidation (e.g. the serving peer's collection
+	// store). It must be monotone non-decreasing and safe for concurrent
+	// use.
+	CacheGeneration func() uint64
 }
 
-// Processor is one server's MQP processing station.
+// Processor is one server's MQP processing station. It holds no per-step
+// state — a single Processor serves all of a peer's workers concurrently.
 type Processor struct {
-	cfg Config
-	// declineAllowed is recomputed per Step: a server may only decline to
-	// materialize a local collection while the plan still has other
-	// unresolved work elsewhere; once this server's collections are the
-	// last leaves standing, it must materialize so the plan can finish.
-	declineAllowed bool
+	cfg   Config
+	cache *planCache
 }
 
 // New creates a Processor, applying defaults.
@@ -204,7 +243,11 @@ func New(cfg Config) (*Processor, error) {
 	if cfg.Now == nil {
 		cfg.Now = func() time.Duration { return 0 }
 	}
-	return &Processor{cfg: cfg}, nil
+	p := &Processor{cfg: cfg}
+	if cfg.PlanCacheSize > 0 {
+		p.cache = newPlanCache(cfg.PlanCacheSize)
+	}
+	return p, nil
 }
 
 // Outcome reports what one processing step did and where the plan goes.
@@ -217,6 +260,10 @@ type Outcome struct {
 	// transport should deliver an explicit partial result (route.Partial) to
 	// plan.Target instead of forwarding.
 	Partial bool
+	// Canceled means the step's context expired before processing finished;
+	// Partial is set alongside it. The transport should deliver what the
+	// plan already holds as an explicit partial, annotated "canceled".
+	Canceled bool
 	// NextHop is the preferred server to forward the plan to when not done.
 	NextHop string
 	// NextHops lists every forwarding candidate in preference order
@@ -234,15 +281,84 @@ type Outcome struct {
 // bare "host:port" strings and "http://host:port/..." forms.
 func AddrOf(url string) string { return route.AddrOf(url) }
 
+// step is the stack-local state of one processing cycle. It exists so the
+// Processor itself stays stateless: everything a stage records or consults
+// mid-step — the provenance trail, the decline permission, whether remote
+// IO happened — lives here and dies with the call.
+type step struct {
+	p  *Processor
+	sc *StepContext
+	// trail is the parsed provenance trail, nil when the server is unkeyed.
+	trail *provenance.Trail
+	// declineAllowed is recomputed as stages progress: a server may only
+	// decline to materialize a local collection while the plan still has
+	// other unresolved work elsewhere; once this server's collections are
+	// the last leaves standing, it must materialize so the plan can finish.
+	declineAllowed bool
+	// remoteIO notes that the step pulled (or tried to pull) remote data;
+	// such a step is not cacheable — its outcome depends on network state.
+	remoteIO bool
+	// collect accumulates provenance actions for a prospective cache entry.
+	collect bool
+	actions []provAction
+}
+
+// record appends one provenance visit (and collects it for the plan cache
+// when this step is a cache-fill candidate).
+func (st *step) record(action provenance.Action, detail string, stale int) {
+	if st.collect {
+		st.actions = append(st.actions, provAction{action: action, detail: detail, stale: stale})
+	}
+	if st.trail == nil {
+		return
+	}
+	st.trail.Append(provenance.Visit{
+		Server:       st.p.cfg.Self,
+		Action:       action,
+		Detail:       detail,
+		At:           st.sc.Now,
+		StalenessMin: stale,
+	}, st.p.cfg.Key)
+}
+
+// replay re-records the provenance actions of a cached step, so a cache hit
+// signs exactly the trail the original processing would have.
+func (st *step) replay(actions []provAction) {
+	if st.trail == nil {
+		return
+	}
+	for _, a := range actions {
+		st.trail.Append(provenance.Visit{
+			Server:       st.p.cfg.Self,
+			Action:       a.action,
+			Detail:       a.detail,
+			At:           st.sc.Now,
+			StalenessMin: a.stale,
+		}, st.p.cfg.Key)
+	}
+}
+
 // Step performs one server's processing cycle on the plan, mutating it in
 // place, and returns the outcome. The plan's provenance section is extended
-// when the processor has a signing key.
+// when the processor has a signing key. Virtual time comes from Config.Now;
+// use StepCtx to pass time (and cancellation) explicitly.
 //
 // Step consumes the plan: reduction freezes payload documents in place
 // (see engine.Reduce), so a caller constructing a plan from documents it
 // intends to keep mutating should hand Step a Clone. Plans decoded from
 // the wire — the normal case — arrive with frozen payloads already.
 func (p *Processor) Step(plan *algebra.Plan) (Outcome, error) {
+	return p.StepCtx(&StepContext{Now: p.cfg.Now()}, plan)
+}
+
+// StepCtx is Step with an explicit per-invocation context: cancellation,
+// virtual time in, accumulated pull delay out. Safe to call from any number
+// of goroutines on one Processor; sc must not be shared between concurrent
+// steps.
+func (p *Processor) StepCtx(sc *StepContext, plan *algebra.Plan) (Outcome, error) {
+	if sc == nil {
+		sc = &StepContext{Now: p.cfg.Now()}
+	}
 	if err := plan.Validate(); err != nil {
 		return Outcome{}, err
 	}
@@ -252,89 +368,149 @@ func (p *Processor) Step(plan *algebra.Plan) (Outcome, error) {
 	// The trail is parsed only when this server signs visits; an unkeyed
 	// server forwards the <provenance> section untouched (it travels
 	// verbatim — and, after one wire hop, frozen — in plan.Extra).
-	var trail *provenance.Trail
+	st := &step{p: p, sc: sc}
 	if p.cfg.Key != nil {
 		t, err := provenance.FromPlan(plan)
 		if err != nil {
 			return Outcome{}, err
 		}
-		trail = t
-	}
-	record := func(action provenance.Action, detail string, stale int) {
-		if p.cfg.Key == nil {
-			return
-		}
-		trail.Append(provenance.Visit{
-			Server:       p.cfg.Self,
-			Action:       action,
-			Detail:       detail,
-			At:           p.cfg.Now(),
-			StalenessMin: stale,
-		}, p.cfg.Key)
+		st.trail = t
 	}
 
 	out := Outcome{}
-	prefs := GetPrefs(plan)
+	if sc.canceled() {
+		return st.cancelOutcome(plan, out)
+	}
+
 	var routeCandidates []string
-
-	// 1. Bind URNs through the catalog, honoring §5.2 ordering policies.
-	root, err := p.bindURNs(plan, plan.Root, &out, record, &routeCandidates)
-	if err != nil {
-		return Outcome{}, err
-	}
-	plan.Root = root
-
-	// 2. Rewrites. Semantic pruning first (it needs the select still above
-	// the union): drop union branches whose published attribute indices
-	// prove the selection empty there (§3.2). Then flatten and push the
-	// (remaining) selections through unions/ors. Flattening records a visit
-	// like every other mutation: a server whose only work is a flatten must
-	// still sign the trail, or the visited ⊆ trail consistency the chaos
-	// harness checks would flag it.
-	if n := algebra.FlattenUnions(plan.Root); n > 0 {
-		out.Rewrites += n
-		record(provenance.ActionOptimize, "flatten", 0)
-	}
-	if p.cfg.PruneStats {
-		if n := PruneByStats(plan.Root); n > 0 {
-			out.Rewrites += n
-			record(provenance.ActionOptimize, "prune-stats", 0)
+	// shared marks plan.Root as an alias of a cache entry's prepared root:
+	// read-shared across goroutines, it must be cloned before any further
+	// mutation (the last-stop materialization below is the only one).
+	shared := false
+	hit := false
+	cacheable := false
+	var fp, gen uint64
+	if p.cache != nil {
+		gen = p.generation()
+		fp = algebra.Fingerprint(plan.Root)
+		if e := p.cache.lookup(fp, plan.Root, gen); e != nil {
+			// Prepared-plan fast path: stages 1–5 already ran for a
+			// structurally identical plan against this catalog/store
+			// generation. Adopt the prepared root (shared, frozen payloads,
+			// read-only), replay the provenance the original run recorded,
+			// and fall through to the per-plan routing stage — routing
+			// depends on the plan's own visited memory and target, so it is
+			// never cached.
+			plan.Root = e.outRoot
+			shared, hit = true, true
+			out.Bound, out.Fetched = e.bound, e.fetched
+			out.Reduced, out.Rewrites = e.reduced, e.rewrites
+			routeCandidates = append(routeCandidates, e.routes...)
+			st.replay(e.actions)
+			if st.trail != nil {
+				provenance.ToPlan(plan, st.trail)
+			}
+		} else {
+			// Only data-free plans are cache candidates: payload-bearing
+			// ones would need deep document comparison on every lookup to
+			// rule out fingerprint collisions, which costs more than the
+			// stages the cache skips.
+			cacheable = !hasDocs(plan.Root)
+			if cacheable {
+				st.collect = st.trail != nil
+			}
 		}
 	}
-	if p.cfg.PushSelect {
-		if n := algebra.PushSelectThroughUnion(plan.Root); n > 0 {
-			out.Rewrites += n
-			record(provenance.ActionOptimize, "push-select", 0)
+
+	if !hit {
+		var inRoot *algebra.Node
+		if cacheable {
+			inRoot = plan.Root.Clone()
 		}
-	}
 
-	// 3. Resolve Or alternatives per policy and preferences.
-	if n := algebra.OrChoice(plan.Root, func(alts []*algebra.Node) int {
-		return p.cfg.Policy.ChooseOr(alts, prefs)
-	}); n > 0 {
-		out.Rewrites += n
-		record(provenance.ActionOptimize, "or-choice", 0)
-	}
+		prefs := GetPrefs(plan)
 
-	// 4+5. Materialize, rebind and reduce (declining allowed while the plan
-	// still has work elsewhere).
-	if err := p.materializeAndReduce(plan, false, &out, record, &routeCandidates); err != nil {
-		return Outcome{}, err
-	}
+		// 1. Bind URNs through the catalog, honoring §5.2 ordering policies.
+		root, err := st.bindURNs(plan, plan.Root, &out, &routeCandidates)
+		if err != nil {
+			return Outcome{}, err
+		}
+		plan.Root = root
 
-	if out.Bound+out.Fetched+out.Reduced+out.Rewrites == 0 {
-		record(provenance.ActionForward, "", 0)
-	}
-	if p.cfg.Key != nil {
-		provenance.ToPlan(plan, trail)
+		// 2. Rewrites. Semantic pruning first (it needs the select still
+		// above the union): drop union branches whose published attribute
+		// indices prove the selection empty there (§3.2). Then flatten and
+		// push the (remaining) selections through unions/ors. Flattening
+		// records a visit like every other mutation: a server whose only work
+		// is a flatten must still sign the trail, or the visited ⊆ trail
+		// consistency the chaos harness checks would flag it.
+		if n := algebra.FlattenUnions(plan.Root); n > 0 {
+			out.Rewrites += n
+			st.record(provenance.ActionOptimize, "flatten", 0)
+		}
+		if p.cfg.PruneStats {
+			if n := PruneByStats(plan.Root); n > 0 {
+				out.Rewrites += n
+				st.record(provenance.ActionOptimize, "prune-stats", 0)
+			}
+		}
+		if p.cfg.PushSelect {
+			if n := algebra.PushSelectThroughUnion(plan.Root); n > 0 {
+				out.Rewrites += n
+				st.record(provenance.ActionOptimize, "push-select", 0)
+			}
+		}
+
+		// 3. Resolve Or alternatives per policy and preferences.
+		if n := algebra.OrChoice(plan.Root, func(alts []*algebra.Node) int {
+			return p.cfg.Policy.ChooseOr(alts, prefs)
+		}); n > 0 {
+			out.Rewrites += n
+			st.record(provenance.ActionOptimize, "or-choice", 0)
+		}
+
+		if sc.canceled() {
+			return st.cancelOutcome(plan, out)
+		}
+
+		// 4+5. Materialize, rebind and reduce (declining allowed while the
+		// plan still has work elsewhere).
+		if err := st.materializeAndReduce(plan, false, &out, &routeCandidates); err != nil {
+			return Outcome{}, err
+		}
+
+		if out.Bound+out.Fetched+out.Reduced+out.Rewrites == 0 {
+			st.record(provenance.ActionForward, "", 0)
+		}
+		if cacheable && !st.remoteIO {
+			p.cache.insert(fp, &cacheEntry{
+				inRoot:   inRoot,
+				outRoot:  plan.Root.Clone(),
+				routes:   append([]string(nil), routeCandidates...),
+				actions:  append([]provAction(nil), st.actions...),
+				bound:    out.Bound,
+				fetched:  out.Fetched,
+				reduced:  out.Reduced,
+				rewrites: out.Rewrites,
+				gen:      gen,
+			})
+		}
+		if st.trail != nil {
+			provenance.ToPlan(plan, st.trail)
+		}
 	}
 
 	// 6. Routing decision (internal/route): the plan carries its own routing
 	// state — select productive hops against its visited-server memory, then
 	// record this visit with the fingerprint of the state being forwarded.
+	// Always live, never cached: it depends on per-plan state (visited
+	// memory, target), not just the plan's structure.
 	if plan.IsConstant() {
 		out.Done = true
 		return out, nil
+	}
+	if sc.canceled() {
+		return st.cancelOutcome(plan, out)
 	}
 	dec := route.Select(plan, p.cfg.Self, routeCandidates)
 	if dec.Reason != route.Forward && p.hasLocalWork(plan.Root) {
@@ -342,11 +518,17 @@ func (p *Processor) Step(plan *algebra.Plan) (Outcome, error) {
 		// the plan can still travel. With no productive hop left, this
 		// server must materialize and evaluate whatever it declined, so the
 		// plan finishes — or at worst leaves as a richer partial.
-		if err := p.materializeAndReduce(plan, true, &out, record, &routeCandidates); err != nil {
+		if shared {
+			// The prepared root is shared with the cache (and possibly other
+			// in-flight plans); take a private copy before mutating it.
+			plan.Root = plan.Root.Clone()
+			shared = false
+		}
+		if err := st.materializeAndReduce(plan, true, &out, &routeCandidates); err != nil {
 			return Outcome{}, err
 		}
-		if p.cfg.Key != nil {
-			provenance.ToPlan(plan, trail)
+		if st.trail != nil {
+			provenance.ToPlan(plan, st.trail)
 		}
 		if plan.IsConstant() {
 			out.Done = true
@@ -367,6 +549,43 @@ func (p *Processor) Step(plan *algebra.Plan) (Outcome, error) {
 	return out, nil
 }
 
+// cancelOutcome finishes a step whose context expired: flush whatever trail
+// records were already made (so visited ⊆ trail stays consistent on the
+// partial that results) and report an explicit canceled partial.
+func (st *step) cancelOutcome(plan *algebra.Plan, out Outcome) (Outcome, error) {
+	if st.trail != nil {
+		provenance.ToPlan(plan, st.trail)
+	}
+	out.Partial = true
+	out.Canceled = true
+	return out, nil
+}
+
+// generation is the plan cache's invalidation epoch: the catalog's mutation
+// counter plus the transport's (e.g. the peer collection store's). Both are
+// monotone, so the sum changes whenever either does.
+func (p *Processor) generation() uint64 {
+	g := p.cfg.Catalog.Generation()
+	if p.cfg.CacheGeneration != nil {
+		g += p.cfg.CacheGeneration()
+	}
+	return g
+}
+
+// hasDocs reports whether any data leaf in the subtree carries payload
+// documents.
+func hasDocs(root *algebra.Node) bool {
+	found := false
+	root.Walk(func(m *algebra.Node) bool {
+		if m.Kind == algebra.KindData && len(m.Docs) > 0 {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
 // materializeAndReduce is the resolve→rebind→reduce tail of a processing
 // step (Step's stages 4, 4b and 5): resolve URLs per policy, run a second
 // binding pass (materialized data may satisfy §5.2 ordering prerequisites,
@@ -374,21 +593,21 @@ func (p *Processor) Step(plan *algebra.Plan) (Outcome, error) {
 // locally-evaluable sub-plans. With declineForbidden the policy may not
 // decline anything — the last-stop rule (§5.1: once this server is the
 // plan's final stop, it must evaluate).
-func (p *Processor) materializeAndReduce(plan *algebra.Plan, declineForbidden bool, out *Outcome,
-	record func(provenance.Action, string, int), routes *[]string) error {
-	p.declineAllowed = !declineForbidden && p.hasForeignWork(plan.Root)
-	root, err := p.resolveURLs(plan.Root, out, record, routes)
+func (st *step) materializeAndReduce(plan *algebra.Plan, declineForbidden bool, out *Outcome,
+	routes *[]string) error {
+	st.declineAllowed = !declineForbidden && st.p.hasForeignWork(plan.Root)
+	root, err := st.resolveURLs(plan.Root, out, routes)
 	if err != nil {
 		return err
 	}
 	plan.Root = root
-	root, err = p.bindURNs(plan, plan.Root, out, record, routes)
+	root, err = st.bindURNs(plan, plan.Root, out, routes)
 	if err != nil {
 		return err
 	}
 	plan.Root = root
-	p.declineAllowed = !declineForbidden && p.hasForeignWork(plan.Root)
-	plan.Root = p.reduce(plan.Root, true, out, record)
+	st.declineAllowed = !declineForbidden && st.p.hasForeignWork(plan.Root)
+	plan.Root = st.reduce(plan.Root, true, out)
 	return nil
 }
 
@@ -408,9 +627,10 @@ func (p *Processor) hasLocalWork(root *algebra.Node) bool {
 
 // bindURNs replaces resolvable URN leaves with catalog bindings (post-order
 // so nested structures bind in one pass).
-func (p *Processor) bindURNs(plan *algebra.Plan, n *algebra.Node, out *Outcome, record func(provenance.Action, string, int), routes *[]string) (*algebra.Node, error) {
+func (st *step) bindURNs(plan *algebra.Plan, n *algebra.Node, out *Outcome, routes *[]string) (*algebra.Node, error) {
+	p := st.p
 	for i, c := range n.Children {
-		nc, err := p.bindURNs(plan, c, out, record, routes)
+		nc, err := st.bindURNs(plan, c, out, routes)
 		if err != nil {
 			return nil, err
 		}
@@ -435,13 +655,13 @@ func (p *Processor) bindURNs(plan *algebra.Plan, n *algebra.Node, out *Outcome, 
 	}
 	if expr, ok := p.authoritativeBind(n.URN, b); ok {
 		out.Bound++
-		record(provenance.ActionBind, n.URN, 0)
+		st.record(provenance.ActionBind, n.URN, 0)
 		markOrigin(expr, n.URN)
 		return expr, nil
 	}
 	if b.Expr != nil {
 		out.Bound++
-		record(provenance.ActionBind, n.URN, 0)
+		st.record(provenance.ActionBind, n.URN, 0)
 		markOrigin(b.Expr, n.URN)
 		return b.Expr, nil
 	}
@@ -489,9 +709,10 @@ func (p *Processor) authoritativeBind(urn string, b catalog.Binding) (*algebra.N
 
 // resolveURLs substitutes data for URL leaves served here (and for remote
 // ones when the policy pulls).
-func (p *Processor) resolveURLs(n *algebra.Node, out *Outcome, record func(provenance.Action, string, int), routes *[]string) (*algebra.Node, error) {
+func (st *step) resolveURLs(n *algebra.Node, out *Outcome, routes *[]string) (*algebra.Node, error) {
+	p := st.p
 	for i, c := range n.Children {
-		nc, err := p.resolveURLs(c, out, record, routes)
+		nc, err := st.resolveURLs(c, out, routes)
 		if err != nil {
 			return nil, err
 		}
@@ -508,7 +729,7 @@ func (p *Processor) resolveURLs(n *algebra.Node, out *Outcome, record func(prove
 		// collection, annotating the leaf with statistics instead so later
 		// servers can plan around it. Materializing local data is the first
 		// step of reduction, so the reduction ceiling governs.
-		if p.cfg.SizeOf != nil && p.declineAllowed {
+		if p.cfg.SizeOf != nil && st.declineAllowed {
 			if est := p.cfg.SizeOf(n.PathExp); est >= 0 && !p.cfg.Policy.ShouldReduce(n, est) {
 				n.SetCard(est)
 				if p.cfg.StatsFor != nil {
@@ -516,7 +737,7 @@ func (p *Processor) resolveURLs(n *algebra.Node, out *Outcome, record func(prove
 						n.Annotate(k, v)
 					}
 				}
-				record(provenance.ActionAnnotate, n.URL+n.PathExp, 0)
+				st.record(provenance.ActionAnnotate, n.URL+n.PathExp, 0)
 				return n, nil
 			}
 		}
@@ -524,13 +745,14 @@ func (p *Processor) resolveURLs(n *algebra.Node, out *Outcome, record func(prove
 	case addr != p.cfg.Self && p.cfg.FetchRemote != nil &&
 		p.cfg.Policy.ShouldFetch(addr, n.PathExp, n.Card()):
 		fetch = p.cfg.FetchRemote
+		st.remoteIO = true
 	default:
 		if addr != p.cfg.Self {
 			*routes = append(*routes, addr)
 		}
 		return n, nil
 	}
-	items, stale, err := fetch(addr, n.PathExp)
+	items, stale, err := fetch(st.sc, addr, n.PathExp)
 	if err != nil {
 		// Paper §4.2: a bound server may be unavailable; leave the leaf so
 		// a later hop (or alternative) can take over. A failed local fetch
@@ -550,15 +772,16 @@ func (p *Processor) resolveURLs(n *algebra.Node, out *Outcome, record func(prove
 	}
 	d.Annotate(algebra.AnnotSource, addr)
 	out.Fetched++
-	record(provenance.ActionData, n.URL+n.PathExp, stale)
+	st.record(provenance.ActionData, n.URL+n.PathExp, stale)
 	return d, nil
 }
 
 // reduce replaces maximal locally-evaluable sub-plans with their results.
 // isRoot tracks whether n is the plan root (Display stays in place).
-func (p *Processor) reduce(n *algebra.Node, isRoot bool, out *Outcome, record func(provenance.Action, string, int)) *algebra.Node {
+func (st *step) reduce(n *algebra.Node, isRoot bool, out *Outcome) *algebra.Node {
+	p := st.p
 	if n.Kind == algebra.KindDisplay {
-		n.Children[0] = p.reduce(n.Children[0], false, out, record)
+		n.Children[0] = st.reduce(n.Children[0], false, out)
 		return n
 	}
 	if n.Kind == algebra.KindData {
@@ -566,15 +789,15 @@ func (p *Processor) reduce(n *algebra.Node, isRoot bool, out *Outcome, record fu
 	}
 	if engine.LocallyEvaluable(n) {
 		est := algebra.EstimateCard(n)
-		if !p.declineAllowed || p.cfg.Policy.ShouldReduce(n, est) {
+		if !st.declineAllowed || p.cfg.Policy.ShouldReduce(n, est) {
 			d, err := engine.Reduce(n)
 			if err == nil {
 				// Preserve the worst staleness of the inputs on the result.
-				if st := maxStaleness(n); st > 0 {
-					d.SetStaleness(st)
+				if stl := maxStaleness(n); stl > 0 {
+					d.SetStaleness(stl)
 				}
 				out.Reduced++
-				record(provenance.ActionReduce, n.Kind.String(), maxStaleness(n))
+				st.record(provenance.ActionReduce, n.Kind.String(), maxStaleness(n))
 				return d
 			}
 		} else {
@@ -583,12 +806,12 @@ func (p *Processor) reduce(n *algebra.Node, isRoot bool, out *Outcome, record fu
 			if est >= 0 {
 				n.SetCard(est)
 			}
-			record(provenance.ActionAnnotate, n.Kind.String(), 0)
+			st.record(provenance.ActionAnnotate, n.Kind.String(), 0)
 			return n
 		}
 	}
 	for i, c := range n.Children {
-		n.Children[i] = p.reduce(c, false, out, record)
+		n.Children[i] = st.reduce(c, false, out)
 	}
 	return n
 }

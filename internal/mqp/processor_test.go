@@ -27,7 +27,7 @@ func testNS() *namespace.Namespace {
 // store is a trivial per-server data store for FetchLocal.
 type store map[string][]*xmltree.Node
 
-func (s store) fetch(_ string, pathExp string) ([]*xmltree.Node, int, error) {
+func (s store) fetch(_ *StepContext, _ string, pathExp string) ([]*xmltree.Node, int, error) {
 	items, ok := s[pathExp]
 	if !ok {
 		return nil, 0, fmt.Errorf("no collection %q", pathExp)
@@ -397,8 +397,8 @@ func TestForwardOnlyPolicy(t *testing.T) {
 func TestStalenessPropagatesThroughReduce(t *testing.T) {
 	ns := testNS()
 	stale := store{"": items(`<i><v>1</v></i>`)}
-	fetch := func(addr, pathExp string) ([]*xmltree.Node, int, error) {
-		it, _, err := stale.fetch(addr, pathExp)
+	fetch := func(sc *StepContext, addr, pathExp string) ([]*xmltree.Node, int, error) {
+		it, _, err := stale.fetch(sc, addr, pathExp)
 		return it, 30, err
 	}
 	p := mustProc(t, Config{Self: "s:1", Catalog: catalog.New(ns, "s:1"), FetchLocal: fetch})

@@ -7,11 +7,12 @@
 package peer
 
 import (
+	"context"
 	"errors"
 	"fmt"
-	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/algebra"
@@ -95,6 +96,22 @@ type Config struct {
 	// PruneStats enables histogram-based pruning of provably-empty union
 	// branches when this peer processes plans (§3.2 attribute indices).
 	PruneStats bool
+	// Workers > 0 runs delivered plans on a pool of that many workers behind
+	// a bounded frame queue with admission control (overload turns into
+	// explicit partial results, not latency collapse). Zero keeps the
+	// synchronous delivery path: every Deliver processes inline, which the
+	// deterministic chaos/experiment harnesses rely on.
+	Workers int
+	// QueueDepth bounds the worker pool's frame queue; 0 defaults to
+	// 4×Workers. A full queue rejects new plans with a partial result
+	// annotated "admission".
+	QueueDepth int
+	// StepTimeout bounds one plan step in the worker pool; an expired step
+	// returns a partial result annotated "canceled". Zero disables the bound.
+	StepTimeout time.Duration
+	// PlanCacheSize enables the processor's prepared-plan cache with that
+	// many entries (see internal/mqp). Zero disables it.
+	PlanCacheSize int
 }
 
 // Peer is one network participant.
@@ -106,19 +123,31 @@ type Peer struct {
 	proc *mqp.Processor
 	cfg  Config
 
-	mu          sync.Mutex
-	collections map[string]*Collection // by PathExp
-	results     []Result
-	// now tracks the virtual time of the message being processed, so the
-	// processor's provenance records and forwards carry consistent time.
-	now time.Duration
-	// pullDelay accumulates request RTTs incurred during a Step (data
-	// pulls), added to the forwarded plan's virtual time.
-	pullDelay time.Duration
+	// store holds the peer's collections: sharded and read-mostly, so
+	// concurrent plan steps fetch local data without contending (see
+	// store.go). Per-step state (the processing clock, pull-delay
+	// accounting) lives in an mqp.StepContext owned by the step, not on the
+	// peer, so any number of steps run independently.
+	store *collStore
+
+	// lastAt remembers the virtual time of the most recent plan delivery
+	// (atomic time.Duration). Driver-phase requests issued from this peer
+	// (Harvest, ReplicateFrom, SubcategoriesOf) start from it.
+	lastAt atomic.Int64
+
+	// resMu guards the delivery-side records below. It is deliberately
+	// separate from the data path: appending a result never blocks a worker
+	// reading collections.
+	resMu   sync.Mutex
+	results []Result
 	// stuck records terminal plan failures; stuckSeen dedupes identical
 	// entries (message duplication can redeliver the same doomed plan).
 	stuck     []error
 	stuckSeen map[string]bool
+
+	// rt is the worker-pool runtime, nil when Workers == 0 (synchronous
+	// delivery).
+	rt *runtime
 }
 
 // New creates a peer and registers it on the network.
@@ -132,25 +161,30 @@ func New(cfg Config) (*Peer, error) {
 		cfg.Policy = mqp.ForwardOnlyPolicy{}
 	}
 	p := &Peer{
-		addr:        cfg.Addr,
-		net:         cfg.Net,
-		ns:          cfg.NS,
-		cat:         catalog.New(cfg.NS, cfg.Addr),
-		cfg:         cfg,
-		collections: map[string]*Collection{},
+		addr:  cfg.Addr,
+		net:   cfg.Net,
+		ns:    cfg.NS,
+		cat:   catalog.New(cfg.NS, cfg.Addr),
+		cfg:   cfg,
+		store: newCollStore(),
 	}
 	pcfg := mqp.Config{
-		Self:        cfg.Addr,
-		Catalog:     p.cat,
-		FetchLocal:  p.fetchLocal,
-		FetchRemote: p.fetchRemote,
-		Policy:      cfg.Policy,
-		PushSelect:  cfg.PushSelect,
-		Key:         cfg.Key,
-		Now:         p.virtualNow,
-		SizeOf:      p.sizeOf,
-		StatsFor:    p.statsFor,
-		PruneStats:  cfg.PruneStats,
+		Self:          cfg.Addr,
+		Catalog:       p.cat,
+		FetchLocal:    p.fetchLocal,
+		FetchRemote:   p.fetchRemote,
+		Policy:        cfg.Policy,
+		PushSelect:    cfg.PushSelect,
+		Key:           cfg.Key,
+		Now:           p.virtualNow,
+		SizeOf:        p.sizeOf,
+		StatsFor:      p.statsFor,
+		PruneStats:    cfg.PruneStats,
+		PlanCacheSize: cfg.PlanCacheSize,
+		// The prepared-plan cache invalidates on local data changes as well
+		// as catalog changes: a published collection snapshot may change
+		// what a cached step materialized.
+		CacheGeneration: p.store.generation,
 	}
 	if cfg.Authoritative {
 		pcfg.Authority = cfg.Area
@@ -160,8 +194,20 @@ func New(cfg Config) (*Peer, error) {
 		return nil, err
 	}
 	p.proc = proc
+	if cfg.Workers > 0 {
+		p.rt = newRuntime(p, cfg.Workers, cfg.QueueDepth, cfg.StepTimeout)
+	}
 	cfg.Net.Add(p)
 	return p, nil
+}
+
+// Close stops the worker-pool runtime, if any: workers drain, queued plans
+// still waiting are rejected with partial results annotated "shutdown".
+// A synchronous peer's Close is a no-op. Close is idempotent.
+func (p *Peer) Close() {
+	if p.rt != nil {
+		p.rt.close()
+	}
 }
 
 // Addr implements simnet.Peer.
@@ -170,69 +216,65 @@ func (p *Peer) Addr() string { return p.addr }
 // Catalog exposes the peer's catalog for direct seeding in experiments.
 func (p *Peer) Catalog() *catalog.Catalog { return p.cat }
 
+// CacheStats reports the processor's prepared-plan cache counters (zero
+// when the cache is disabled).
+func (p *Peer) CacheStats() mqp.CacheStats { return p.proc.CacheStats() }
+
 func (p *Peer) virtualNow() time.Duration {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.now
+	return time.Duration(p.lastAt.Load())
 }
 
 // AddCollection installs (or replaces) a base collection, freezing its
-// items (see Collection).
+// items (see Collection). The peer keeps a private snapshot: later mutation
+// of the caller's struct does not affect what is served.
 func (p *Peer) AddCollection(c Collection) {
 	for _, it := range c.Items {
 		it.Freeze()
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	cc := c
-	p.collections[c.PathExp] = &cc
+	p.store.put(&cc)
 }
 
 // Collection returns the collection with the given path identifier.
 func (p *Peer) Collection(pathExp string) (Collection, bool) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	c, ok := p.collections[pathExp]
-	if !ok {
+	c := p.store.get(pathExp)
+	if c == nil {
 		return Collection{}, false
 	}
 	return *c, true
 }
 
 // SetItems replaces a collection's items (workload updates). The new items
-// are frozen (see Collection).
+// are frozen (see Collection), and published as a fresh snapshot — in-flight
+// steps holding the previous snapshot finish against consistent data.
 func (p *Peer) SetItems(pathExp string, items []*xmltree.Node) error {
 	for _, it := range items {
 		it.Freeze()
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	c, ok := p.collections[pathExp]
-	if !ok {
+	old := p.store.get(pathExp)
+	if old == nil {
 		return fmt.Errorf("peer %s: no collection %q", p.addr, pathExp)
 	}
-	c.Items = items
+	cc := *old
+	cc.Items = items
+	p.store.put(&cc)
 	return nil
 }
 
 // Registration builds this peer's registration record, including exported
 // collections and retained statements.
 func (p *Peer) Registration(role catalog.Role) catalog.Registration {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	reg := catalog.Registration{
 		Addr:          p.addr,
 		Role:          role,
 		Area:          p.cfg.Area,
 		Authoritative: p.cfg.Authoritative,
 	}
-	paths := make([]string, 0, len(p.collections))
-	for pe := range p.collections {
-		paths = append(paths, pe)
-	}
-	sort.Strings(paths)
-	for _, pe := range paths {
-		c := p.collections[pe]
+	for _, pe := range p.store.paths() {
+		c := p.store.get(pe)
+		if c == nil {
+			continue
+		}
 		coll := catalog.Collection{Name: c.Name, PathExp: c.PathExp, Area: c.Area}
 		// Publish attribute indices (§3.2) when stats are configured.
 		if p.cfg.StatsHistPath != "" {
@@ -307,10 +349,12 @@ func (p *Peer) ReplicateFrom(srcAddr, pathExp string, as Collection, stalenessMi
 	return nil
 }
 
-// Results returns the finished queries delivered to this peer.
+// Results returns a snapshot of the finished queries delivered to this
+// peer. The returned slice is the caller's: appending results concurrently
+// never aliases into it.
 func (p *Peer) Results() []Result {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.resMu.Lock()
+	defer p.resMu.Unlock()
 	out := make([]Result, len(p.results))
 	copy(out, p.results)
 	return out
@@ -318,14 +362,25 @@ func (p *Peer) Results() []Result {
 
 // TakeResult pops the oldest finished query, if any.
 func (p *Peer) TakeResult() (Result, bool) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.resMu.Lock()
+	defer p.resMu.Unlock()
 	if len(p.results) == 0 {
 		return Result{}, false
 	}
 	r := p.results[0]
-	p.results = p.results[1:]
+	// Copy the tail rather than re-slicing: the popped entry must not stay
+	// reachable through the backing array, and a previous Results snapshot
+	// must not see later appends through a shared array.
+	p.results = append([]Result(nil), p.results[1:]...)
 	return r, true
+}
+
+// recordResult appends a finished query.
+func (p *Peer) recordResult(plan *algebra.Plan, at time.Duration, hops int) {
+	p.resMu.Lock()
+	p.results = append(p.results, Result{Plan: plan, At: at, Hops: hops,
+		Partial: plan.PartialResult()})
+	p.resMu.Unlock()
 }
 
 // StuckErrors returns errors from plans that could make no progress here:
@@ -334,8 +389,8 @@ func (p *Peer) TakeResult() (Result, bool) {
 // carries the plan id (quoted), so a harness can attribute every submitted
 // plan to a result, a stuck error, or an injected network fault.
 func (p *Peer) StuckErrors() []error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.resMu.Lock()
+	defer p.resMu.Unlock()
 	return append([]error(nil), p.stuck...)
 }
 
@@ -344,8 +399,8 @@ func (p *Peer) StuckErrors() []error {
 // (same plan, same failure — e.g. a duplicated delivery of a doomed plan)
 // are recorded once.
 func (p *Peer) noteStuck(err error) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.resMu.Lock()
+	defer p.resMu.Unlock()
 	key := err.Error()
 	if p.stuckSeen == nil {
 		p.stuckSeen = map[string]bool{}
@@ -361,6 +416,18 @@ func (p *Peer) noteStuck(err error) error {
 // target should be this peer's address (or another peer expecting the
 // result).
 func (p *Peer) Submit(addr string, plan *algebra.Plan) error {
+	return p.SubmitCtx(context.Background(), addr, plan)
+}
+
+// SubmitCtx is Submit with cancellation: a context already canceled or
+// past its deadline fails the submission before the plan enters the
+// network. Once sent, the plan travels peer to peer and is bounded by each
+// server's own admission control and step timeout rather than by ctx (a
+// context cannot follow a plan across the wire).
+func (p *Peer) SubmitCtx(ctx context.Context, addr string, plan *algebra.Plan) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("peer %s: submit plan %q: %w", p.addr, plan.ID, err)
+	}
 	return p.net.Send(&simnet.Message{
 		From: p.addr, To: addr, Kind: KindMQP, Body: algebra.Marshal(plan),
 	})
@@ -379,10 +446,7 @@ func (p *Peer) Deliver(net *simnet.Network, msg *simnet.Message) error {
 		if err != nil {
 			return fmt.Errorf("peer %s: bad result: %w", p.addr, err)
 		}
-		p.mu.Lock()
-		p.results = append(p.results, Result{Plan: plan, At: msg.At, Hops: msg.Hops,
-			Partial: plan.PartialResult()})
-		p.mu.Unlock()
+		p.recordResult(plan, msg.At, msg.Hops)
 		return nil
 	case KindRegister:
 		reg, err := catalog.UnmarshalRegistration(p.ns, msg.Body)
@@ -395,7 +459,20 @@ func (p *Peer) Deliver(net *simnet.Network, msg *simnet.Message) error {
 	}
 }
 
+// handleMQP dispatches a delivered plan: onto the worker pool when one is
+// configured, inline otherwise.
 func (p *Peer) handleMQP(msg *simnet.Message) error {
+	if p.rt != nil {
+		return p.rt.enqueue(msg)
+	}
+	return p.processMQP(context.Background(), msg)
+}
+
+// processMQP runs one plan step and routes the outcome: a result home, the
+// mutated plan onward, or a stuck record. ctx bounds the step (worker-pool
+// shutdown, per-plan timeout); a canceled step turns into an explicit
+// partial result annotated "canceled".
+func (p *Peer) processMQP(ctx context.Context, msg *simnet.Message) error {
 	plan, err := algebra.Unmarshal(msg.Body)
 	if err != nil {
 		return fmt.Errorf("peer %s: bad plan: %w", p.addr, err)
@@ -403,24 +480,18 @@ func (p *Peer) handleMQP(msg *simnet.Message) error {
 	// A constant plan addressed to us is a result that was routed as an
 	// MQP; accept it either way.
 	if plan.Target == p.addr && plan.IsConstant() {
-		p.mu.Lock()
-		p.results = append(p.results, Result{Plan: plan, At: msg.At, Hops: msg.Hops,
-			Partial: plan.PartialResult()})
-		p.mu.Unlock()
+		p.recordResult(plan, msg.At, msg.Hops)
 		return nil
 	}
-	p.mu.Lock()
-	p.now = msg.At
-	p.pullDelay = 0
-	p.mu.Unlock()
+	p.lastAt.Store(int64(msg.At))
 
-	out, err := p.proc.Step(plan)
+	sc := mqp.StepContext{Ctx: ctx, Now: msg.At}
+	out, err := p.proc.StepCtx(&sc, plan)
 	if err != nil {
 		return p.noteStuck(fmt.Errorf("peer %s: %w", p.addr, err))
 	}
-	p.mu.Lock()
-	at := p.now + p.pullDelay
-	p.mu.Unlock()
+	// Data pulls during the step charged their RTTs to the plan's clock.
+	at := msg.At + sc.PullDelay
 
 	if out.Done || out.Partial {
 		result := plan
@@ -429,10 +500,23 @@ func (p *Peer) handleMQP(msg *simnet.Message) error {
 			// the depth guard, return an explicit partial result carrying
 			// what was already reduced (a sub-multiset of the full answer).
 			result = route.Partial(plan)
+			if out.Canceled {
+				result.SetPartialReason("canceled")
+			}
+		}
+		body := algebra.Marshal(result)
+		if p.rt != nil {
+			// The concurrent runtime ships results frozen: a result is final,
+			// freezing makes that explicit, and a frozen document crosses an
+			// in-process link as an immutable alias (see simnet.encodeBody)
+			// instead of a serialize+decode round trip. Synchronous peers
+			// keep the mutable marshal so the deterministic harnesses drive
+			// the full wire codec on every delivery.
+			body.Freeze()
 		}
 		err := p.net.Send(&simnet.Message{
 			From: p.addr, To: result.Target, Kind: KindResult,
-			Body: algebra.Marshal(result), At: at, Hops: msg.Hops,
+			Body: body, At: at, Hops: msg.Hops,
 		})
 		if err != nil {
 			// The answer exists but its owner is unreachable: surface the
@@ -471,13 +555,40 @@ func (p *Peer) handleMQP(msg *simnet.Message) error {
 		p.addr, len(out.NextHops), plan.ID, lastErr))
 }
 
+// rejectMQP turns a plan this peer cannot process (full admission queue,
+// shutdown) into an explicit partial result sent back to the plan's target,
+// annotated with the reason. Load shedding is not an error: the plan is
+// accounted for — as a partial at its owner, or as a stuck record here if
+// even the partial cannot be delivered.
+func (p *Peer) rejectMQP(msg *simnet.Message, reason string) error {
+	plan, err := algebra.Unmarshal(msg.Body)
+	if err != nil {
+		return fmt.Errorf("peer %s: bad plan: %w", p.addr, err)
+	}
+	// A result routed as an MQP costs nothing to accept; never shed it.
+	if plan.Target == p.addr && plan.IsConstant() {
+		p.recordResult(plan, msg.At, msg.Hops)
+		return nil
+	}
+	res := route.Partial(plan)
+	res.SetPartialReason(reason)
+	if err := p.net.Send(&simnet.Message{
+		From: p.addr, To: res.Target, Kind: KindResult,
+		Body: algebra.Marshal(res), At: msg.At, Hops: msg.Hops,
+	}); err != nil {
+		return p.noteStuck(fmt.Errorf("peer %s: %s partial for plan %q undeliverable to %s: %w",
+			p.addr, reason, plan.ID, plan.Target, err))
+	}
+	return nil
+}
+
 // Serve implements simnet.Peer: data pulls, harvesting, and category
 // queries.
 func (p *Peer) Serve(net *simnet.Network, req *simnet.Message) (*xmltree.Node, error) {
 	switch req.Kind {
 	case KindFetch:
 		pathExp := req.Body.AttrDefault("path", "")
-		items, stale, err := p.fetchLocal(p.addr, pathExp)
+		items, stale, err := p.fetchLocal(nil, p.addr, pathExp)
 		if err != nil {
 			return nil, err
 		}
@@ -521,12 +632,11 @@ func (p *Peer) Serve(net *simnet.Network, req *simnet.Message) (*xmltree.Node, e
 	}
 }
 
-// fetchLocal serves this peer's own collections.
-func (p *Peer) fetchLocal(_ string, pathExp string) ([]*xmltree.Node, int, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	c, ok := p.collections[pathExp]
-	if !ok {
+// fetchLocal serves this peer's own collections from the current store
+// snapshot. The StepContext is unused: local data costs no virtual time.
+func (p *Peer) fetchLocal(_ *mqp.StepContext, _ string, pathExp string) ([]*xmltree.Node, int, error) {
+	c := p.store.get(pathExp)
+	if c == nil {
 		return nil, 0, fmt.Errorf("peer %s: no collection %q", p.addr, pathExp)
 	}
 	return c.Items, c.StalenessMin, nil
@@ -534,10 +644,8 @@ func (p *Peer) fetchLocal(_ string, pathExp string) ([]*xmltree.Node, int, error
 
 // sizeOf reports a local collection's size, or -1 when unknown.
 func (p *Peer) sizeOf(pathExp string) int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	c, ok := p.collections[pathExp]
-	if !ok {
+	c := p.store.get(pathExp)
+	if c == nil {
 		return -1
 	}
 	return len(c.Items)
@@ -546,10 +654,8 @@ func (p *Peer) sizeOf(pathExp string) int {
 // statsFor publishes the §5.1 statistics annotations for a collection the
 // policy declined to materialize.
 func (p *Peer) statsFor(pathExp string) map[string]string {
-	p.mu.Lock()
-	c, ok := p.collections[pathExp]
-	p.mu.Unlock()
-	if !ok {
+	c := p.store.get(pathExp)
+	if c == nil {
 		return nil
 	}
 	s := stats.Collect(c.Items, p.cfg.StatsKeyPaths, p.cfg.StatsHistPath, 8)
@@ -564,18 +670,16 @@ func (p *Peer) statsFor(pathExp string) map[string]string {
 }
 
 // fetchRemote pulls a collection from another peer, charging the RTT to the
-// in-flight plan's virtual time.
-func (p *Peer) fetchRemote(addr, pathExp string) ([]*xmltree.Node, int, error) {
+// in-flight plan's virtual time through its StepContext.
+func (p *Peer) fetchRemote(sc *mqp.StepContext, addr, pathExp string) ([]*xmltree.Node, int, error) {
 	req := xmltree.Elem("fetch")
 	req.SetAttr("path", pathExp)
-	start := p.virtualNow()
+	start := sc.Now
 	reply, at, err := p.net.Request(p.addr, addr, KindFetch, req, start)
 	if err != nil {
 		return nil, 0, err
 	}
-	p.mu.Lock()
-	p.pullDelay += at - start
-	p.mu.Unlock()
+	sc.PullDelay += at - start
 	stale, err := strconv.Atoi(reply.AttrDefault("staleness", "0"))
 	if err != nil {
 		return nil, 0, fmt.Errorf("peer %s: bad staleness from %s: %w", p.addr, addr, err)

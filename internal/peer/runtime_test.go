@@ -1,0 +1,225 @@
+package peer
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/algebra"
+	"repro/internal/catalog"
+	"repro/internal/namespace"
+	"repro/internal/simnet"
+)
+
+// runtimeWorld builds the smallest concurrent-runtime topology: one
+// authoritative server that is its own index (the loadgen shape) and a bare
+// client that receives results. The server's worker/queue/timeout knobs come
+// from cfg; everything else is fixed.
+func runtimeWorld(t *testing.T, cfg Config) (client, srv *Peer) {
+	t.Helper()
+	net := simnet.New()
+	ns := testNS()
+	area := ns.MustParseArea("[USA/OR/Portland, Music/CDs]")
+
+	cfg.Addr = "srv:9020"
+	cfg.Net = net
+	cfg.NS = ns
+	cfg.Area = area
+	cfg.Authoritative = true
+	cfg.PushSelect = true
+	srv = mustPeer(t, cfg)
+	srv.AddCollection(Collection{Name: "cds", PathExp: "/data[id=1]", Area: area, Items: items(
+		`<sale><cd>Blue Train</cd><price>8</price></sale>`,
+		`<sale><cd>Kind of Blue</cd><price>15</price></sale>`,
+		`<sale><cd>Giant Steps</cd><price>9</price></sale>`,
+	)})
+	if err := srv.RegisterWith("srv:9020", catalog.RoleBase); err != nil {
+		t.Fatal(err)
+	}
+	srv.Catalog().AddAlias("urn:RT:CDs", namespace.EncodeURN(area))
+
+	client = mustPeer(t, Config{Addr: "client:9020", Net: net, NS: ns})
+	return client, srv
+}
+
+func rtPlan(id string) *algebra.Plan {
+	sel := algebra.Select(algebra.MustParsePredicate("price < 10"),
+		algebra.URN("urn:RT:CDs"))
+	return algebra.NewPlan(id, "client:9020", algebra.Display(sel))
+}
+
+// waitResults polls until the client holds n results or the deadline hits.
+func waitResults(t *testing.T, client *Peer, n int) []Result {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		rs := client.Results()
+		if len(rs) >= n {
+			return rs
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("results = %d, want %d", len(rs), n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestWorkerPoolDelivery drives a worker-pool server from concurrent
+// submitters: every plan must come back as a complete (non-partial) result
+// with the same answer synchronous processing gives.
+func TestWorkerPoolDelivery(t *testing.T) {
+	client, srv := runtimeWorld(t, Config{Workers: 4, PlanCacheSize: 16})
+	defer srv.Close()
+
+	const submitters, plansEach = 4, 16
+	var wg sync.WaitGroup
+	wg.Add(submitters)
+	for s := 0; s < submitters; s++ {
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < plansEach; i++ {
+				if err := client.Submit("srv:9020", rtPlan(fmt.Sprintf("wp%d-%d", s, i))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+
+	rs := waitResults(t, client, submitters*plansEach)
+	for _, r := range rs {
+		if r.Partial {
+			t.Fatalf("plan %s: partial (reason %q)", r.Plan.ID, r.Plan.PartialReason())
+		}
+		docs, err := r.Plan.Results()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(docs) != 2 {
+			t.Fatalf("plan %s: %d results, want 2", r.Plan.ID, len(docs))
+		}
+	}
+	if errs := srv.StuckErrors(); len(errs) != 0 {
+		t.Fatalf("stuck errors: %v", errs)
+	}
+}
+
+// TestAdmissionControlSheds fills the frame queue with no workers draining
+// it (a runtime wired by hand), so the admission decision is deterministic:
+// the queued plan waits, the overflow plan comes back immediately as a
+// partial annotated "admission", and closing the runtime drains the queue
+// into "shutdown" partials. No plan vanishes.
+func TestAdmissionControlSheds(t *testing.T) {
+	client, srv := runtimeWorld(t, Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	srv.rt = &runtime{p: srv, queue: make(chan *simnet.Message, 1), ctx: ctx, cancel: cancel}
+
+	if err := client.Submit("srv:9020", rtPlan("adm1")); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(client.Results()); got != 0 {
+		t.Fatalf("queued plan answered early: %d results", got)
+	}
+	if err := client.Submit("srv:9020", rtPlan("adm2")); err != nil {
+		t.Fatal(err)
+	}
+	rs := client.Results()
+	if len(rs) != 1 || !rs[0].Partial || rs[0].Plan.PartialReason() != "admission" {
+		t.Fatalf("overflow result = %+v", rs)
+	}
+	if rs[0].Plan.ID != "adm2" {
+		t.Fatalf("shed the wrong plan: %s", rs[0].Plan.ID)
+	}
+	if got := srv.rt.rejected.Load(); got != 1 {
+		t.Fatalf("rejected = %d, want 1", got)
+	}
+
+	// Close drains the queue: the waiting plan is rejected, not dropped.
+	srv.Close()
+	rs = waitResults(t, client, 2)
+	if rs[1].Plan.ID != "adm1" || rs[1].Plan.PartialReason() != "shutdown" {
+		t.Fatalf("drained result = %s (reason %q)", rs[1].Plan.ID, rs[1].Plan.PartialReason())
+	}
+
+	// After shutdown, new arrivals are rejected at the door.
+	if err := client.Submit("srv:9020", rtPlan("adm3")); err != nil {
+		t.Fatal(err)
+	}
+	rs = waitResults(t, client, 3)
+	if rs[2].Plan.PartialReason() != "shutdown" {
+		t.Fatalf("post-close reason = %q, want shutdown", rs[2].Plan.PartialReason())
+	}
+}
+
+// TestStepTimeoutCancels runs the worker pool with an already-expired step
+// budget: the plan must come back as an explicit partial annotated
+// "canceled", not hang and not vanish.
+func TestStepTimeoutCancels(t *testing.T) {
+	client, srv := runtimeWorld(t, Config{Workers: 1, StepTimeout: time.Nanosecond})
+	defer srv.Close()
+
+	if err := client.Submit("srv:9020", rtPlan("to1")); err != nil {
+		t.Fatal(err)
+	}
+	rs := waitResults(t, client, 1)
+	if !rs[0].Partial || rs[0].Plan.PartialReason() != "canceled" {
+		t.Fatalf("result = partial=%v reason=%q, want canceled partial",
+			rs[0].Partial, rs[0].Plan.PartialReason())
+	}
+}
+
+func TestSubmitCtxRejectsCanceled(t *testing.T) {
+	client, srv := runtimeWorld(t, Config{})
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := client.SubmitCtx(ctx, "srv:9020", rtPlan("ctx1"))
+	if err == nil {
+		t.Fatal("submit with canceled context succeeded")
+	}
+	if got := len(client.Results()); got != 0 {
+		t.Fatalf("canceled submission produced %d results", got)
+	}
+}
+
+// TestResultSnapshotsAreDefensive checks the satellite contract: Results
+// returns the caller's own slice, and TakeResult re-allocates the backing
+// array, so a held snapshot never observes later pops or appends.
+func TestResultSnapshotsAreDefensive(t *testing.T) {
+	client, srv := runtimeWorld(t, Config{})
+	defer srv.Close()
+
+	for i := 0; i < 3; i++ {
+		if err := client.Submit("srv:9020", rtPlan(fmt.Sprintf("snap%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := client.Results()
+	if len(snap) != 3 {
+		t.Fatalf("results = %d, want 3", len(snap))
+	}
+
+	taken, ok := client.TakeResult()
+	if !ok || taken.Plan.ID != "snap0" {
+		t.Fatalf("take = %+v, %v", taken, ok)
+	}
+	if len(snap) != 3 || snap[0].Plan.ID != "snap0" {
+		t.Fatalf("snapshot mutated by TakeResult: %+v", snap)
+	}
+	if got := client.Results(); len(got) != 2 || got[0].Plan.ID != "snap1" {
+		t.Fatalf("after take: %d results, first %s", len(got), got[0].Plan.ID)
+	}
+
+	// A new result appended after the pop must not leak into the snapshot's
+	// backing array.
+	if err := client.Submit("srv:9020", rtPlan("snap3")); err != nil {
+		t.Fatal(err)
+	}
+	if snap[1].Plan.ID != "snap1" || snap[2].Plan.ID != "snap2" {
+		t.Fatalf("snapshot aliased later append: %+v", snap)
+	}
+}

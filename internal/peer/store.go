@@ -1,0 +1,96 @@
+package peer
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// collStore is the peer's collection store, built for the concurrent
+// runtime: many workers read collections on every plan step (fetchLocal,
+// sizeOf, statsFor), while installs and replication refreshes are rare,
+// driver-phase events.
+//
+// Two mechanisms keep the read path near-free:
+//
+//   - Sharding: paths hash onto storeShards independent RWMutex-guarded
+//     maps, so concurrent readers of different collections never touch the
+//     same lock word.
+//   - Immutable snapshots: an installed *Collection is never mutated in
+//     place — SetItems publishes a fresh value (RCU-style), so a reader
+//     holds its snapshot lock-free after the map lookup. The items inside
+//     are frozen xmltree subtrees, already safe to share.
+//
+// gen counts publishes; the processor's prepared-plan cache folds it into
+// its invalidation epoch, so cached bindings of local data never outlive the
+// data they materialized.
+type collStore struct {
+	gen    atomic.Uint64
+	shards [storeShards]struct {
+		mu sync.RWMutex
+		m  map[string]*Collection
+	}
+}
+
+const storeShards = 16
+
+func newCollStore() *collStore {
+	s := &collStore{}
+	for i := range s.shards {
+		s.shards[i].m = map[string]*Collection{}
+	}
+	return s
+}
+
+// shardOf hashes a collection path (FNV-1a) onto a shard index.
+func shardOf(pathExp string) int {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(pathExp); i++ {
+		h ^= uint32(pathExp[i])
+		h *= prime32
+	}
+	return int(h % storeShards)
+}
+
+// get returns the current snapshot of the collection, or nil. The returned
+// value is immutable — callers read it without further synchronization.
+func (s *collStore) get(pathExp string) *Collection {
+	sh := &s.shards[shardOf(pathExp)]
+	sh.mu.RLock()
+	c := sh.m[pathExp]
+	sh.mu.RUnlock()
+	return c
+}
+
+// put publishes a collection snapshot (install or replace) and bumps the
+// store generation. The caller hands over ownership: the snapshot must not
+// be mutated after publishing.
+func (s *collStore) put(c *Collection) {
+	sh := &s.shards[shardOf(c.PathExp)]
+	sh.mu.Lock()
+	sh.m[c.PathExp] = c
+	sh.mu.Unlock()
+	s.gen.Add(1)
+}
+
+// paths returns all collection paths, sorted.
+func (s *collStore) paths() []string {
+	var out []string
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for pe := range sh.m {
+			out = append(out, pe)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// generation returns the publish counter (see collStore doc).
+func (s *collStore) generation() uint64 { return s.gen.Load() }

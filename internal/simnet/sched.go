@@ -210,7 +210,7 @@ func (s *scheduler) enqueueSendLocked(n *Network, msg *Message, wireBody *xmltre
 	if window <= 0 {
 		window = 75 * time.Millisecond
 	}
-	n.accountLocked(msg.Kind, size, false)
+	n.account(msg.Kind, size, false)
 	if f.Drop > 0 && s.rng.Float64() < f.Drop {
 		s.dropped = append(s.dropped, msg)
 		return nil
@@ -227,7 +227,7 @@ func (s *scheduler) enqueueSendLocked(n *Network, msg *Message, wireBody *xmltre
 	}
 	s.pushLocked(&event{at: at, msg: deliver(at)})
 	if f.Duplicate > 0 && s.rng.Float64() < f.Duplicate {
-		n.accountLocked(msg.Kind, size, false)
+		n.account(msg.Kind, size, false)
 		dupAt := msg.At + transit + s.jitterLocked(window)
 		s.pushLocked(&event{at: dupAt, msg: deliver(dupAt)})
 	}

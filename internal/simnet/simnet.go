@@ -11,7 +11,8 @@
 //     synchronously. This is what the experiment tables run on; virtual time
 //     advances by the link latency plus a configurable per-hop processing
 //     delay, so "latency" in experiment output is simulated wall-clock, not
-//     host time.
+//     host time. Inline delivery is safe for concurrent senders (see
+//     Network), which is what the peer worker-pool runtime exploits.
 //
 //   - Scheduled (UseScheduler): Send enqueues a delivery event and Run pumps
 //     events in virtual-time order. This mode adds seeded fault injection —
@@ -73,13 +74,28 @@ type Metrics struct {
 // headerOverhead approximates per-message framing cost in bytes.
 const headerOverhead = 64
 
-// Network is a simulated P2P network. Safe for concurrent use, though the
-// experiments drive it single-threaded for determinism.
+// Network is a simulated P2P network.
+//
+// Concurrency: inline mode is safe for concurrent Sends and Requests from
+// any number of goroutines — mu guards topology and is never held across a
+// Deliver or Serve call, and accounting has its own lock (metricsMu) so the
+// per-message hot path never contends with topology changes. This is what
+// the peer worker-pool runtime runs on. Scheduled mode stays single-pumped:
+// Run delivers events one at a time in virtual-time order, which is what
+// makes a seeded chaos scenario deterministic; its determinism contract
+// would not survive concurrent handlers, so peers on a scheduled network
+// must process inline (peer.Config.Workers == 0).
 type Network struct {
-	mu      sync.Mutex
-	peers   map[string]Peer
-	down    map[string]bool
-	metrics Metrics
+	mu    sync.Mutex
+	peers map[string]Peer
+	down  map[string]bool
+
+	// metricsMu guards metrics separately from mu: every delivery accounts
+	// a message, and that must not serialize against topology reads. Lock
+	// ordering: metricsMu may be taken while holding mu (the scheduler
+	// accounts while enqueueing); never the reverse.
+	metricsMu sync.Mutex
+	metrics   Metrics
 	// latency returns the one-way link latency between two addresses.
 	latency func(a, b string) time.Duration
 	// procDelay is the per-hop processing time a peer spends on a message.
@@ -261,15 +277,11 @@ func wireSize(body *xmltree.Node) int {
 }
 
 // account records one message. The body size is computed by the caller
-// (outside the network lock) so that serialization cost is never paid while
-// holding mu.
+// (outside any lock) so that serialization cost is never paid while holding
+// a mutex. Safe to call with or without mu held (see metricsMu ordering).
 func (n *Network) account(kind string, size int, isRequest bool) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.accountLocked(kind, size, isRequest)
-}
-
-func (n *Network) accountLocked(kind string, size int, isRequest bool) {
+	n.metricsMu.Lock()
+	defer n.metricsMu.Unlock()
 	n.metrics.Messages++
 	if isRequest {
 		n.metrics.Requests++
@@ -297,6 +309,17 @@ var ErrDepthExceeded = errors.New("forwarding depth limit exceeded; routing loop
 func encodeBody(kind string, body *xmltree.Node) (*xmltree.Node, error) {
 	if body == nil {
 		return nil, nil
+	}
+	if body.Frozen() {
+		// A frozen body is the codec's fixpoint already: it is immutable,
+		// its canonical serialization is memoized, and decoding that
+		// serialization reproduces the same document — so the receiver gets
+		// the alias directly and the link costs no codec work. This is the
+		// prepared-plan fast path: a client resubmitting a known query
+		// sends the frozen prototype it already has. Freshly marshaled
+		// (mutable) bodies — every forwarded plan, result, registration —
+		// still take the full serialize+decode round trip below.
+		return body, nil
 	}
 	decoded, err := xmltree.DecodeString(body.String())
 	if err != nil {
@@ -403,8 +426,8 @@ func (n *Network) Request(from, to, kind string, body *xmltree.Node, at time.Dur
 
 // Metrics returns a snapshot of the accumulated counters.
 func (n *Network) Metrics() Metrics {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.metricsMu.Lock()
+	defer n.metricsMu.Unlock()
 	m := Metrics{
 		Messages: n.metrics.Messages,
 		Requests: n.metrics.Requests,
@@ -419,7 +442,7 @@ func (n *Network) Metrics() Metrics {
 
 // ResetMetrics zeroes the counters; experiments call it between runs.
 func (n *Network) ResetMetrics() {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.metricsMu.Lock()
+	defer n.metricsMu.Unlock()
 	n.metrics = Metrics{PerKind: map[string]int64{}}
 }

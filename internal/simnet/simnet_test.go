@@ -3,6 +3,8 @@ package simnet
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -170,5 +172,88 @@ func TestResetMetricsAndAddrs(t *testing.T) {
 	}
 	if n.Peer("p0:1") == nil || n.Peer("zz") != nil {
 		t.Fatal("Peer lookup broken")
+	}
+}
+
+// countPeer is a concurrency-safe sink: Deliver only bumps an atomic.
+type countPeer struct {
+	addr      string
+	delivered atomic.Int64
+}
+
+func (p *countPeer) Addr() string { return p.addr }
+
+func (p *countPeer) Deliver(_ *Network, _ *Message) error {
+	p.delivered.Add(1)
+	return nil
+}
+
+func (p *countPeer) Serve(_ *Network, _ *Message) (*xmltree.Node, error) {
+	return nil, errors.New("countPeer serves nothing")
+}
+
+// TestConcurrentInlineSends hammers an inline network from many goroutines.
+// Inline mode holds no lock across Deliver, so concurrent senders are the
+// supported concurrency model (the worker-pool peer runtime depends on it);
+// under -race this checks delivery and metrics accounting stay coherent.
+func TestConcurrentInlineSends(t *testing.T) {
+	n := New()
+	sink := &countPeer{addr: "sink:1"}
+	n.Add(sink)
+
+	const senders, sendsEach = 8, 200
+	body := xmltree.MustParse(`<probe/>`).Freeze()
+	var wg sync.WaitGroup
+	wg.Add(senders)
+	for s := 0; s < senders; s++ {
+		go func(s int) {
+			defer wg.Done()
+			from := fmt.Sprintf("src%d:1", s)
+			for i := 0; i < sendsEach; i++ {
+				if err := n.Send(&Message{From: from, To: "sink:1", Kind: "mqp", Body: body}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+
+	if got := sink.delivered.Load(); got != senders*sendsEach {
+		t.Fatalf("delivered = %d, want %d", got, senders*sendsEach)
+	}
+	m := n.Metrics()
+	if m.Messages != senders*sendsEach || m.PerKind["mqp"] != senders*sendsEach {
+		t.Fatalf("metrics = %+v", m)
+	}
+}
+
+// TestFrozenBodyDeliveredAsAlias pins the codec fast path: a frozen body is
+// its own decoded form (immutable, decode∘serialize is the identity on it),
+// so delivery aliases it instead of re-encoding — while a mutable body still
+// round-trips through the codec and arrives as a distinct tree.
+func TestFrozenBodyDeliveredAsAlias(t *testing.T) {
+	n := New()
+	sink := &echoPeer{addr: "sink:1"}
+	n.Add(sink)
+
+	frozen := xmltree.MustParse(`<sale><price>8</price></sale>`).Freeze()
+	mutable := xmltree.MustParse(`<sale><price>9</price></sale>`)
+	for _, body := range []*xmltree.Node{frozen, mutable} {
+		if err := n.Send(&Message{From: "a:1", To: "sink:1", Kind: "mqp", Body: body}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(sink.delivered) != 2 {
+		t.Fatalf("delivered = %d", len(sink.delivered))
+	}
+	if sink.delivered[0].Body != frozen {
+		t.Fatal("frozen body was re-encoded, want alias delivery")
+	}
+	if sink.delivered[1].Body == mutable {
+		t.Fatal("mutable body delivered as alias, want codec round-trip")
+	}
+	if got := sink.delivered[1].Body.Value("price"); got != "9" {
+		t.Fatalf("round-tripped body price = %q", got)
 	}
 }

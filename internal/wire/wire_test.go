@@ -168,7 +168,7 @@ func TestRealTCPMQPChain(t *testing.T) {
 	baseProc, err = mqp.New(mqp.Config{
 		Self:    base.Addr(),
 		Catalog: catalog.New(ns, base.Addr()),
-		FetchLocal: func(_ string, pathExp string) ([]*xmltree.Node, int, error) {
+		FetchLocal: func(_ *mqp.StepContext, _ string, pathExp string) ([]*xmltree.Node, int, error) {
 			return items, 0, nil
 		},
 		PushSelect: true,

@@ -68,6 +68,12 @@ type Node struct {
 	// cached size without needing parent pointers.
 	memoSize int
 	memoGen  uint64
+	// memoStr caches the canonical serialization itself, written once by
+	// Freeze (while the caller still owns the subtree exclusively) and
+	// read-only forever after — so serializing a frozen payload into an
+	// outgoing message is a single WriteString, not a re-walk. Only Freeze
+	// writes it; Clone/CloneShallow produce mutable copies without it.
+	memoStr string
 }
 
 // mutGen is the package-wide mutation generation. It starts at 1 so that a
@@ -250,13 +256,25 @@ func (n *Node) Clone() *Node {
 // already-frozen subtree is a cheap no-op, so receivers freeze whatever they
 // keep without checking provenance.
 //
-// Freeze itself writes the size memos, so the caller must still own the
-// subtree exclusively when freezing; share it only afterwards.
+// Freeze itself writes the size memos (and the subtree's serialization
+// memo), so the caller must still own the subtree exclusively when
+// freezing; share it only afterwards.
 func (n *Node) Freeze() *Node {
 	if n == nil || n.memoGen == frozenGen {
 		return n
 	}
 	n.byteSize(frozenGen)
+	// Memoize the serialization at the freeze root: frozen payloads are
+	// typically serialized many times (a plan's data docs re-cross the wire
+	// on every hop), and the memo turns each of those walks into one
+	// WriteString. Children that were frozen earlier contribute their own
+	// memos to this walk, so freeze chains (visit into trail, item into
+	// reply) price each byte once.
+	b := bufPool.Get().(*bytes.Buffer)
+	b.Reset()
+	n.appendTo(b)
+	n.memoStr = b.String()
+	bufPool.Put(b)
 	return n
 }
 
@@ -447,6 +465,10 @@ func (n *Node) WriteTo(w io.Writer) (int64, error) {
 
 // appendTo writes the canonical serialization into b.
 func (n *Node) appendTo(b *bytes.Buffer) {
+	if n.memoStr != "" && n.memoGen == frozenGen {
+		b.WriteString(n.memoStr)
+		return
+	}
 	if n.IsText() {
 		appendEscaped(b, n.Text, false)
 		return
