@@ -7,7 +7,7 @@
 # over the parser and wire-framing targets.
 GO ?= go
 
-.PHONY: build test test-short bench bench-all bench-chaos bench-runtime loadgen-smoke profile race fmt vet chaos chaos-ci chaos-nofault fuzz-smoke ci
+.PHONY: build test test-short bench bench-all bench-chaos bench-runtime loadgen-smoke profile race fmt vet chaos chaos-ci chaos-nofault chaos-large chaos-large-ci fuzz-smoke ci
 
 build:
 	$(GO) build ./...
@@ -48,8 +48,11 @@ profile:
 # Chaos throughput (full generate+run+oracle-check scenarios per op) plus
 # the plan outcome rates (completed/partial/stuck/lost per plan); recorded
 # to BENCH_chaos.json the same way bench records the hop path.
+# BenchmarkScenarioLarge adds the large-world acceptance metrics: 1000-peer
+# churn scenarios/sec, the incremental oracle's per-scenario cost
+# (oracle-ms/op) and peak RSS.
 bench-chaos:
-	$(GO) test -run '^$$' -bench '^BenchmarkScenario$$' -benchmem -json ./internal/chaos > BENCH_chaos.json
+	$(GO) test -run '^$$' -bench '^BenchmarkScenario(Large)?$$' -benchmem -json ./internal/chaos > BENCH_chaos.json
 	@sed -n 's/.*"Output":"\(.*\)".*/\1/p' BENCH_chaos.json \
 		| tr -d '\n' | sed 's/\\n/\n/g;s/\\t/\t/g' | grep 'ns/op' || true
 
@@ -91,6 +94,17 @@ chaos-ci:
 chaos-nofault:
 	$(GO) run ./cmd/chaos -n 500 -level none -max-stuck 0
 
+# Large worlds (TESTING.md "Large worlds"): 1000-peer churn-enabled
+# zipf-loaded scenarios with replica promotion, checked by the incremental
+# oracle with sampled full verification. The acceptance sweep is 50 seeds;
+# chaos-large-ci is the -short form wired into `make ci`. Replay a failure
+# with the printed seed: go run ./cmd/chaos -seed N -peers 1000 -churn.
+chaos-large:
+	$(GO) run ./cmd/chaos -n 50 -peers 1000 -churn
+
+chaos-large-ci:
+	$(GO) run ./cmd/chaos -n 16 -peers 1000 -churn
+
 # Fuzz smoke: 10s per target (canonical-XML parse fixpoint, zero-copy
 # decoder vs reference-parser differential, wire framing).
 fuzz-smoke:
@@ -105,4 +119,4 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-ci: fmt vet build test race loadgen-smoke chaos-ci chaos-nofault fuzz-smoke
+ci: fmt vet build test race loadgen-smoke chaos-ci chaos-nofault chaos-large-ci fuzz-smoke

@@ -5,13 +5,17 @@
 //
 // Usage:
 //
-//	chaos -n 200                 # sweep 200 seeds (CI smoke)
-//	chaos -seed 1337 -v          # replay one scenario from its seed
-//	chaos -n 500 -level heavy    # sweep at a fixed fault intensity
+//	chaos -n 200                        # sweep 200 seeds (CI smoke)
+//	chaos -seed 1337 -v                 # replay one scenario from its seed
+//	chaos -n 500 -level heavy           # sweep at a fixed fault intensity
+//	chaos -n 50 -peers 1000 -churn      # large worlds: churn + promotion
 //
-// A sweep failure prints the seed; rerun it with -seed (or make chaos
-// SEED=...) for a byte-identical replay. Exit status is non-zero when any
-// invariant was violated.
+// -peers switches to the large-world generator (layered per-state indexes,
+// zipf-skewed load, incremental oracle with sampled full verification);
+// -churn adds mid-run joins, leaves and replica promotions. A sweep failure
+// prints the seed; rerun it with -seed and the same world flags (or make
+// chaos SEED=...) for a byte-identical replay. Exit status is non-zero when
+// any invariant was violated.
 package main
 
 import (
@@ -30,6 +34,10 @@ func main() {
 	levelName := flag.String("level", "mixed", "fault intensity: none, light, heavy, mixed")
 	verbose := flag.Bool("v", false, "print a summary line per scenario")
 	maxStuck := flag.Int("max-stuck", -1, "fail when more than this many plans end up stuck (-1: no gate); CI runs the fault-free sweep with -max-stuck 0")
+	peersN := flag.Int("peers", 0, "large worlds: number of seller peers (0: original small-world generator)")
+	churn := flag.Bool("churn", false, "large worlds: mid-run joins, leaves, crash windows and replica promotion")
+	zipf := flag.Float64("zipf", 0, "large worlds: specialty/query skew exponent (0: seed-derived)")
+	oracleSample := flag.Float64("oracle-sample", 0, "large worlds: fraction of queries given full reference-oracle verification (0: default 0.15)")
 	flag.Parse()
 
 	level := chaos.ParseLevel(*levelName)
@@ -44,9 +52,11 @@ func main() {
 	}
 
 	var plans, completed, partial, stuck, lost, checked, failures int
+	var joined, left, promoted, refused, sampled int
 	began := time.Now()
 	for _, s := range seeds {
-		rep, err := chaos.Run(chaos.Config{Seed: s, Level: level})
+		rep, err := chaos.Run(chaos.Config{Seed: s, Level: level,
+			Peers: *peersN, Churn: *churn, Zipf: *zipf, OracleSample: *oracleSample})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "chaos: seed %d: harness error: %v\n", s, err)
 			os.Exit(2)
@@ -63,6 +73,11 @@ func main() {
 		stuck += rep.Stuck
 		lost += rep.LostToFaults
 		checked += rep.OracleChecked
+		joined += rep.Joined
+		left += rep.Left
+		promoted += rep.Promoted
+		refused += rep.PromotionsRefused
+		sampled += rep.SampledChecks
 		if rep.Failed() {
 			failures++
 			fmt.Fprintf(os.Stderr, "chaos: seed %d VIOLATED (replay: make chaos SEED=%d):\n", s, s)
@@ -72,6 +87,13 @@ func main() {
 		}
 	}
 	elapsed := time.Since(began)
+	// The large-world columns print on their own line so the small-world
+	// summary stays byte-identical across releases (sweep outputs are
+	// diffed in CI).
+	if *peersN > 0 {
+		fmt.Printf("chaos: large worlds (peers=%d churn=%v): %d sampled-oracle checks, %d joined, %d left, %d promoted, %d promotions-refused\n",
+			*peersN, *churn, sampled, joined, left, promoted, refused)
+	}
 	fmt.Printf("chaos: %d scenarios (level=%s) in %v (%.0f/s): %d plans, %d completed, %d partial, %d stuck, %d lost-to-faults, %d oracle-checked, %d violations\n",
 		len(seeds), level, elapsed.Round(time.Millisecond), float64(len(seeds))/elapsed.Seconds(),
 		plans, completed, partial, stuck, lost, checked, failures)

@@ -62,6 +62,12 @@ type Registration struct {
 	Collections   []Collection
 	Statements    []Statement
 	Authoritative bool
+	// Supersedes names a peer address whose registrations this one replaces.
+	// Replica promotion uses it: when a base server crashes for good, a
+	// promoted replica re-registers carrying Supersedes=<source addr>, so the
+	// receiving catalog forgets the dead copy in the same mutation that
+	// installs the live one — bindings never name both copies of the data.
+	Supersedes string
 }
 
 // AnnotRoute marks a URN leaf with the server that should resolve it next;
@@ -164,6 +170,18 @@ func (c *Catalog) Register(reg Registration) error {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if reg.Supersedes != "" && reg.Supersedes != reg.Addr {
+		kept := c.regs[:0]
+		for _, r := range c.regs {
+			if r.Addr != reg.Supersedes {
+				kept = append(kept, r)
+			}
+		}
+		for i := len(kept); i < len(c.regs); i++ {
+			c.regs[i] = Registration{}
+		}
+		c.regs = kept
+	}
 	replaced := false
 	for i := range c.regs {
 		if c.regs[i].Addr == reg.Addr && c.regs[i].Role == reg.Role {

@@ -436,3 +436,66 @@ func TestCatalogString(t *testing.T) {
 		t.Fatalf("string = %q", c.String())
 	}
 }
+
+// TestRegisterSupersedes: a registration naming a predecessor replaces it in
+// the same catalog mutation — the replica-promotion guarantee that the dead
+// source and its promoted copy are never both bound (no double counting, no
+// window where neither is registered).
+func TestRegisterSupersedes(t *testing.T) {
+	ns := testNS()
+	c := New(ns, "M:1")
+	mustReg(t, c, baseReg(ns, "src:1", "[USA/OR/Portland, Music/CDs]"))
+	mustReg(t, c, baseReg(ns, "other:1", "[USA/WA/Seattle, Music/CDs]"))
+	gen := c.Generation()
+
+	rep := baseReg(ns, "rep:1", "[USA/OR/Portland, Music/CDs]")
+	rep.Supersedes = "src:1"
+	mustReg(t, c, rep)
+
+	var addrs []string
+	for _, r := range c.Registrations() {
+		addrs = append(addrs, r.Addr)
+	}
+	if len(addrs) != 2 {
+		t.Fatalf("registrations after supersede = %v", addrs)
+	}
+	for _, a := range addrs {
+		if a == "src:1" {
+			t.Fatal("superseded registration survived")
+		}
+	}
+	if c.Generation() == gen {
+		t.Fatal("supersede must invalidate cached resolutions")
+	}
+
+	// Superseding an absent or self address is a plain register.
+	again := baseReg(ns, "rep:1", "[USA/OR/Portland, Music/CDs]")
+	again.Supersedes = "rep:1"
+	mustReg(t, c, again)
+	if got := len(c.Registrations()); got != 2 {
+		t.Fatalf("self-supersede changed the count: %d", got)
+	}
+}
+
+// TestSupersedesWireRoundTrip: the supersedes attribute survives the
+// registration's XML wire form (promotion crosses the network).
+func TestSupersedesWireRoundTrip(t *testing.T) {
+	ns := testNS()
+	r := baseReg(ns, "rep:1", "[USA/OR/Portland, Music/CDs]")
+	r.Supersedes = "src:1"
+	back, err := UnmarshalRegistration(ns, MarshalRegistration(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Supersedes != "src:1" {
+		t.Fatalf("supersedes = %q after round trip", back.Supersedes)
+	}
+	plain := baseReg(ns, "s:1", "[USA/OR/Portland, Music/CDs]")
+	back, err = UnmarshalRegistration(ns, MarshalRegistration(plain))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Supersedes != "" {
+		t.Fatalf("phantom supersedes %q on a plain registration", back.Supersedes)
+	}
+}

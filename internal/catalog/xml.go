@@ -28,6 +28,9 @@ func MarshalRegistration(r Registration) *xmltree.Node {
 	if r.Authoritative {
 		e.SetAttr("authoritative", "true")
 	}
+	if r.Supersedes != "" {
+		e.SetAttr("supersedes", r.Supersedes)
+	}
 	for _, c := range r.Collections {
 		ce := xmltree.Elem("collection")
 		ce.SetAttr("name", c.Name)
@@ -83,7 +86,8 @@ func UnmarshalRegistration(ns *namespace.Namespace, e *xmltree.Node) (Registrati
 	if err != nil {
 		return Registration{}, fmt.Errorf("catalog: registration authoritative flag: %w", err)
 	}
-	reg := Registration{Addr: addr, Role: role, Area: area, Authoritative: auth}
+	reg := Registration{Addr: addr, Role: role, Area: area, Authoritative: auth,
+		Supersedes: e.AttrDefault("supersedes", "")}
 	for _, ce := range e.ChildrenNamed("collection") {
 		ca, err := namespace.DecodeURN(ce.AttrDefault("area", ""))
 		if err != nil {

@@ -101,6 +101,22 @@ func ParseLevel(s string) Level {
 type Config struct {
 	Seed  int64
 	Level Level
+	// Peers > 0 switches to the large-world generator (large.go): that many
+	// seller peers under layered per-state meta-indexes, checked by an
+	// incremental oracle with sampled full verification. Zero keeps the
+	// original small-world generator, byte-identical per seed.
+	Peers int
+	// Churn enables mid-run churn in large worlds: peer joins, seller
+	// leaves (crash with no restart), crash/restart windows, and replica
+	// promotion on the leavers.
+	Churn bool
+	// Zipf skews the large-world specialty and query distribution
+	// (1.2–2.0 realistic); 0 derives it from the seed like small worlds do.
+	Zipf float64
+	// OracleSample is the fraction of large-world queries that get full
+	// reference-oracle verification on top of the cheap incremental checks
+	// every query gets; 0 defaults to 0.15, >= 1 verifies everything.
+	OracleSample float64
 }
 
 // Report is the outcome of one scenario. Violations empty means every
@@ -127,10 +143,27 @@ type Report struct {
 	LostToFaults int
 	// OracleChecked counts result-vs-oracle comparisons performed.
 	OracleChecked int
-	Messages      int64
-	DroppedMsgs   int
-	LostMsgs      int
-	Violations    []string
+	// SampledChecks counts large-world queries that additionally got full
+	// reference-oracle verification (the OracleSample fraction).
+	SampledChecks int
+	// Joined, Left, Promoted and PromotionsRefused count large-world churn
+	// events: peers that joined mid-run, sellers that left for good (crash
+	// with no restart), replicas promoted to authoritative in their place,
+	// and promotions refused because the replica's staleness bound was
+	// already exhausted.
+	Joined, Left, Promoted, PromotionsRefused int
+	// Events counts scheduler events pumped (deliveries plus control
+	// events); zero for inline-built small worlds before PR 7's stats.
+	Events int
+	// OracleTime is the wall time the oracle goroutine spent computing
+	// bounds and sampled reference checks — the budget the incremental
+	// oracle must keep affordable at 10³–10⁴ peers (bench-chaos records
+	// it per scenario). Wall time, so excluded from Summary.
+	OracleTime  time.Duration
+	Messages    int64
+	DroppedMsgs int
+	LostMsgs    int
+	Violations  []string
 	// StuckDetails holds the stuck-error messages recorded by all peers, for
 	// replay diagnosis (cmd/chaos -v prints them).
 	StuckDetails []string
@@ -143,27 +176,37 @@ func (r *Report) violate(format string, args ...interface{}) {
 	r.Violations = append(r.Violations, fmt.Sprintf(format, args...))
 }
 
-// Summary renders a one-line digest for logs.
+// Summary renders a one-line digest for logs. The churn columns
+// (joined/left/promoted/refused) make large-world replays diagnosable at a
+// glance; small worlds print them as zeros.
 func (r *Report) Summary() string {
-	return fmt.Sprintf("seed=%d level=%s peers=%d plans=%d completed=%d partial=%d stuck=%d lost=%d msgs=%d dropped=%d violations=%d",
+	return fmt.Sprintf("seed=%d level=%s peers=%d plans=%d completed=%d partial=%d stuck=%d lost=%d joined=%d left=%d promoted=%d refused=%d msgs=%d dropped=%d violations=%d",
 		r.Seed, r.Level, r.Peers, r.Plans, r.Completed, r.Partial, r.Stuck, r.LostToFaults,
+		r.Joined, r.Left, r.Promoted, r.PromotionsRefused,
 		r.Messages, r.DroppedMsgs, len(r.Violations))
 }
 
 // planCase is one generated query: the submitted plan and the pristine clone
-// the oracle evaluates.
+// the oracle evaluates. shape and sampled are used by the large-world path
+// only (shape selects which cheap invariants apply; sampled marks the
+// queries that get full reference verification).
 type planCase struct {
 	id        string
 	oracle    *algebra.Plan
 	entry     string
 	at        time.Duration
 	submitErr error
+	shape     int
+	sampled   bool
 }
 
 // Run generates and executes one scenario and checks every invariant.
 // The returned error covers harness failures (a bug in the generator or
 // oracle); invariant violations land in the Report instead.
 func Run(cfg Config) (*Report, error) {
+	if cfg.Peers > 0 {
+		return runLarge(cfg)
+	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	rep := &Report{Seed: cfg.Seed, Level: cfg.Level}
 
@@ -408,10 +451,20 @@ func genQuery(ns *namespace.Namespace, sellers []workload.Seller, rng *rand.Rand
 // shape has exact multiset semantics both centrally and distributed (TopN is
 // deliberately absent: its answer is order-sensitive under ties).
 func genPlan(rng *rand.Rand, id, target string, area namespace.Area, maxPrice int, ns *namespace.Namespace) *algebra.Plan {
+	p, _ := genPlanShape(rng, id, target, area, maxPrice, ns)
+	return p
+}
+
+// genPlanShape is genPlan returning the chosen shape index too; the
+// large-world invariants use it to decide which cheap checks apply (shapes
+// 0, 2 and 4 are item-preserving, so every result item must come from the
+// installed union; 1 and 3 synthesize documents).
+func genPlanShape(rng *rand.Rand, id, target string, area namespace.Area, maxPrice int, ns *namespace.Namespace) (*algebra.Plan, int) {
 	urn := func() *algebra.Node { return algebra.URN(namespace.EncodeURN(area)) }
 	pred := algebra.MustParsePredicate(fmt.Sprintf("price < %d", maxPrice))
 	var body *algebra.Node
-	switch rng.Intn(5) {
+	shape := rng.Intn(5)
+	switch shape {
 	case 0:
 		body = algebra.Select(pred, urn())
 	case 1:
@@ -427,7 +480,7 @@ func genPlan(rng *rand.Rand, id, target string, area namespace.Area, maxPrice in
 		low := algebra.MustParsePredicate(fmt.Sprintf("price < %d", 1+maxPrice/2))
 		body = algebra.Difference(algebra.Select(pred, urn()), algebra.Select(low, urn()))
 	}
-	return algebra.NewPlan(id, target, algebra.Display(body))
+	return algebra.NewPlan(id, target, algebra.Display(body)), shape
 }
 
 // levelFaults maps a fault level to scheduler fault probabilities, a crash

@@ -1,0 +1,674 @@
+// The large-world chaos generator: 10³–10⁴ peers under hierarchic areas,
+// mid-run churn, replica promotion, and the incremental oracle
+// (incremental.go). Config.Peers > 0 routes Run here; the small-world
+// generator in chaos.go is untouched and byte-identical per seed.
+//
+// World shape: one meta-index server, one authoritative index server per
+// state (layered over the scaled Location hierarchy), Config.Peers zipf-
+// skewed sellers registered with their state's index, plus — under churn —
+// joiner sellers that register mid-run, leaver sellers that crash for good,
+// and replicas that promote themselves over their crashed sources.
+//
+// Everything the small worlds check is checked here, at the prices a large
+// world can afford:
+//
+//   - Full results must satisfy lower ⊆ result ⊆ upper from the incremental
+//     oracle (equality when the world has no joiners); partials ⊆ upper.
+//   - Item-preserving shapes get the union-membership fabrication check.
+//   - A seeded OracleSample fraction of queries is re-verified against the
+//     processor-based reference Oracle built over just the relevant
+//     collections — the differential check of the incremental oracle itself.
+//   - Trail/hop consistency, no-plan-vanishes and the churn accounting ride
+//     the scheduler's compact trace (simnet.SetTraceKey), which keeps
+//     per-message state O(record), not O(body).
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/algebra"
+	"repro/internal/catalog"
+	"repro/internal/hierarchy"
+	"repro/internal/mqp"
+	"repro/internal/namespace"
+	"repro/internal/peer"
+	"repro/internal/provenance"
+	"repro/internal/simnet"
+	"repro/internal/workload"
+)
+
+// largeHorizon bounds the virtual-time window scenario events land in.
+const largeHorizon = 800 * time.Millisecond
+
+// leaver is one seller scheduled to crash with no restart, and the replica
+// (if any) that will try to promote itself in its place.
+type leaver struct {
+	addr      string
+	pathExp   string
+	idxAddr   string
+	replica   *peer.Peer
+	leaveAt   time.Duration
+	promoteAt time.Duration
+}
+
+// joiner is one pre-generated seller that registers mid-run.
+type joiner struct {
+	p       *peer.Peer
+	idxAddr string
+	joinAt  time.Duration
+}
+
+func runLarge(cfg Config) (*Report, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	rep := &Report{Seed: cfg.Seed, Level: cfg.Level}
+
+	// --- World -----------------------------------------------------------
+	nStates := cfg.Peers / 50
+	if nStates < 4 {
+		nStates = 4
+	}
+	if nStates > 64 {
+		nStates = 64
+	}
+	ns := workload.ScaledNamespace(nStates, 8, 8, 6)
+	net := simnet.New()
+	net.SetMaxDepth(40)
+
+	zipf := cfg.Zipf
+	if zipf <= 1 {
+		zipf = 1.2 + rng.Float64()*0.8
+	}
+	sample := cfg.OracleSample
+	if sample <= 0 {
+		sample = 0.15
+	}
+	pushSelect := rng.Float64() < 0.7
+
+	sellers := workload.GarageSale(ns, workload.GarageSaleConfig{
+		Seed: rng.Int63(), Sellers: cfg.Peers, ItemsPerSeller: 2 + rng.Intn(3), SpecialtyZipf: zipf,
+	})
+
+	keys := map[string][]byte{}
+	peers := map[string]*peer.Peer{}
+	addPeer := func(pcfg peer.Config) (*peer.Peer, error) {
+		pcfg.Key = []byte(pcfg.Addr)
+		pcfg.PlanCacheSize = 32
+		p, err := peer.New(pcfg)
+		if err != nil {
+			return nil, err
+		}
+		keys[pcfg.Addr] = pcfg.Key
+		peers[pcfg.Addr] = p
+		return p, nil
+	}
+
+	const metaAddr = "meta:9020"
+	const clientAddr = "client:9020"
+	meta, err := addPeer(peer.Config{Addr: metaAddr, Net: net, NS: ns, PushSelect: pushSelect,
+		Area: ns.Everything(), Authoritative: true})
+	if err != nil {
+		return nil, err
+	}
+
+	// One authoritative index per state, every state — joiners may land in
+	// states no initial seller picked. World build registers directly into
+	// catalogs (the same records RegisterWith would push) instead of
+	// through the wire: setup is driver phase, and a 10³-peer world must
+	// not cost 10³ codec round trips before the scenario even starts.
+	// Query traffic, mid-run joins and promotions still cross the full
+	// codec.
+	indexes := map[string]string{}      // state path -> index addr
+	idxPeers := map[string]*peer.Peer{} // index addr -> peer
+	states, err := ns.Dimensions()[0].Children(hierarchy.Top)
+	if err != nil {
+		return nil, err
+	}
+	var indexAddrs []string
+	for _, st := range states {
+		addr := "idx-" + strings.ReplaceAll(st.String(), "/", "-") + ":9020"
+		area := namespace.NewArea(namespace.NewCell(st, hierarchy.Top))
+		idx, err := addPeer(peer.Config{Addr: addr, Net: net, NS: ns, PushSelect: pushSelect,
+			Area: area, Authoritative: true})
+		if err != nil {
+			return nil, err
+		}
+		if err := meta.Catalog().Register(idx.Registration(catalog.RoleIndex)); err != nil {
+			return nil, err
+		}
+		if err := idx.Catalog().Register(catalog.Registration{
+			Addr: metaAddr, Role: catalog.RoleIndex, Area: ns.Everything(),
+		}); err != nil {
+			return nil, err
+		}
+		indexes[st.String()] = addr
+		idxPeers[addr] = idx
+		indexAddrs = append(indexAddrs, addr)
+	}
+	sort.Strings(indexAddrs)
+
+	inc := NewIncOracle(ns)
+	sellerPeers := make([]*peer.Peer, len(sellers))
+	sellerPaths := make([]string, len(sellers))
+	for i, s := range sellers {
+		pcfg := peer.Config{Addr: s.Addr, Net: net, NS: ns, PushSelect: pushSelect, Area: s.Area}
+		switch rng.Intn(3) {
+		case 0:
+			// Default: plans travel to the data (ForwardOnlyPolicy).
+		case 1:
+			pcfg.Policy = mqp.DefaultPolicy{}
+		case 2:
+			pcfg.Policy = mqp.DefaultPolicy{MaxReduceCard: 4}
+		}
+		sp, err := addPeer(pcfg)
+		if err != nil {
+			return nil, err
+		}
+		pathExp := fmt.Sprintf("/chaos[s=%d]", i)
+		sp.AddCollection(peer.Collection{Name: "items", PathExp: pathExp, Area: s.Area, Items: s.Items})
+		rep.Items += len(s.Items)
+		idxAddr := indexes[s.City.Truncate(1).String()]
+		if err := idxPeers[idxAddr].Catalog().Register(sp.Registration(catalog.RoleBase)); err != nil {
+			return nil, err
+		}
+		if err := sp.Catalog().Register(catalog.Registration{
+			Addr: idxAddr, Role: catalog.RoleIndex, Area: ns.Everything(),
+		}); err != nil {
+			return nil, err
+		}
+		if err := inc.Install(pathExp, s.Area, s.Items, false); err != nil {
+			return nil, err
+		}
+		sellerPeers[i] = sp
+		sellerPaths[i] = pathExp
+	}
+
+	client, err := addPeer(peer.Config{Addr: clientAddr, Net: net, NS: ns})
+	if err != nil {
+		return nil, err
+	}
+	if err := client.Catalog().Register(catalog.Registration{
+		Addr: metaAddr, Role: catalog.RoleMetaIndex,
+		Area: ns.Everything(), Authoritative: true,
+	}); err != nil {
+		return nil, err
+	}
+
+	// --- Churn cast (chosen and built inline, executed under the pump) ---
+	var leavers []leaver
+	var joiners []joiner
+	var joinSellers []workload.Seller
+	if cfg.Churn {
+		nChurn := cfg.Peers / 100
+		if nChurn < 1 {
+			nChurn = 1
+		}
+		// Leavers: distinct sellers that crash for good mid-run. ~70% leave
+		// a replica behind, fetched now (the source is still up) with a
+		// seed-chosen staleness bound; a quarter of those carry a zero
+		// bound, so their promotion MUST be refused (the snapshot is
+		// already older than "current" by promotion time).
+		taken := map[int]bool{}
+		for len(leavers) < nChurn && len(taken) < len(sellers) {
+			i := rng.Intn(len(sellers))
+			if taken[i] {
+				continue
+			}
+			taken[i] = true
+			lv := leaver{
+				addr:    sellers[i].Addr,
+				pathExp: sellerPaths[i],
+				idxAddr: indexes[sellers[i].City.Truncate(1).String()],
+			}
+			lv.leaveAt = 100*time.Millisecond + time.Duration(rng.Int63n(400_000))*time.Microsecond
+			lv.promoteAt = lv.leaveAt + 20*time.Millisecond + time.Duration(rng.Int63n(80_000))*time.Microsecond
+			if rng.Float64() < 0.7 {
+				bound := 1 + rng.Intn(60)
+				if rng.Float64() < 0.25 {
+					bound = 0
+				}
+				rp, err := addPeer(peer.Config{Addr: "rep-" + sellers[i].Addr, Net: net, NS: ns,
+					PushSelect: pushSelect, Area: sellers[i].Area})
+				if err != nil {
+					return nil, err
+				}
+				if err := rp.ReplicateFrom(sellers[i].Addr, lv.pathExp,
+					peer.Collection{Name: "items", PathExp: lv.pathExp, Area: sellers[i].Area}, bound); err != nil {
+					return nil, fmt.Errorf("chaos: replica fetch from %s: %w", sellers[i].Addr, err)
+				}
+				lv.replica = rp
+			}
+			leavers = append(leavers, lv)
+		}
+		// Joiners: pre-generated sellers whose peers exist (unknown to any
+		// catalog) and whose registration happens mid-run through the wire.
+		// Their collections are installed in the oracle now, as joiners —
+		// the oracle's state must be immutable once the pump starts.
+		joinSellers = workload.GarageSale(ns, workload.GarageSaleConfig{
+			Seed: rng.Int63(), Sellers: nChurn, ItemsPerSeller: 2 + rng.Intn(3), SpecialtyZipf: zipf,
+		})
+		for j := range joinSellers {
+			joinSellers[j].Addr = fmt.Sprintf("joiner%03d:9020", j)
+			s := joinSellers[j]
+			jp, err := addPeer(peer.Config{Addr: s.Addr, Net: net, NS: ns, PushSelect: pushSelect, Area: s.Area})
+			if err != nil {
+				return nil, err
+			}
+			pathExp := fmt.Sprintf("/chaos[j=%d]", j)
+			jp.AddCollection(peer.Collection{Name: "items", PathExp: pathExp, Area: s.Area, Items: s.Items})
+			rep.Items += len(s.Items)
+			if err := inc.Install(pathExp, s.Area, s.Items, true); err != nil {
+				return nil, err
+			}
+			joiners = append(joiners, joiner{
+				p:       jp,
+				idxAddr: indexes[s.City.Truncate(1).String()],
+				joinAt:  100*time.Millisecond + time.Duration(rng.Int63n(500_000))*time.Microsecond,
+			})
+		}
+	}
+	rep.Peers = len(peers)
+
+	// --- Fault schedule and churn events ---------------------------------
+	net.UseScheduler(rng.Int63())
+	net.SetTraceKey(planIDOf)
+	faults, nCrashes, wantPartition := levelFaults(cfg.Level, rng)
+	net.SetFaults(faults)
+
+	var faultable []string // every peer but the client
+	for addr := range peers {
+		if addr != clientAddr {
+			faultable = append(faultable, addr)
+		}
+	}
+	sort.Strings(faultable)
+	if cfg.Churn {
+		// Crash/restart windows scale with the world: transient outages the
+		// routing layer must ride out, on top of the level's own crashes.
+		nCrashes += cfg.Peers / 200
+	}
+	for i := 0; i < nCrashes && len(faultable) > 0; i++ {
+		addr := faultable[rng.Intn(len(faultable))]
+		from := time.Duration(rng.Int63n(int64(largeHorizon)))
+		until := from + 50*time.Millisecond + time.Duration(rng.Int63n(int64(250*time.Millisecond)))
+		net.ScheduleCrash(addr, from, until)
+	}
+	if wantPartition && len(faultable) > 1 {
+		split := append([]string(nil), faultable...)
+		rng.Shuffle(len(split), func(i, j int) { split[i], split[j] = split[j], split[i] })
+		cut := 1 + rng.Intn(len(split)-1)
+		from := time.Duration(rng.Int63n(int64(400 * time.Millisecond)))
+		until := from + time.Duration(rng.Int63n(int64(300*time.Millisecond)))
+		net.Partition(split[:cut], split[cut:], from, until)
+	}
+	for _, lv := range leavers {
+		net.ScheduleCrash(lv.addr, lv.leaveAt, 0) // no restart: a leave
+		rep.Left++
+		if lv.replica != nil {
+			lv := lv
+			net.ScheduleFunc(lv.promoteAt, func() {
+				err := lv.replica.Promote(lv.pathExp, lv.addr, lv.idxAddr, lv.promoteAt)
+				switch {
+				case err == nil:
+					rep.Promoted++
+				case errors.Is(err, peer.ErrStaleReplica):
+					rep.PromotionsRefused++
+				default:
+					// The promotion itself failed (e.g. the index is inside
+					// a crash window): the replica never became
+					// authoritative, which the bounds tolerate.
+					rep.PromotionsRefused++
+				}
+			})
+		}
+	}
+	for _, jn := range joiners {
+		jn := jn
+		net.ScheduleFunc(jn.joinAt, func() {
+			if err := jn.p.RegisterWithAt(jn.idxAddr, catalog.RoleBase, jn.joinAt); err == nil {
+				rep.Joined++
+			}
+		})
+	}
+
+	// --- Workload --------------------------------------------------------
+	nPlans := 8 + rng.Intn(5) + cfg.Peers/100
+	if nPlans > 40 {
+		nPlans = 40
+	}
+	querySellers := append(append([]workload.Seller(nil), sellers...), joinSellers...)
+	cases := make([]*planCase, 0, nPlans)
+	for i := 0; i < nPlans; i++ {
+		area, maxPrice := genQuery(ns, querySellers, rng, zipf)
+		plan, shape := genPlanShape(rng, fmt.Sprintf("chaos-%d-q%d", cfg.Seed, i), clientAddr, area, maxPrice, ns)
+		if rng.Float64() < 0.5 {
+			plan.RetainOriginal()
+		}
+		entry := metaAddr
+		if rng.Float64() < 0.4 {
+			entry = indexAddrs[rng.Intn(len(indexAddrs))]
+		}
+		pc := &planCase{
+			id:      plan.ID,
+			oracle:  plan.Clone(),
+			entry:   entry,
+			shape:   shape,
+			sampled: rng.Float64() < sample,
+			// Whole microseconds: virtual time is µs-granular on the wire.
+			at: time.Duration(rng.Int63n(600_000)) * time.Microsecond,
+		}
+		pc.submitErr = net.Send(&simnet.Message{
+			From: clientAddr, To: entry, Kind: peer.KindMQP,
+			Body: algebra.Marshal(plan), At: pc.at,
+		})
+		cases = append(cases, pc)
+	}
+	rep.Plans = len(cases)
+
+	// --- Execute: oracle concurrent with the pump (invariant 4) ----------
+	lowers := make([]map[string]int, len(cases))
+	uppers := make([]map[string]int, len(cases))
+	oracleErrs := make([]error, len(cases))
+	sampleViols := make([]string, len(cases))
+	var oracleTime time.Duration
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		began := time.Now()
+		defer func() { oracleTime = time.Since(began) }()
+		for i, pc := range cases {
+			lo, up, err := inc.EvalBounds(pc.oracle)
+			if err != nil {
+				oracleErrs[i] = err
+				continue
+			}
+			lowers[i], uppers[i] = lo, up
+			if !pc.sampled {
+				continue
+			}
+			// Sampled differential check: the processor-based reference
+			// over just the relevant collections must agree with the
+			// incremental oracle on both bounds.
+			sampleViols[i], oracleErrs[i] = crossCheck(ns, inc, pc, lo, up)
+		}
+	}()
+	stats, err := net.Run()
+	if err != nil {
+		rep.violate("scheduler: %v", err)
+	}
+	wg.Wait()
+	rep.Events = stats.Events
+	rep.OracleTime = oracleTime
+	for _, err := range oracleErrs {
+		if err != nil {
+			return rep, err
+		}
+	}
+	for i, v := range sampleViols {
+		if cases[i].sampled {
+			rep.SampledChecks++
+		}
+		if v != "" {
+			rep.violate("%s", v)
+		}
+	}
+
+	// --- Invariants ------------------------------------------------------
+	checkInvariantsLarge(rep, net, peers, keys, client, cases, lowers, uppers, inc)
+	return rep, nil
+}
+
+// crossCheck verifies the incremental oracle's bounds for one sampled case
+// against the processor-based reference Oracle built over the relevant
+// collections only. It returns a violation string (empty when the oracles
+// agree) or a harness error.
+func crossCheck(ns *namespace.Namespace, inc *IncOracle, pc *planCase, lo, up map[string]int) (string, error) {
+	initial, all, err := inc.Relevant(pc.oracle)
+	if err != nil {
+		return "", err
+	}
+	refUp, err := evalReference(ns, all, pc.oracle)
+	if err != nil {
+		return "", err
+	}
+	if ok, diff := MultisetEqual(refUp, up); !ok {
+		return fmt.Sprintf("plan %q: incremental oracle upper bound diverges from reference: %s", pc.id, diff), nil
+	}
+	if len(initial) == len(all) {
+		// No joiners among the relevant collections: one reference run
+		// covers both bounds.
+		if ok, diff := MultisetEqual(refUp, lo); !ok {
+			return fmt.Sprintf("plan %q: incremental oracle lower bound diverges from reference: %s", pc.id, diff), nil
+		}
+		return "", nil
+	}
+	refLo, err := evalReference(ns, initial, pc.oracle)
+	if err != nil {
+		return "", err
+	}
+	if ok, diff := MultisetEqual(refLo, lo); !ok {
+		return fmt.Sprintf("plan %q: incremental oracle lower bound diverges from reference: %s", pc.id, diff), nil
+	}
+	return "", nil
+}
+
+// countOf extracts the scalar from a count-shape answer multiset: exactly
+// one <count>N</count> document.
+func countOf(ms map[string]int) (int, bool) {
+	if len(ms) != 1 {
+		return 0, false
+	}
+	for k, mult := range ms {
+		var n int
+		if mult == 1 {
+			if _, err := fmt.Sscanf(k, "<count>%d</count>", &n); err == nil {
+				return n, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// evalReference runs one plan through a processor-based Oracle over the
+// given collections and returns the answer multiset.
+func evalReference(ns *namespace.Namespace, colls []Collection, plan *algebra.Plan) (map[string]int, error) {
+	ref, err := NewOracle(ns, colls)
+	if err != nil {
+		return nil, err
+	}
+	items, err := ref.Evaluate(plan)
+	if err != nil {
+		return nil, err
+	}
+	return Multiset(items), nil
+}
+
+// checkInvariantsLarge is checkInvariants for the large-world path: the
+// oracle-equality check becomes the bounds check (plus union membership for
+// item-preserving shapes), and fault attribution reads the compact trace.
+func checkInvariantsLarge(rep *Report, net *simnet.Network, peers map[string]*peer.Peer,
+	keys map[string][]byte, client *peer.Peer, cases []*planCase,
+	lowers, uppers []map[string]int, inc *IncOracle) {
+
+	rep.Messages = net.Metrics().Messages
+	trace := net.CompactSchedTrace()
+	rep.DroppedMsgs = len(trace.Dropped)
+	rep.LostMsgs = len(trace.Lost)
+
+	faultIDs := map[string]bool{}
+	for _, m := range trace.Dropped {
+		if m.Key != "" {
+			faultIDs[m.Key] = true
+		}
+	}
+	for _, m := range trace.Lost {
+		if m.Key != "" {
+			faultIDs[m.Key] = true
+		}
+	}
+	deliveredTo := map[string]map[string]bool{} // plan id -> servers delivered to
+	for _, m := range trace.Delivered {
+		if m.Key != "" {
+			if deliveredTo[m.Key] == nil {
+				deliveredTo[m.Key] = map[string]bool{}
+			}
+			deliveredTo[m.Key][m.To] = true
+		}
+	}
+
+	for _, addr := range sortedAddrs(peers) {
+		for _, err := range peers[addr].StuckErrors() {
+			rep.StuckDetails = append(rep.StuckDetails, err.Error())
+		}
+	}
+	stuckFor := func(id string) bool {
+		needle := fmt.Sprintf("%q", id)
+		for _, d := range rep.StuckDetails {
+			if strings.Contains(d, needle) {
+				return true
+			}
+		}
+		return false
+	}
+
+	results := map[string][]peer.Result{}
+	for _, res := range client.Results() {
+		results[res.Plan.ID] = append(results[res.Plan.ID], res)
+		rep.Results++
+	}
+	known := map[string]bool{}
+	for _, pc := range cases {
+		known[pc.id] = true
+	}
+	for id := range results {
+		if !known[id] {
+			rep.violate("phantom result for never-submitted plan %q", id)
+		}
+	}
+
+	keyring := func(server string) []byte { return keys[server] }
+	for i, pc := range cases {
+		rs := results[pc.id]
+		full := 0
+		for _, res := range rs {
+			if !res.Partial {
+				full++
+			}
+		}
+		switch {
+		case full > 0:
+			rep.Completed++
+		case len(rs) > 0:
+			rep.Partial++
+		case pc.submitErr != nil || stuckFor(pc.id):
+			rep.Stuck++
+			if rep.Level == LevelNone && rep.Left == 0 && rep.PromotionsRefused == 0 {
+				// Invariant 5 carries over: fault-free and churn-free runs
+				// must never strand a plan. Leaves and refused promotions
+				// legitimately strand plans over the departed data.
+				rep.violate("plan %q stuck in a fault-free run", pc.id)
+			}
+		case faultIDs[pc.id]:
+			rep.LostToFaults++
+		default:
+			rep.violate("plan %q silently lost: no result, no stuck error, no recorded fault", pc.id)
+		}
+
+		itemPreserving := pc.shape == 0 || pc.shape == 2 || pc.shape == 4
+		for _, res := range rs {
+			// Invariant 1 at scale: full results inside [lower, upper] (an
+			// exact equality when the world has no joiners), partials ⊆
+			// upper, and — for item-preserving shapes — nothing fabricated.
+			items, err := res.Plan.Results()
+			if err != nil {
+				rep.violate("plan %q: non-constant result: %v", pc.id, err)
+				continue
+			}
+			rep.OracleChecked++
+			got := Multiset(items)
+			switch {
+			case pc.shape == 1:
+				// Count answers are scalars, not monotone multisets: a query
+				// racing a join may legitimately count any world between the
+				// bounds, so <count>6</count> can match neither bound
+				// document. Range-check the value instead.
+				n, ok := countOf(got)
+				lo, okLo := countOf(lowers[i])
+				hi, okHi := countOf(uppers[i])
+				switch {
+				case res.Partial && len(got) == 0:
+					// Nothing was reduced before the routing layer gave up —
+					// an empty partial, vacuously within bounds.
+				case !ok || !okLo || !okHi:
+					rep.violate("plan %q: count plan produced a non-count answer", pc.id)
+				case res.Partial:
+					if n > hi {
+						rep.violate("plan %q: partial count %d exceeds oracle upper bound %d", pc.id, n, hi)
+					}
+				case n < lo || n > hi:
+					rep.violate("plan %q: count %d outside oracle bounds [%d, %d]", pc.id, n, lo, hi)
+				}
+			case res.Partial:
+				if ok, diff := MultisetSubset(got, uppers[i]); !ok {
+					rep.violate("plan %q: partial result exceeds oracle upper bound: %s", pc.id, diff)
+				}
+			default:
+				if ok, diff := MultisetSubset(lowers[i], got); !ok {
+					rep.violate("plan %q: result misses oracle lower bound: %s", pc.id, diff)
+				}
+				if ok, diff := MultisetSubset(got, uppers[i]); !ok {
+					rep.violate("plan %q: result exceeds oracle upper bound: %s", pc.id, diff)
+				}
+			}
+			if itemPreserving {
+				if ok, diff := inc.ContainsAll(got); !ok {
+					rep.violate("plan %q: %s", pc.id, diff)
+				}
+			}
+			// Invariant 2: trail/hop consistency, unchanged from small
+			// worlds.
+			trail, err := peer.QueryTrail(res)
+			if err != nil {
+				rep.violate("plan %q: bad provenance: %v", pc.id, err)
+				continue
+			}
+			if idx, err := trail.Verify(keyring); err != nil {
+				rep.violate("plan %q: trail visit %d fails verification: %v", pc.id, idx, err)
+			}
+			if missing := provenance.UncoveredVisits(res.Plan, trail); len(missing) > 0 {
+				rep.violate("plan %q: visited memory names %v, absent from the provenance trail",
+					pc.id, missing)
+			}
+			stops := 0
+			prevServer := ""
+			var prevAt time.Duration
+			for vi, v := range trail.Visits {
+				if v.Server != prevServer {
+					stops++
+					prevServer = v.Server
+				}
+				if !deliveredTo[pc.id][v.Server] {
+					rep.violate("plan %q: trail names %s, which never received the plan", pc.id, v.Server)
+				}
+				if v.At < prevAt {
+					rep.violate("plan %q: trail time goes backwards at visit %d (%v < %v)", pc.id, vi, v.At, prevAt)
+				}
+				prevAt = v.At
+			}
+			if stops+1 > res.Hops {
+				rep.violate("plan %q: %d processing stops need at least %d hops, result took %d",
+					pc.id, stops, stops+1, res.Hops)
+			}
+		}
+	}
+	if rep.Completed+rep.Partial+rep.Stuck+rep.LostToFaults != rep.Plans {
+		rep.violate("accounting: completed %d + partial %d + stuck %d + lost %d != plans %d",
+			rep.Completed, rep.Partial, rep.Stuck, rep.LostToFaults, rep.Plans)
+	}
+}

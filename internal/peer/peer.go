@@ -53,6 +53,10 @@ type Collection struct {
 	// StalenessMin is non-zero for replicas: how out of date the snapshot
 	// may be (§4.3's delay factor).
 	StalenessMin int
+	// RefreshedAt is the virtual time the replica snapshot was fetched
+	// (ReplicateFrom records it). Promote measures the snapshot's age
+	// against StalenessMin from here.
+	RefreshedAt time.Duration
 }
 
 // Result records a finished query arriving back at its issuing peer.
@@ -299,11 +303,24 @@ func (p *Peer) Registration(role catalog.Role) catalog.Registration {
 // index and meta-index servers they have used), so plans holding URNs this
 // peer cannot bind have somewhere to go.
 func (p *Peer) RegisterWith(addr string, role catalog.Role, stmts ...catalog.Statement) error {
+	return p.registerWith(addr, role, 0, "", stmts)
+}
+
+// RegisterWithAt is RegisterWith for peers joining a live network: the
+// registration message carries the given virtual time, so in scheduled
+// mode it is delivered in order among the query traffic already in flight
+// instead of "before" the run began.
+func (p *Peer) RegisterWithAt(addr string, role catalog.Role, at time.Duration, stmts ...catalog.Statement) error {
+	return p.registerWith(addr, role, at, "", stmts)
+}
+
+func (p *Peer) registerWith(addr string, role catalog.Role, at time.Duration, supersedes string, stmts []catalog.Statement) error {
 	reg := p.Registration(role)
 	reg.Statements = stmts
+	reg.Supersedes = supersedes
 	if err := p.net.Send(&simnet.Message{
 		From: p.addr, To: addr, Kind: KindRegister,
-		Body: catalog.MarshalRegistration(reg),
+		Body: catalog.MarshalRegistration(reg), At: at,
 	}); err != nil {
 		return err
 	}
@@ -333,7 +350,7 @@ func (p *Peer) Harvest(addr string) error {
 func (p *Peer) ReplicateFrom(srcAddr, pathExp string, as Collection, stalenessMin int) error {
 	req := xmltree.Elem("fetch")
 	req.SetAttr("path", pathExp)
-	reply, _, err := p.net.Request(p.addr, srcAddr, KindFetch, req, p.virtualNow())
+	reply, at, err := p.net.Request(p.addr, srcAddr, KindFetch, req, p.virtualNow())
 	if err != nil {
 		return err
 	}
@@ -345,8 +362,42 @@ func (p *Peer) ReplicateFrom(srcAddr, pathExp string, as Collection, stalenessMi
 	}
 	as.Items = items
 	as.StalenessMin = stalenessMin
+	as.RefreshedAt = at
 	p.AddCollection(as)
 	return nil
+}
+
+// ErrStaleReplica is wrapped by Promote when the replica's staleness bound
+// is already exhausted at promotion time.
+var ErrStaleReplica = errors.New("replica staleness bound exceeded")
+
+// Promote turns a replica into the authoritative copy of its collection —
+// the recovery step §4.3's delayed replication exists for. When the source
+// base server crashes without restart, the replica re-registers with the
+// upstream index carrying Supersedes=source, so the index forgets the dead
+// copy and routes queries to this one; results served from the replica
+// carry its staleness bound on the provenance trail exactly as replica
+// fetches always did.
+//
+// The bound is a promise to queries, not just metadata: a replica whose
+// snapshot is already older than StalenessMin at promotion time must not
+// become authoritative. Promote refuses with ErrStaleReplica and records a
+// stuck entry — an explicit "data existed but was too stale to serve"
+// trace — instead of silently promoting data every later trail would
+// misdescribe.
+func (p *Peer) Promote(pathExp, source, upstream string, now time.Duration) error {
+	c := p.store.get(pathExp)
+	if c == nil {
+		return fmt.Errorf("peer %s: promote: no collection %q", p.addr, pathExp)
+	}
+	if age := now - c.RefreshedAt; age > time.Duration(c.StalenessMin)*time.Minute {
+		return p.noteStuck(fmt.Errorf("peer %s: promotion of replica %q (source %s) refused: snapshot age %v exceeds bound %dmin: %w",
+			p.addr, pathExp, source, age, c.StalenessMin, ErrStaleReplica))
+	}
+	if at := int64(now); at > p.lastAt.Load() {
+		p.lastAt.Store(at)
+	}
+	return p.registerWith(upstream, catalog.RoleBase, now, source, nil)
 }
 
 // Results returns a snapshot of the finished queries delivered to this

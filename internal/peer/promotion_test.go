@@ -1,0 +1,217 @@
+package peer
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/algebra"
+	"repro/internal/catalog"
+	"repro/internal/namespace"
+	"repro/internal/simnet"
+)
+
+// These tests pin the replica-promotion path large worlds churn through
+// (internal/chaos): a source leaves for good, its replica promotes itself to
+// authoritative holder — superseding the dead registration — and keeps
+// answering within its staleness bound; a replica whose bound is already
+// exhausted refuses loudly instead of serving silently-stale data.
+
+// TestPromotionEndToEndUnderScheduler: the full churn sequence on the
+// deterministic scheduler — source crashes with no restart, the replica
+// promotes mid-run, a query submitted afterwards resolves to the promoted
+// replica alone and its answer carries the replica's staleness bound through
+// the provenance trail.
+func TestPromotionEndToEndUnderScheduler(t *testing.T) {
+	net, ns, src, rep := replicaWorld(t)
+	area := ns.MustParseArea("[USA/OR/Portland, Music/CDs]")
+	if err := rep.ReplicateFrom("src:1", "/d", Collection{Name: "cds", PathExp: "/d", Area: area}, 45); err != nil {
+		t.Fatal(err)
+	}
+
+	meta := mustPeer(t, Config{Addr: "M:1", Net: net, NS: ns, PushSelect: true, Key: []byte("kM"),
+		Area: ns.MustParseArea("[USA, *]"), Authoritative: true})
+	// Pre-crash, the source is the advertised holder.
+	if err := src.RegisterWith("M:1", catalog.RoleBase); err != nil {
+		t.Fatal(err)
+	}
+	client := mustPeer(t, Config{Addr: "c:1", Net: net, NS: ns, Key: []byte("kC")})
+	if err := client.Catalog().Register(catalog.Registration{
+		Addr: "M:1", Role: catalog.RoleMetaIndex,
+		Area: ns.MustParseArea("[USA, *]"), Authoritative: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	net.UseScheduler(1)
+	net.ScheduleCrash("src:1", 5*time.Millisecond, 0) // leave: no restart
+	const promoteAt = 10 * time.Millisecond
+	var promoteErr error
+	net.ScheduleFunc(promoteAt, func() {
+		promoteErr = rep.Promote("/d", "src:1", "M:1", promoteAt)
+	})
+	plan := algebra.NewPlan("promo-q", "c:1", algebra.Display(
+		algebra.Select(algebra.MustParsePredicate("price < 100"),
+			algebra.URN(namespace.EncodeURN(area)))))
+	if err := net.Send(&simnet.Message{From: "c:1", To: "M:1", Kind: KindMQP,
+		Body: algebra.Marshal(plan), At: 30 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if promoteErr != nil {
+		t.Fatalf("promotion: %v", promoteErr)
+	}
+
+	res, ok := client.TakeResult()
+	if !ok {
+		t.Fatal("no result after promotion; the promoted replica should have answered")
+	}
+	if res.Partial {
+		t.Fatal("partial result; the promoted replica holds the full collection")
+	}
+	docs, err := res.Plan.Results()
+	if err != nil || len(docs) != 2 {
+		t.Fatalf("results = %v, %v; want the replica's 2 items", docs, err)
+	}
+	trail, err := QueryTrail(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trail.MaxStaleness() != 45 {
+		t.Fatalf("trail staleness = %d, want the promoted replica's 45", trail.MaxStaleness())
+	}
+	servedByReplica := false
+	for _, v := range trail.Visits {
+		if v.Server == "src:1" {
+			t.Fatal("trail names the crashed source")
+		}
+		if v.Server == "rep:1" {
+			servedByReplica = true
+		}
+	}
+	if !servedByReplica {
+		t.Fatalf("trail never visits the promoted replica: %+v", trail.Visits)
+	}
+	// Supersedes dropped the dead source from the upstream catalog in the
+	// same mutation that added the replica — no window of double counting.
+	for _, r := range meta.Catalog().Registrations() {
+		if r.Addr == "src:1" {
+			t.Fatal("superseded source still registered upstream")
+		}
+	}
+}
+
+// TestPromotionRefusedWhenBoundExhausted: a replica whose snapshot has
+// outlived its staleness bound must refuse promotion with ErrStaleReplica
+// AND an explicit stuck entry — never become the authoritative holder of
+// silently-stale data. The upstream catalog keeps the source registration.
+func TestPromotionRefusedWhenBoundExhausted(t *testing.T) {
+	net, ns, src, rep := replicaWorld(t)
+	area := ns.MustParseArea("[USA/OR/Portland, Music/CDs]")
+	// Bound 0: any snapshot age at all exceeds it.
+	if err := rep.ReplicateFrom("src:1", "/d", Collection{Name: "cds", PathExp: "/d", Area: area}, 0); err != nil {
+		t.Fatal(err)
+	}
+	meta := mustPeer(t, Config{Addr: "M:1", Net: net, NS: ns, PushSelect: true, Key: []byte("kM"),
+		Area: ns.MustParseArea("[USA, *]"), Authoritative: true})
+	if err := src.RegisterWith("M:1", catalog.RoleBase); err != nil {
+		t.Fatal(err)
+	}
+
+	err := rep.Promote("/d", "src:1", "M:1", time.Hour)
+	if !errors.Is(err, ErrStaleReplica) {
+		t.Fatalf("promotion of an exhausted replica = %v, want ErrStaleReplica", err)
+	}
+	if len(rep.StuckErrors()) == 0 {
+		t.Fatal("refused promotion must surface as an explicit stuck entry")
+	}
+	srcStillThere, repRegistered := false, false
+	for _, r := range meta.Catalog().Registrations() {
+		if r.Addr == "src:1" {
+			srcStillThere = true
+		}
+		if r.Addr == "rep:1" {
+			repRegistered = true
+		}
+	}
+	if !srcStillThere || repRegistered {
+		t.Fatalf("refused promotion mutated the upstream catalog: src=%v rep=%v",
+			srcStillThere, repRegistered)
+	}
+
+	// A promotion with headroom left on the bound is accepted.
+	if err := rep.ReplicateFrom("src:1", "/d", Collection{Name: "cds", PathExp: "/d", Area: area}, 45); err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Promote("/d", "src:1", "M:1", time.Millisecond); err != nil {
+		t.Fatalf("promotion within the bound: %v", err)
+	}
+}
+
+// TestStoreGenerationChurnRace: join/leave-style churn against the
+// concurrent runtime — RCU republishes of a hot collection, new collections
+// installed mid-flight, and re-registrations — must not race the worker
+// pool's reads or the prepared-plan cache's generation-based invalidation.
+// The assertions are deliberately weak (every plan answers with parseable
+// results); `go test -race` is the real check here.
+func TestStoreGenerationChurnRace(t *testing.T) {
+	client, srv := runtimeWorld(t, Config{Workers: 4, PlanCacheSize: 16})
+	hot, ok := srv.Collection("/data[id=1]")
+	if !ok {
+		t.Fatal("runtime world lost its collection")
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // refresh churn: republish the hot collection
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := srv.SetItems("/data[id=1]", items(
+				fmt.Sprintf(`<sale><cd>gen-%d</cd><price>%d</price></sale>`, i, i%20))); err != nil {
+				return
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+	go func() { // join churn: new collections and re-registrations
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			srv.AddCollection(Collection{Name: "cds", PathExp: fmt.Sprintf("/join[n=%d]", i),
+				Area: hot.Area, Items: items(`<sale><cd>joined</cd><price>3</price></sale>`)})
+			if err := srv.RegisterWith("srv:9020", catalog.RoleBase); err != nil {
+				return
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+
+	const nPlans = 24
+	for i := 0; i < nPlans; i++ {
+		if err := client.Submit("srv:9020", rtPlan(fmt.Sprintf("churn-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rs := waitResults(t, client, nPlans)
+	close(stop)
+	wg.Wait()
+	for _, res := range rs {
+		if _, err := res.Plan.Results(); err != nil {
+			t.Fatalf("plan %s: unparseable result under churn: %v", res.Plan.ID, err)
+		}
+	}
+}

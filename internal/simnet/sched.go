@@ -53,12 +53,13 @@ type Faults struct {
 }
 
 // event is one scheduled occurrence: a message delivery or a control action
-// (crash, restart).
+// (crash, restart, or a driver callback).
 type event struct {
 	at  time.Duration
 	seq uint64
 	msg *Message         // delivery event when non-nil
-	ctl func(n *Network) // control event otherwise; runs with n.mu held
+	ctl func(n *Network) // control event; runs with n.mu held
+	fn  func()           // driver callback; runs WITHOUT n.mu (may Send)
 }
 
 // eventQueue is a min-heap ordered by (at, seq).
@@ -104,6 +105,16 @@ type scheduler struct {
 	delivered []*Message
 	dropped   []*Message
 	lost      []*Message
+
+	// traceKey, when set, switches the trace to compact mode: instead of
+	// retaining every *Message (body and all) until the harness reads
+	// SchedTrace, only a TraceRec per message is kept. Large chaos worlds
+	// need this — 10³ peers' worth of retained bodies is the difference
+	// between a sweep that fits in memory and one that does not.
+	traceKey   func(*Message) string
+	deliveredC []TraceRec
+	droppedC   []TraceRec
+	lostC      []TraceRec
 }
 
 // UseScheduler switches the network to scheduled delivery, seeding the fault
@@ -156,6 +167,54 @@ func (n *Network) ScheduleCrash(addr string, from, until time.Duration) {
 			}
 		}})
 	}
+}
+
+// ScheduleFunc runs fn at virtual time at, interleaved deterministically
+// with message traffic like any other control event. Unlike crash/restart
+// transitions, fn runs WITHOUT the network lock held, so it may create
+// peers, send messages, or push registrations — this is the hook mid-run
+// churn (peer joins, replica promotion) drives through. fn runs on the Run
+// goroutine; the single-pumped determinism contract is unchanged.
+func (n *Network) ScheduleFunc(at time.Duration, fn func()) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.mustSchedLocked("ScheduleFunc").pushLocked(&event{at: at, fn: fn})
+}
+
+// SetTraceKey switches the scheduler to compact tracing: each delivered,
+// dropped or lost message is recorded as a TraceRec carrying key(msg) and
+// the routing envelope, and the message itself (body included) is released
+// to the collector. SchedTrace returns nothing in this mode; read
+// CompactSchedTrace instead. Set it right after UseScheduler, before any
+// traffic.
+func (n *Network) SetTraceKey(key func(*Message) string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.mustSchedLocked("SetTraceKey").traceKey = key
+}
+
+func (s *scheduler) traceDroppedLocked(msg *Message) {
+	if s.traceKey != nil {
+		s.droppedC = append(s.droppedC, TraceRec{Key: s.traceKey(msg), From: msg.From, To: msg.To, Kind: msg.Kind})
+		return
+	}
+	s.dropped = append(s.dropped, msg)
+}
+
+func (s *scheduler) traceLostLocked(msg *Message) {
+	if s.traceKey != nil {
+		s.lostC = append(s.lostC, TraceRec{Key: s.traceKey(msg), From: msg.From, To: msg.To, Kind: msg.Kind})
+		return
+	}
+	s.lost = append(s.lost, msg)
+}
+
+func (s *scheduler) traceDeliveredLocked(msg *Message) {
+	if s.traceKey != nil {
+		s.deliveredC = append(s.deliveredC, TraceRec{Key: s.traceKey(msg), From: msg.From, To: msg.To, Kind: msg.Kind})
+		return
+	}
+	s.delivered = append(s.delivered, msg)
 }
 
 func (n *Network) mustSchedLocked(op string) *scheduler {
@@ -212,7 +271,7 @@ func (s *scheduler) enqueueSendLocked(n *Network, msg *Message, wireBody *xmltre
 	}
 	n.account(msg.Kind, size, false)
 	if f.Drop > 0 && s.rng.Float64() < f.Drop {
-		s.dropped = append(s.dropped, msg)
+		s.traceDroppedLocked(msg)
 		return nil
 	}
 	at := msg.At + transit
@@ -239,7 +298,7 @@ func (s *scheduler) enqueueSendLocked(n *Network, msg *Message, wireBody *xmltre
 func (s *scheduler) dropRequestLocked(from, to, kind string, at time.Duration) bool {
 	f := s.faultsLocked(from, to)
 	if f.Drop > 0 && s.rng.Float64() < f.Drop {
-		s.dropped = append(s.dropped, &Message{From: from, To: to, Kind: kind, At: at})
+		s.traceDroppedLocked(&Message{From: from, To: to, Kind: kind, At: at})
 		return true
 	}
 	return false
@@ -254,7 +313,14 @@ type RunStats struct {
 	Delivered int
 	Dropped   int
 	Lost      int
-	Errors    []error
+	// Events counts every event the pump popped, deliveries and control
+	// events alike — the raw event volume of the round.
+	Events int
+	// ByKind batches the round's deliveries per message kind, so a harness
+	// can report e.g. plan traffic vs registration churn without retaining
+	// per-message traces.
+	ByKind map[string]int
+	Errors []error
 }
 
 // maxRunEvents bounds one Run; exceeding it means a runaway loop the
@@ -289,37 +355,47 @@ func (n *Network) Run() (RunStats, error) {
 		n.mu.Unlock()
 	}()
 
-	var stats RunStats
+	stats := RunStats{ByKind: map[string]int{}}
 	for {
 		n.mu.Lock()
 		if len(s.queue) == 0 {
-			stats.Dropped = len(s.dropped) - s.droppedMark
-			stats.Lost = len(s.lost) - s.lostMark
-			s.droppedMark = len(s.dropped)
-			s.lostMark = len(s.lost)
+			dropped := len(s.dropped) + len(s.droppedC)
+			lost := len(s.lost) + len(s.lostC)
+			stats.Dropped = dropped - s.droppedMark
+			stats.Lost = lost - s.lostMark
+			s.droppedMark = dropped
+			s.lostMark = lost
 			n.mu.Unlock()
 			return stats, nil
 		}
 		ev := heap.Pop(&s.queue).(*event)
+		stats.Events++
+		if stats.Events > maxRunEvents {
+			n.mu.Unlock()
+			return stats, fmt.Errorf("simnet: scheduler exceeded %d events; runaway loop?", maxRunEvents)
+		}
 		if ev.ctl != nil {
 			ev.ctl(n)
 			n.mu.Unlock()
 			continue
 		}
+		if ev.fn != nil {
+			n.mu.Unlock()
+			ev.fn()
+			continue
+		}
 		msg := ev.msg
 		p := n.peers[msg.To]
 		if p == nil || n.down[msg.To] || n.blockedLocked(msg.From, msg.To, msg.At) {
-			s.lost = append(s.lost, msg)
+			s.traceLostLocked(msg)
 			n.mu.Unlock()
 			continue
 		}
-		s.delivered = append(s.delivered, msg)
+		s.traceDeliveredLocked(msg)
 		n.mu.Unlock()
 
 		stats.Delivered++
-		if stats.Delivered > maxRunEvents {
-			return stats, fmt.Errorf("simnet: scheduler exceeded %d events; runaway loop?", maxRunEvents)
-		}
+		stats.ByKind[msg.Kind]++
 		if err := p.Deliver(n, msg); err != nil {
 			stats.Errors = append(stats.Errors, err)
 		}
@@ -336,7 +412,8 @@ type Trace struct {
 }
 
 // SchedTrace returns a copy of the scheduler's trace. Message pointers are
-// shared with the run; treat bodies as read-only.
+// shared with the run; treat bodies as read-only. In compact mode
+// (SetTraceKey) the slices are empty — read CompactSchedTrace instead.
 func (n *Network) SchedTrace() Trace {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -345,5 +422,33 @@ func (n *Network) SchedTrace() Trace {
 		Delivered: append([]*Message(nil), s.delivered...),
 		Dropped:   append([]*Message(nil), s.dropped...),
 		Lost:      append([]*Message(nil), s.lost...),
+	}
+}
+
+// TraceRec is one compact trace record: the routing envelope plus the key
+// SetTraceKey extracted from the message before it was released.
+type TraceRec struct {
+	Key      string
+	From, To string
+	Kind     string
+}
+
+// CompactTrace mirrors Trace for compact mode (SetTraceKey).
+type CompactTrace struct {
+	Delivered []TraceRec
+	Dropped   []TraceRec
+	Lost      []TraceRec
+}
+
+// CompactSchedTrace returns a copy of the compact trace accumulated since
+// SetTraceKey was set.
+func (n *Network) CompactSchedTrace() CompactTrace {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	s := n.mustSchedLocked("CompactSchedTrace")
+	return CompactTrace{
+		Delivered: append([]TraceRec(nil), s.deliveredC...),
+		Dropped:   append([]TraceRec(nil), s.droppedC...),
+		Lost:      append([]TraceRec(nil), s.lostC...),
 	}
 }

@@ -418,3 +418,80 @@ func TestRunRequiresScheduler(t *testing.T) {
 		t.Fatal("Run without UseScheduler must error")
 	}
 }
+
+// TestScheduleFunc: driver callbacks fire at their virtual time, interleaved
+// correctly with deliveries, and may send (they run without the network
+// lock) — the hook large-world churn (joins, promotions) is built on.
+func TestScheduleFunc(t *testing.T) {
+	n := New()
+	n.UseScheduler(5)
+	sink := &chainPeer{addr: "sink:1"}
+	n.Add(sink)
+
+	var order []string
+	n.ScheduleFunc(20*time.Millisecond, func() {
+		order = append(order, "fn20")
+		// Callbacks run without the scheduler lock: sending must work.
+		if err := n.Send(&Message{From: "x", To: "sink:1", Kind: "from-fn"}); err != nil {
+			t.Errorf("send from callback: %v", err)
+		}
+	})
+	n.ScheduleFunc(5*time.Millisecond, func() { order = append(order, "fn5") })
+	if err := n.Send(&Message{From: "x", To: "sink:1", Kind: "k", At: 10 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+
+	stats, err := n.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"fn5", "fn20"}; !reflect.DeepEqual(order, want) {
+		t.Fatalf("callback order = %v, want %v", order, want)
+	}
+	if stats.Delivered != 2 {
+		t.Fatalf("stats.Delivered = %d, want the scheduled send and the callback's", stats.Delivered)
+	}
+	if stats.Events < 4 {
+		t.Fatalf("stats.Events = %d, want >= 4 (2 fns + 2 deliveries)", stats.Events)
+	}
+	if stats.ByKind["k"] != 1 || stats.ByKind["from-fn"] != 1 {
+		t.Fatalf("stats.ByKind = %v", stats.ByKind)
+	}
+}
+
+// TestCompactTrace: with a trace key installed, the compact trace records
+// key/from/to/kind per delivered and dropped message — the O(record) form
+// the large-world invariants read instead of retaining message bodies.
+func TestCompactTrace(t *testing.T) {
+	n := New()
+	n.UseScheduler(23)
+	n.SetTraceKey(func(m *Message) string { return m.Kind })
+	sink := &chainPeer{addr: "sink:1"}
+	n.Add(sink)
+
+	if err := n.Send(&Message{From: "a", To: "sink:1", Kind: "ok"}); err != nil {
+		t.Fatal(err)
+	}
+	n.SetFaults(Faults{Drop: 1})
+	if err := n.Send(&Message{From: "b", To: "sink:1", Kind: "doomed"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	ct := n.CompactSchedTrace()
+	if len(ct.Delivered) != 1 || ct.Delivered[0].Key != "ok" || ct.Delivered[0].To != "sink:1" {
+		t.Fatalf("delivered trace = %+v", ct.Delivered)
+	}
+	if len(ct.Dropped) != 1 || ct.Dropped[0].Key != "doomed" {
+		t.Fatalf("dropped trace = %+v", ct.Dropped)
+	}
+	// Compact mode replaces message retention entirely — the O(body) full
+	// trace must stay empty, that is the point of the mode.
+	full := n.SchedTrace()
+	if len(full.Delivered) != 0 || len(full.Dropped) != 0 {
+		t.Fatalf("full trace retained messages in compact mode: %d delivered, %d dropped",
+			len(full.Delivered), len(full.Dropped))
+	}
+}

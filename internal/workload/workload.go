@@ -41,6 +41,28 @@ func GarageSaleNamespace() *namespace.Namespace {
 	return namespace.MustNew(loc, merch)
 }
 
+// ScaledNamespace builds a synthetic Location × Merchandise namespace of
+// arbitrary size for large-world runs: states S00..S<n> with citiesPerState
+// cities each (so locations are state/city, two levels like the garage-sale
+// namespace), and cats top-level merchandise categories with subsPerCat
+// leaves each. Names are a pure function of the shape, so two worlds built
+// over the same shape agree on every category and area.
+func ScaledNamespace(states, citiesPerState, cats, subsPerCat int) *namespace.Namespace {
+	loc := hierarchy.New("Location")
+	for s := 0; s < states; s++ {
+		for c := 0; c < citiesPerState; c++ {
+			loc.MustAdd(fmt.Sprintf("S%02d/C%02d", s, c))
+		}
+	}
+	merch := hierarchy.New("Merchandise")
+	for c := 0; c < cats; c++ {
+		for s := 0; s < subsPerCat; s++ {
+			merch.MustAdd(fmt.Sprintf("M%02d/L%02d", c, s))
+		}
+	}
+	return namespace.MustNew(loc, merch)
+}
+
 // Seller is one garage-sale data provider: a most-specific location, a
 // merchandise specialty, and the items it exports.
 type Seller struct {

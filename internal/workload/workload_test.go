@@ -135,3 +135,49 @@ func TestCDCatalog(t *testing.T) {
 		}
 	}
 }
+
+// TestScaledNamespace: the large-world namespace generator produces the
+// requested shape — states × cities and categories × subcategories — and
+// GarageSale populates it the same way it populates the hand-built one
+// (every seller's city and specialty are leaves of the scaled hierarchies).
+func TestScaledNamespace(t *testing.T) {
+	ns := ScaledNamespace(12, 8, 8, 6)
+	loc, merch := ns.Dimensions()[0], ns.Dimensions()[1]
+	states, err := loc.Children(hierarchy.Top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(states) != 12 {
+		t.Fatalf("states = %d, want 12", len(states))
+	}
+	if got := len(loc.Leaves()); got != 12*8 {
+		t.Fatalf("cities = %d, want 96", got)
+	}
+	if got := len(merch.Leaves()); got != 8*6 {
+		t.Fatalf("subcategories = %d, want 48", got)
+	}
+
+	sellers := GarageSale(ns, GarageSaleConfig{Seed: 7, Sellers: 200, ItemsPerSeller: 3, SpecialtyZipf: 1.5})
+	if len(sellers) != 200 {
+		t.Fatalf("sellers = %d", len(sellers))
+	}
+	seenStates := map[string]bool{}
+	for _, s := range sellers {
+		if !loc.Contains(s.City) || s.City.Depth() != 2 {
+			t.Fatalf("seller city %s is not a scaled-namespace leaf", s.City)
+		}
+		if !merch.Contains(s.Spec) {
+			t.Fatalf("seller specialty %s is not in the scaled hierarchy", s.Spec)
+		}
+		if err := ns.Validate(s.Area); err != nil {
+			t.Fatalf("seller area invalid: %v", err)
+		}
+		seenStates[s.City.Truncate(1).String()] = true
+	}
+	// Zipf skews but 200 sellers over 12 states must still spread: the
+	// large-world generator builds one index per state and expects traffic
+	// across several of them.
+	if len(seenStates) < 4 {
+		t.Fatalf("200 sellers cover only %d states", len(seenStates))
+	}
+}
