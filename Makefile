@@ -26,15 +26,20 @@ test-short: build
 # allocation stats; the raw test2json stream lands in BENCH_plan_hop.json
 # (one JSON object per line) and the benchmark lines echo to the console.
 # The receive side (zero-copy BenchmarkDecode vs the encoding/xml-based
-# BenchmarkParseLegacy, plus the full-codec hop) is recorded separately in
-# BENCH_decode.json so decode-path wins and regressions are visible on
-# their own.
+# BenchmarkParseLegacy) is recorded separately in BENCH_decode.json so
+# decode-path wins and regressions are visible on their own, and the
+# streaming wire path (warm codec hop, streaming frame encoder, reused
+# persistent link over real TCP) lands in BENCH_wire.json — the numbers
+# behind the "wire hop within ~3x of the tree hop" acceptance bar.
 bench:
 	$(GO) test -run '^$$' -bench '^Benchmark(PlanHop$$|PlanClone|Micro|Canonical|ByteSize)' -benchmem -json . > BENCH_plan_hop.json
 	@sed -n 's/.*"Output":"\(.*\)".*/\1/p' BENCH_plan_hop.json \
 		| tr -d '\n' | sed 's/\\n/\n/g;s/\\t/\t/g' | grep 'ns/op' || true
-	$(GO) test -run '^$$' -bench '^Benchmark(Decode|ParseLegacy|PlanHopWire)$$' -benchmem -json . > BENCH_decode.json
+	$(GO) test -run '^$$' -bench '^Benchmark(Decode|ParseLegacy)$$' -benchmem -json . > BENCH_decode.json
 	@sed -n 's/.*"Output":"\(.*\)".*/\1/p' BENCH_decode.json \
+		| tr -d '\n' | sed 's/\\n/\n/g;s/\\t/\t/g' | grep 'ns/op' || true
+	$(GO) test -run '^$$' -bench '^Benchmark(PlanHopWire$$|PlanHopWireReused$$|StreamEncode$$)' -benchmem -json . > BENCH_wire.json
+	@sed -n 's/.*"Output":"\(.*\)".*/\1/p' BENCH_wire.json \
 		| tr -d '\n' | sed 's/\\n/\n/g;s/\\t/\t/g' | grep 'ns/op' || true
 
 # CPU and heap profiles of the hop path (cpu.prof / mem.prof, inspect with
@@ -106,11 +111,13 @@ chaos-large-ci:
 	$(GO) run ./cmd/chaos -n 16 -peers 1000 -churn
 
 # Fuzz smoke: 10s per target (canonical-XML parse fixpoint, zero-copy
-# decoder vs reference-parser differential, wire framing).
+# decoder vs reference-parser differential, wire framing, streaming frame
+# encoder vs staged-tree encoder differential).
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzParseRoundTrip$$' -fuzztime 10s ./internal/xmltree
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeEquivalence$$' -fuzztime 10s ./internal/xmltree
 	$(GO) test -run '^$$' -fuzz '^FuzzRecv$$' -fuzztime 10s ./internal/wire
+	$(GO) test -run '^$$' -fuzz '^FuzzStreamEncodeEquivalence$$' -fuzztime 10s ./internal/algebra
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \

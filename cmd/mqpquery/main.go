@@ -60,7 +60,11 @@ func main() {
 	if plan.Original == nil {
 		plan.RetainOriginal()
 	}
-	if err := wire.Send(*server, algebra.Marshal(plan)); err != nil {
+	pool := wire.NewLinkPool()
+	defer pool.Close()
+	if err := pool.SendFrame(*server, func(e *xmltree.FrameEncoder) {
+		algebra.EncodeFrame(plan, e)
+	}); err != nil {
 		log.Fatalf("mqpquery: %v", err)
 	}
 

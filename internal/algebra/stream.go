@@ -1,0 +1,151 @@
+package algebra
+
+import (
+	"io"
+	"sort"
+	"strconv"
+
+	"repro/internal/xmltree"
+)
+
+// Streaming plan encoder: the staging-tree-free twin of marshal + WriteTo.
+//
+// EncodeFrame walks the plan directly, emitting canonical markup for the
+// mutable operator shell and handing frozen freight — data payloads, the
+// visited section, extra sections like provenance — to the FrameEncoder as
+// memoized-serialization segments. The bytes produced are identical to
+// Encode's staged output (FuzzStreamEncodeEquivalence enforces this), but a
+// forwarded plan no longer materializes a staging tree, and payloads that
+// crossed the wire before are never re-walked or copied: they ride to the
+// socket as zero-copy segments of one vectored write.
+//
+// Attribute emission must match the canonical serializer's sorted order, so
+// each operator lists its attributes alphabetically here (join emits
+// leftkey, leftname, rightkey, rightname; topn emits by, n, order).
+
+// EncodeFrame stages the plan's canonical wire form into enc. It is the
+// streaming equivalent of Encode: same bytes, no staging tree, payloads
+// shared rather than copied — so like Encode, the staged frame must be
+// written out before the plan is mutated again.
+func EncodeFrame(p *Plan, enc *xmltree.FrameEncoder) {
+	enc.Raw("<mqp")
+	enc.Attr("id", p.ID)
+	enc.Attr("target", p.Target)
+	enc.RawByte('>')
+	enc.Raw("<plan>")
+	encodeFrameNode(p.Root, enc)
+	enc.Raw("</plan>")
+	if p.Original != nil {
+		enc.Raw("<original>")
+		encodeFrameNode(p.Original, enc)
+		enc.Raw("</original>")
+	}
+	if p.Visited != nil && (p.Visited.Len() > 0 || p.Visited.Budget > 0) {
+		enc.Node(p.Visited.Marshal())
+	}
+	if len(p.Extra) > 0 {
+		keys := make([]string, 0, len(p.Extra))
+		for k := range p.Extra {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			enc.Node(p.Extra[k])
+		}
+	}
+	enc.Raw("</mqp>")
+}
+
+// EncodeStream writes the plan's canonical wire form to w through a pooled
+// FrameEncoder, returning bytes written. On a gather-capable writer (a TCP
+// connection) the whole document leaves in one writev.
+func EncodeStream(p *Plan, w io.Writer) (int64, error) {
+	enc := xmltree.GetFrameEncoder()
+	defer enc.Release()
+	EncodeFrame(p, enc)
+	return enc.WriteTo(w)
+}
+
+// encodeFrameNode emits one operator subtree in canonical form, mirroring
+// marshalNode + the canonical serializer exactly.
+func encodeFrameNode(n *Node, enc *xmltree.FrameEncoder) {
+	var name string
+	switch n.Kind {
+	case KindURL:
+		name = "url"
+		enc.Raw("<url")
+		enc.Attr("href", n.URL)
+		if n.PathExp != "" {
+			enc.Attr("path", n.PathExp)
+		}
+	case KindURN:
+		name = "urn"
+		enc.Raw("<urn")
+		enc.Attr("name", n.URN)
+	case KindSelect:
+		name = "select"
+		enc.Raw("<select")
+		enc.Attr("pred", n.Pred.String())
+	case KindProject:
+		name = "project"
+		enc.Raw("<project")
+		enc.Attr("as", n.As)
+		enc.Attr("fields", joinFields(n.Fields))
+	case KindJoin:
+		name = "join"
+		enc.Raw("<join")
+		enc.Attr("leftkey", n.LeftKey)
+		enc.Attr("leftname", n.LeftName)
+		enc.Attr("rightkey", n.RightKey)
+		enc.Attr("rightname", n.RightName)
+	case KindTopN:
+		name = "topn"
+		enc.Raw("<topn")
+		enc.Attr("by", n.OrderBy)
+		enc.Attr("n", strconv.Itoa(n.N))
+		if n.Desc {
+			enc.Attr("order", "desc")
+		} else {
+			enc.Attr("order", "asc")
+		}
+	default:
+		name = n.Kind.String()
+		enc.RawByte('<')
+		enc.Raw(name)
+	}
+	docs := n.Docs
+	if n.Kind != KindData {
+		// Docs on a non-data operator are never marshaled; they must not
+		// keep the element from self-closing.
+		docs = nil
+	}
+	if len(n.Children) == 0 && len(docs) == 0 && len(n.Annotations) == 0 {
+		enc.Raw("/>")
+		return
+	}
+	enc.RawByte('>')
+	if len(n.Annotations) > 0 {
+		keys := make([]string, 0, len(n.Annotations))
+		for k := range n.Annotations {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		enc.Raw("<annotations>")
+		for _, k := range keys {
+			enc.Raw("<annot")
+			enc.Attr("k", k)
+			enc.Attr("v", n.Annotations[k])
+			enc.Raw("/>")
+		}
+		enc.Raw("</annotations>")
+	}
+	for _, d := range docs {
+		enc.Node(d)
+	}
+	for _, c := range n.Children {
+		encodeFrameNode(c, enc)
+	}
+	enc.Raw("</")
+	enc.Raw(name)
+	enc.RawByte('>')
+}

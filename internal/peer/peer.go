@@ -4,6 +4,14 @@
 // peer owns a catalog, an MQP processor, and a data store, serves and
 // forwards mutant query plans over a simnet, pushes registrations to
 // authoritative servers (§3.3), and models delayed replication (§4.3).
+//
+// Traffic pricing: the simnet models the persistent multiplexed links the
+// real transport (internal/wire.LinkPool) uses — the first message a peer
+// sends to a neighbor pays connection setup, later messages on the same
+// ordered pair pay only a per-frame header, and a crash or partition severs
+// the link so recovery traffic re-pays setup. Forwarding fan-out to the same
+// fallback candidates is therefore much cheaper in bytes than the old
+// dial-per-hop accounting suggested (see simnet.Metrics.LinksOpened).
 package peer
 
 import (

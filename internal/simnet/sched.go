@@ -158,6 +158,9 @@ func (n *Network) ScheduleCrash(addr string, from, until time.Duration) {
 	s.pushLocked(&event{at: from, ctl: func(n *Network) {
 		s.crashed[addr]++
 		n.down[addr] = true
+		// The crash severs every connection the peer held: link pricing
+		// restarts from setup for traffic after the restart.
+		n.severLinks(addr)
 	}})
 	if until > from {
 		s.pushLocked(&event{at: until, ctl: func(n *Network) {
@@ -269,7 +272,7 @@ func (s *scheduler) enqueueSendLocked(n *Network, msg *Message, wireBody *xmltre
 	if window <= 0 {
 		window = 75 * time.Millisecond
 	}
-	n.account(msg.Kind, size, false)
+	n.account([2]string{msg.From, msg.To}, msg.Kind, size, false)
 	if f.Drop > 0 && s.rng.Float64() < f.Drop {
 		s.traceDroppedLocked(msg)
 		return nil
@@ -286,7 +289,8 @@ func (s *scheduler) enqueueSendLocked(n *Network, msg *Message, wireBody *xmltre
 	}
 	s.pushLocked(&event{at: at, msg: deliver(at)})
 	if f.Duplicate > 0 && s.rng.Float64() < f.Duplicate {
-		n.account(msg.Kind, size, false)
+		// The duplicate rides the already-open link: frame cost, no setup.
+		n.account([2]string{msg.From, msg.To}, msg.Kind, size, false)
 		dupAt := msg.At + transit + s.jitterLocked(window)
 		s.pushLocked(&event{at: dupAt, msg: deliver(dupAt)})
 	}

@@ -63,16 +63,32 @@ type Peer interface {
 
 // Metrics accumulates network-wide counters. All byte counts are canonical
 // XML sizes (xmltree's memoized ByteSize — no document is re-serialized to
-// price a message) plus a fixed per-message header overhead.
+// price a message) plus the per-frame mux header, plus a one-time setup
+// charge per ordered link (see LinksOpened).
 type Metrics struct {
 	Messages int64
 	Requests int64
 	Bytes    int64
-	PerKind  map[string]int64
+	// LinksOpened counts connection establishments: the first frame between
+	// an ordered (from, to) pair opens a persistent link and pays
+	// linkSetupOverhead; later frames reuse it for frameOverhead each. A
+	// crash, SetDown or partition-blocked send severs the peer's links, so
+	// traffic after recovery pays setup again — E4/E9-scale sweeps and chaos
+	// runs price the reused-link path the real transport now takes.
+	LinksOpened int64
+	PerKind     map[string]int64
 }
 
-// headerOverhead approximates per-message framing cost in bytes.
+// headerOverhead approximates connection-establishment cost in bytes (TCP
+// handshake, mux magic); it is paid once per ordered link, not per message.
 const headerOverhead = 64
+
+// linkSetupOverhead is the one-time charge for opening a link.
+const linkSetupOverhead = headerOverhead
+
+// frameOverhead is the per-frame mux header: 4-byte length prefix plus
+// 8-byte correlation id, matching the wire package's link framing.
+const frameOverhead = 12
 
 // Network is a simulated P2P network.
 //
@@ -96,6 +112,11 @@ type Network struct {
 	// accounts while enqueueing); never the reverse.
 	metricsMu sync.Mutex
 	metrics   Metrics
+	// links tracks which ordered (from, to) pairs have an open persistent
+	// link, for batched delivery pricing: the first frame on a pair pays
+	// linkSetupOverhead, reuse pays frameOverhead only. Guarded by
+	// metricsMu (it is accounting state, cleared on crash/down/partition).
+	links map[[2]string]bool
 	// latency returns the one-way link latency between two addresses.
 	latency func(a, b string) time.Duration
 	// procDelay is the per-hop processing time a peer spends on a message.
@@ -133,6 +154,7 @@ func New() *Network {
 		peers:     map[string]Peer{},
 		down:      map[string]bool{},
 		metrics:   Metrics{PerKind: map[string]int64{}},
+		links:     map[[2]string]bool{},
 		latency:   DefaultLatency,
 		procDelay: 2 * time.Millisecond,
 		maxDepth:  256,
@@ -209,8 +231,13 @@ func (n *Network) Addrs() []string {
 // with ErrUnreachable. Used by the fault-tolerance experiments.
 func (n *Network) SetDown(addr string, down bool) {
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	n.down[addr] = down
+	n.mu.Unlock()
+	if down {
+		// Its connections die with it; survivors redial (and re-pay setup)
+		// when they next talk to it — or it to them — after recovery.
+		n.severLinks(addr)
+	}
 }
 
 // Partition cuts all links between groupA and groupB for the virtual-time
@@ -262,32 +289,62 @@ func (n *Network) lookup(to string) (Peer, error) {
 	return p, nil
 }
 
-// wireSize is the accounted on-the-wire cost of a message body. ByteSize is
-// memoized on the node, so re-sending the same document (flooding, fan-out
+// wireSize is the accounted on-the-wire cost of one frame carrying body:
+// the mux frame header plus the body's canonical size. ByteSize is memoized
+// on the node, so re-sending the same document (flooding, fan-out
 // registration) prices it once and hits the cache on every later hop; the
 // frozen payloads plans carry (data bundles, provenance) keep their memo
 // permanently, so pricing a forwarded plan re-walks only the thin mutable
 // shell around them.
 func wireSize(body *xmltree.Node) int {
-	size := headerOverhead
+	size := frameOverhead
 	if body != nil {
 		size += body.ByteSize()
 	}
 	return size
 }
 
-// account records one message. The body size is computed by the caller
-// (outside any lock) so that serialization cost is never paid while holding
-// a mutex. Safe to call with or without mu held (see metricsMu ordering).
-func (n *Network) account(kind string, size int, isRequest bool) {
+// account records one frame. link is the ordered (from, to) pair the frame
+// rides: its first frame opens a persistent link and pays linkSetupOverhead
+// on top of size; reuse pays size alone. The zero pair means no link charge
+// — reply frames share the request's connection. The body size is computed
+// by the caller (outside any lock) so that serialization cost is never paid
+// while holding a mutex. Safe to call with or without mu held (see metricsMu
+// ordering).
+func (n *Network) account(link [2]string, kind string, size int, isRequest bool) {
 	n.metricsMu.Lock()
 	defer n.metricsMu.Unlock()
+	if link != ([2]string{}) && !n.links[link] {
+		n.links[link] = true
+		n.metrics.LinksOpened++
+		n.metrics.Bytes += linkSetupOverhead
+	}
 	n.metrics.Messages++
 	if isRequest {
 		n.metrics.Requests++
 	}
 	n.metrics.Bytes += int64(size)
 	n.metrics.PerKind[kind]++
+}
+
+// severLinks drops all persistent-link pricing state involving addr, in both
+// directions: the next frame to or from it pays connection setup again. Called
+// when a peer crashes, is marked down, or a send finds its path partitioned.
+func (n *Network) severLinks(addr string) {
+	n.metricsMu.Lock()
+	for k := range n.links {
+		if k[0] == addr || k[1] == addr {
+			delete(n.links, k)
+		}
+	}
+	n.metricsMu.Unlock()
+}
+
+// severLink drops one ordered link's pricing state.
+func (n *Network) severLink(from, to string) {
+	n.metricsMu.Lock()
+	delete(n.links, [2]string{from, to})
+	n.metricsMu.Unlock()
 }
 
 // ErrDepthExceeded is wrapped by the error Send returns when a delivery
@@ -363,6 +420,9 @@ func (n *Network) Send(msg *Message) error {
 	n.mu.Lock()
 	if n.blockedLocked(msg.From, msg.To, msg.At) {
 		n.mu.Unlock()
+		// The attempted send found the connection cut; traffic after the
+		// partition heals re-pays link setup.
+		n.severLink(msg.From, msg.To)
 		return ErrUnreachable{Addr: msg.To}
 	}
 	lat := n.latency(msg.From, msg.To)
@@ -374,7 +434,7 @@ func (n *Network) Send(msg *Message) error {
 	}
 	n.mu.Unlock()
 
-	n.account(msg.Kind, size, false)
+	n.account([2]string{msg.From, msg.To}, msg.Kind, size, false)
 	delivered := &Message{
 		From: msg.From,
 		To:   msg.To,
@@ -401,6 +461,7 @@ func (n *Network) Request(from, to, kind string, body *xmltree.Node, at time.Dur
 	n.mu.Lock()
 	if n.blockedLocked(from, to, at) {
 		n.mu.Unlock()
+		n.severLink(from, to)
 		return nil, at, ErrUnreachable{Addr: to}
 	}
 	lat := n.latency(from, to)
@@ -411,7 +472,7 @@ func (n *Network) Request(from, to, kind string, body *xmltree.Node, at time.Dur
 	}
 	n.mu.Unlock()
 
-	n.account(kind, size, true)
+	n.account([2]string{from, to}, kind, size, true)
 	if dropped {
 		return nil, at + lat + proc, ErrUnreachable{Addr: to}
 	}
@@ -420,7 +481,8 @@ func (n *Network) Request(from, to, kind string, body *xmltree.Node, at time.Dur
 	if err != nil {
 		return nil, req.At, fmt.Errorf("simnet: request %s to %s: %w", kind, to, err)
 	}
-	n.account(kind+"-reply", wireSize(reply), false)
+	// The reply rides the request's connection: frame cost only, no link.
+	n.account([2]string{}, kind+"-reply", wireSize(reply), false)
 	return reply, req.At + lat, nil
 }
 
@@ -429,10 +491,11 @@ func (n *Network) Metrics() Metrics {
 	n.metricsMu.Lock()
 	defer n.metricsMu.Unlock()
 	m := Metrics{
-		Messages: n.metrics.Messages,
-		Requests: n.metrics.Requests,
-		Bytes:    n.metrics.Bytes,
-		PerKind:  make(map[string]int64, len(n.metrics.PerKind)),
+		Messages:    n.metrics.Messages,
+		Requests:    n.metrics.Requests,
+		Bytes:       n.metrics.Bytes,
+		LinksOpened: n.metrics.LinksOpened,
+		PerKind:     make(map[string]int64, len(n.metrics.PerKind)),
 	}
 	for k, v := range n.metrics.PerKind {
 		m.PerKind[k] = v
@@ -440,9 +503,12 @@ func (n *Network) Metrics() Metrics {
 	return m
 }
 
-// ResetMetrics zeroes the counters; experiments call it between runs.
+// ResetMetrics zeroes the counters and forgets open links, so each measured
+// run prices its own connection establishment; experiments call it between
+// runs.
 func (n *Network) ResetMetrics() {
 	n.metricsMu.Lock()
 	defer n.metricsMu.Unlock()
 	n.metrics = Metrics{PerKind: map[string]int64{}}
+	clear(n.links)
 }

@@ -1,0 +1,419 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/xmltree"
+)
+
+// Persistent multiplexed peer links.
+//
+// The one-document-per-connection transport pays a dial, a TCP handshake and
+// a close for every hop. Peers that forward plan after plan to the same
+// neighbors should instead keep one connection per neighbor and multiplex
+// frames over it. A mux link opens with the 4-byte magic "MUX1" (the first
+// byte 'M' cannot begin either legacy format: raw documents start with '<'
+// and a valid length prefix for a ≤MaxFrameBytes frame starts with 0x00), and
+// then carries frames of the form
+//
+//	4-byte big-endian payload length | 8-byte big-endian correlation id | payload
+//
+// in both directions. A frame with correlation id 0 is fire-and-forget; a
+// nonzero id requests a reply frame carrying the same id, where a zero-length
+// reply payload reports a remote handler failure. Concurrent senders share
+// one link: writes are serialized per frame (each under its own
+// WriteTimeout), replies are matched to waiters by correlation id.
+
+// IdleTimeout is how long a pooled link may sit unused before the pool's
+// opportunistic reaping closes it. The server closes its side of an idle link
+// after ReadTimeout; the client bound is slightly longer so the common case
+// is the server closing cleanly at a frame boundary first. A variable so
+// tests can shorten it.
+var IdleTimeout = 45 * time.Second
+
+// linkMagic opens a multiplexed connection.
+const linkMagic = "MUX1"
+
+// ErrRemote reports that the remote handler failed on a Call frame. The link
+// itself is healthy: a remote failure is never grounds for a redial.
+var ErrRemote = errors.New("wire: remote handler failed")
+
+// errLinkBroken marks a link whose connection already failed; callers inside
+// the pool redial instead of surfacing it.
+var errLinkBroken = errors.New("wire: link broken")
+
+// Link is one multiplexed connection to a peer. Many goroutines may send on
+// a link concurrently; frame writes are serialized, replies are demultiplexed
+// by a dedicated reader goroutine.
+type Link struct {
+	addr string
+	conn net.Conn
+
+	// wmu serializes whole frames onto the connection; each frame sets its
+	// own write deadline, so one stalled frame cannot charge its wait to a
+	// later sender's budget.
+	wmu sync.Mutex
+
+	corr atomic.Uint64
+
+	mu      sync.Mutex
+	pending map[uint64]chan []byte
+	broken  bool
+	lastUse time.Time
+}
+
+func dialLink(addr string) (*Link, error) {
+	conn, err := net.DialTimeout("tcp", addr, DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
+	}
+	_ = conn.SetWriteDeadline(time.Now().Add(WriteTimeout))
+	if _, err := conn.Write([]byte(linkMagic)); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("wire: link handshake to %s: %w", addr, err)
+	}
+	l := &Link{
+		addr:    addr,
+		conn:    conn,
+		pending: map[uint64]chan []byte{},
+		lastUse: time.Now(),
+	}
+	go l.readLoop()
+	return l, nil
+}
+
+// readLoop delivers reply frames to their waiting callers. It runs for the
+// life of the connection; any read error (including the peer idle-closing
+// the link) marks the link broken and wakes every waiter.
+func (l *Link) readLoop() {
+	br := bufio.NewReader(l.conn)
+	var hdr [12]byte
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			l.fail()
+			return
+		}
+		n := binary.BigEndian.Uint32(hdr[0:4])
+		corr := binary.BigEndian.Uint64(hdr[4:12])
+		if n > MaxFrameBytes {
+			l.fail()
+			return
+		}
+		var payload []byte
+		if n > 0 {
+			payload = make([]byte, n)
+			if _, err := io.ReadFull(br, payload); err != nil {
+				l.fail()
+				return
+			}
+		}
+		l.mu.Lock()
+		ch := l.pending[corr]
+		delete(l.pending, corr)
+		l.mu.Unlock()
+		if ch != nil {
+			ch <- payload
+		}
+	}
+}
+
+// fail marks the link broken and wakes all reply waiters with a closed
+// channel (distinct from a delivered zero-length payload, which means the
+// remote handler failed).
+func (l *Link) fail() {
+	l.conn.Close()
+	l.mu.Lock()
+	l.broken = true
+	for corr, ch := range l.pending {
+		delete(l.pending, corr)
+		close(ch)
+	}
+	l.mu.Unlock()
+}
+
+func (l *Link) isBroken() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.broken
+}
+
+func (l *Link) touch() {
+	l.mu.Lock()
+	l.lastUse = time.Now()
+	l.mu.Unlock()
+}
+
+// idle reports whether the link has no in-flight calls and has been unused
+// since before cutoff.
+func (l *Link) idle(cutoff time.Time) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.pending) == 0 && l.lastUse.Before(cutoff)
+}
+
+// send writes one frame (header plus the encoder's segments) as a single
+// vectored write under a per-frame write deadline.
+func (l *Link) send(corr uint64, enc *xmltree.FrameEncoder) error {
+	var hdr [12]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(enc.Len()))
+	binary.BigEndian.PutUint64(hdr[4:12], corr)
+	segs := enc.Segments()
+	bufs := make(net.Buffers, 0, len(segs)+1)
+	bufs = append(bufs, hdr[:])
+	bufs = append(bufs, segs...)
+	l.wmu.Lock()
+	defer l.wmu.Unlock()
+	if l.isBroken() {
+		return errLinkBroken
+	}
+	_ = l.conn.SetWriteDeadline(time.Now().Add(WriteTimeout))
+	if _, err := bufs.WriteTo(l.conn); err != nil {
+		// A write error leaves the stream position unknowable; the link is
+		// unusable for everyone.
+		l.fail()
+		return fmt.Errorf("wire: send to %s: %w", l.addr, err)
+	}
+	l.touch()
+	return nil
+}
+
+// call sends one frame with a fresh correlation id and waits for its reply.
+func (l *Link) call(enc *xmltree.FrameEncoder) (*xmltree.Node, []byte, error) {
+	corr := l.corr.Add(1)
+	if corr == 0 { // 0 is the fire-and-forget id; skip it on wraparound
+		corr = l.corr.Add(1)
+	}
+	ch := make(chan []byte, 1)
+	l.mu.Lock()
+	if l.broken {
+		l.mu.Unlock()
+		return nil, nil, errLinkBroken
+	}
+	l.pending[corr] = ch
+	l.mu.Unlock()
+	if err := l.send(corr, enc); err != nil {
+		l.mu.Lock()
+		delete(l.pending, corr)
+		l.mu.Unlock()
+		return nil, nil, err
+	}
+	timer := time.NewTimer(ReadTimeout)
+	defer timer.Stop()
+	select {
+	case payload, ok := <-ch:
+		if !ok {
+			return nil, nil, fmt.Errorf("wire: link to %s broke awaiting reply", l.addr)
+		}
+		if len(payload) == 0 {
+			return nil, nil, fmt.Errorf("wire: call to %s: %w", l.addr, ErrRemote)
+		}
+		doc, err := xmltree.Decode(payload)
+		if err != nil {
+			return nil, nil, fmt.Errorf("wire: reply from %s: %w", l.addr, err)
+		}
+		return doc, payload, nil
+	case <-timer.C:
+		l.mu.Lock()
+		delete(l.pending, corr)
+		l.mu.Unlock()
+		return nil, nil, fmt.Errorf("wire: call to %s: no reply within %v", l.addr, ReadTimeout)
+	}
+}
+
+func (l *Link) close() { l.fail() }
+
+// LinkPool keeps one multiplexed link per peer address and dials on demand.
+// It is safe for concurrent use; all senders to one address share its link.
+type LinkPool struct {
+	mu    sync.Mutex
+	links map[string]*Link
+	dials map[string]*pendingDial
+}
+
+// pendingDial single-flights connection establishment: a burst of first
+// sends to one address performs one dial and shares the resulting link,
+// instead of racing N connections for N-1 of them to be thrown away.
+type pendingDial struct {
+	done chan struct{}
+	l    *Link
+	err  error
+}
+
+// NewLinkPool returns an empty pool.
+func NewLinkPool() *LinkPool {
+	return &LinkPool{links: map[string]*Link{}, dials: map[string]*pendingDial{}}
+}
+
+// get returns a healthy link to addr, dialing if necessary. cached reports
+// whether the link predates this call — only a cached link's failure warrants
+// a redial retry (it may simply have been idle-closed by the peer).
+func (p *LinkPool) get(addr string) (l *Link, cached bool, err error) {
+	now := time.Now()
+	p.mu.Lock()
+	p.reapLocked(now.Add(-IdleTimeout))
+	if l := p.links[addr]; l != nil && !l.isBroken() {
+		l.touch()
+		p.mu.Unlock()
+		return l, true, nil
+	}
+	delete(p.links, addr)
+	if d := p.dials[addr]; d != nil {
+		p.mu.Unlock()
+		<-d.done
+		if d.err != nil {
+			return nil, false, d.err
+		}
+		// From the joiner's perspective the link predates its own send, so
+		// a failure on it still earns the one redial retry.
+		return d.l, true, nil
+	}
+	d := &pendingDial{done: make(chan struct{})}
+	p.dials[addr] = d
+	p.mu.Unlock()
+
+	l, err = dialLink(addr)
+	p.mu.Lock()
+	delete(p.dials, addr)
+	d.l, d.err = l, err
+	if err == nil {
+		p.links[addr] = l
+	}
+	p.mu.Unlock()
+	close(d.done)
+	if err != nil {
+		return nil, false, err
+	}
+	return l, false, nil
+}
+
+// drop removes l from the pool (if still current) and closes it.
+func (p *LinkPool) drop(l *Link) {
+	p.mu.Lock()
+	if p.links[l.addr] == l {
+		delete(p.links, l.addr)
+	}
+	p.mu.Unlock()
+	l.close()
+}
+
+// withLink runs op on a link to addr. If a cached link fails — stale links
+// are expected: the peer idle-closes its side after ReadTimeout — the pool
+// redials once and retries. A fresh dial's failure, or a remote handler
+// error (the link is healthy), is returned as-is.
+func (p *LinkPool) withLink(addr string, op func(*Link) error) error {
+	l, cached, err := p.get(addr)
+	if err != nil {
+		return err
+	}
+	if err = op(l); err == nil || errors.Is(err, ErrRemote) {
+		return err
+	}
+	p.drop(l)
+	if !cached {
+		return err
+	}
+	if l, _, err = p.get(addr); err != nil {
+		return err
+	}
+	if err = op(l); err != nil && !errors.Is(err, ErrRemote) {
+		p.drop(l)
+	}
+	return err
+}
+
+// stage fills a pooled frame encoder and bounds the result. An oversized
+// document poisons only that frame: nothing has touched the wire, so the
+// link keeps carrying other senders' frames.
+func stage(fill func(*xmltree.FrameEncoder)) (*xmltree.FrameEncoder, error) {
+	enc := xmltree.GetFrameEncoder()
+	fill(enc)
+	if enc.Len() == 0 {
+		enc.Release()
+		return nil, fmt.Errorf("wire: empty frame")
+	}
+	if enc.Len() > MaxFrameBytes {
+		n := enc.Len()
+		enc.Release()
+		return nil, fmt.Errorf("wire: document of %d bytes exceeds frame limit %d", n, MaxFrameBytes)
+	}
+	return enc, nil
+}
+
+// SendFrame streams one fire-and-forget document to addr over the pooled
+// link: fill stages the frame (typically algebra.EncodeFrame), and the bytes
+// leave in a single vectored write — frozen payload segments go from their
+// memoized serializations to the socket with no intermediate copy.
+func (p *LinkPool) SendFrame(addr string, fill func(*xmltree.FrameEncoder)) error {
+	enc, err := stage(fill)
+	if err != nil {
+		return err
+	}
+	defer enc.Release()
+	return p.withLink(addr, func(l *Link) error { return l.send(0, enc) })
+}
+
+// Send streams one staged document to addr over the pooled link — the
+// persistent-link replacement for the package-level Send.
+func (p *LinkPool) Send(addr string, doc *xmltree.Node) error {
+	return p.SendFrame(addr, func(e *xmltree.FrameEncoder) { e.Node(doc) })
+}
+
+// Call streams one document to addr and waits for the correlated reply,
+// returning it with its retained frame buffer (see ReadFrame for the
+// ownership rule). A zero-length reply reports a remote handler failure as
+// ErrRemote.
+func (p *LinkPool) Call(addr string, fill func(*xmltree.FrameEncoder)) (*xmltree.Node, []byte, error) {
+	enc, err := stage(fill)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer enc.Release()
+	var doc *xmltree.Node
+	var frame []byte
+	err = p.withLink(addr, func(l *Link) error {
+		var cerr error
+		doc, frame, cerr = l.call(enc)
+		return cerr
+	})
+	return doc, frame, err
+}
+
+// ReapIdle closes and removes links that have no in-flight calls and have
+// been unused for longer than olderThan, returning how many were reaped.
+// The pool also reaps opportunistically (at IdleTimeout) on every use.
+func (p *LinkPool) ReapIdle(olderThan time.Duration) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.reapLocked(time.Now().Add(-olderThan))
+}
+
+func (p *LinkPool) reapLocked(cutoff time.Time) int {
+	n := 0
+	for addr, l := range p.links {
+		if l.isBroken() || l.idle(cutoff) {
+			delete(p.links, addr)
+			l.close()
+			n++
+		}
+	}
+	return n
+}
+
+// Close closes every pooled link.
+func (p *LinkPool) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for addr, l := range p.links {
+		delete(p.links, addr)
+		l.close()
+	}
+	return nil
+}

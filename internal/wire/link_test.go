@@ -1,0 +1,353 @@
+package wire
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/xmltree"
+)
+
+// countingListener counts accepted connections so tests can prove link reuse
+// (many frames, one connection) and re-establishment (reap, then dial anew).
+type countingListener struct {
+	net.Listener
+	accepts atomic.Int64
+}
+
+func (c *countingListener) Accept() (net.Conn, error) {
+	conn, err := c.Listener.Accept()
+	if err == nil {
+		c.accepts.Add(1)
+	}
+	return conn, err
+}
+
+// listenCounting starts a Server on an ephemeral port with accept counting.
+func listenCounting(t *testing.T, h Handler) (*Server, *countingListener) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := &countingListener{Listener: ln}
+	s := &Server{ln: cl, errs: make(chan error, 16)}
+	go s.loop(h)
+	t.Cleanup(func() { s.Close() })
+	return s, cl
+}
+
+// TestLinkConcurrentSenders: many goroutines share one link; every caller
+// gets the reply correlated to its own frame, and the whole exchange rides a
+// single TCP connection.
+func TestLinkConcurrentSenders(t *testing.T) {
+	srv, cl := listenCounting(t, func(doc *xmltree.Node) (*xmltree.Node, error) {
+		return doc, nil // echo
+	})
+	pool := NewLinkPool()
+	defer pool.Close()
+
+	const senders, perSender = 8, 25
+	var wg sync.WaitGroup
+	errs := make(chan error, senders*perSender)
+	for g := 0; g < senders; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perSender; i++ {
+				id := fmt.Sprintf("s%d-f%d", g, i)
+				doc := xmltree.ElemAttrs("mqp", xmltree.Attr{Name: "id", Value: id})
+				reply, _, err := pool.Call(srv.Addr(), func(e *xmltree.FrameEncoder) { e.Node(doc) })
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got := reply.AttrDefault("id", ""); got != id {
+					errs <- fmt.Errorf("reply correlation broken: sent %s, got %s", id, got)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if n := cl.accepts.Load(); n != 1 {
+		t.Fatalf("%d frames used %d connections, want 1", senders*perSender, n)
+	}
+}
+
+// TestLinkFireAndForgetAndLegacyCoexist: corr-0 frames stream over one
+// connection, while a legacy one-document sender talks to the same listener
+// through auto-detection.
+func TestLinkFireAndForgetAndLegacyCoexist(t *testing.T) {
+	got := make(chan string, 64)
+	srv, cl := listenCounting(t, func(doc *xmltree.Node) (*xmltree.Node, error) {
+		got <- doc.AttrDefault("id", "")
+		return nil, nil
+	})
+	pool := NewLinkPool()
+	defer pool.Close()
+
+	const frames = 10
+	for i := 0; i < frames; i++ {
+		doc := xmltree.ElemAttrs("mqp", xmltree.Attr{Name: "id", Value: fmt.Sprintf("f%d", i)})
+		if err := pool.Send(srv.Addr(), doc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Legacy framed sender (dial-per-document) on the same listener.
+	if err := Send(srv.Addr(), xmltree.ElemAttrs("mqp", xmltree.Attr{Name: "id", Value: "legacy"})); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for i := 0; i < frames+1; i++ {
+		select {
+		case id := <-got:
+			seen[id] = true
+		case <-time.After(5 * time.Second):
+			t.Fatalf("timed out with %d of %d documents", len(seen), frames+1)
+		}
+	}
+	if !seen["legacy"] || len(seen) != frames+1 {
+		t.Fatalf("missing documents: %v", seen)
+	}
+	if n := cl.accepts.Load(); n != 2 { // one link + one legacy connection
+		t.Fatalf("accepts = %d, want 2", n)
+	}
+}
+
+// TestLinkBrokenRedial: a peer that dies mid-conversation yields a clean
+// error, and the next use of the pool re-establishes a fresh link to the
+// restarted peer.
+func TestLinkBrokenRedial(t *testing.T) {
+	got := make(chan string, 16)
+	h := func(doc *xmltree.Node) (*xmltree.Node, error) {
+		got <- doc.AttrDefault("id", "")
+		return nil, nil
+	}
+	srv, _ := listenCounting(t, h)
+	addr := srv.Addr()
+	pool := NewLinkPool()
+	defer pool.Close()
+
+	if err := pool.Send(addr, xmltree.ElemAttrs("mqp", xmltree.Attr{Name: "id", Value: "a"})); err != nil {
+		t.Fatal(err)
+	}
+	<-got
+
+	// Kill the server; the pooled link is now stale.
+	srv.Close()
+	// Give the reader goroutine a moment to observe the close.
+	deadline := time.Now().Add(2 * time.Second)
+	pool.mu.Lock()
+	l := pool.links[addr]
+	pool.mu.Unlock()
+	for l != nil && !l.isBroken() && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Restart on the same address and send again: the pool must redial.
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Skipf("cannot rebind %s: %v", addr, err)
+	}
+	srv2 := &Server{ln: ln, errs: make(chan error, 16)}
+	go srv2.loop(h)
+	defer srv2.Close()
+
+	if err := pool.Send(addr, xmltree.ElemAttrs("mqp", xmltree.Attr{Name: "id", Value: "b"})); err != nil {
+		t.Fatalf("send after peer restart: %v", err)
+	}
+	select {
+	case id := <-got:
+		if id != "b" {
+			t.Fatalf("got %q after restart", id)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("document lost after redial")
+	}
+}
+
+// TestLinkMidFrameCrashReported: a client dying mid-frame is a reported
+// server error; dying at a frame boundary is a clean close.
+func TestLinkMidFrameCrashReported(t *testing.T) {
+	srv, _ := listenCounting(t, func(doc *xmltree.Node) (*xmltree.Node, error) { return nil, nil })
+
+	// Clean: magic, one whole frame, close at the boundary.
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Write([]byte(linkMagic))
+	payload := []byte(`<mqp id="x"/>`)
+	hdr := make([]byte, 12)
+	hdr[3] = byte(len(payload))
+	conn.Write(hdr)
+	conn.Write(payload)
+	conn.Close()
+
+	// Dirty: magic, a header promising 13 bytes, then death after 3.
+	conn2, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn2.Write([]byte(linkMagic))
+	conn2.Write(hdr)
+	conn2.Write(payload[:3])
+	conn2.Close()
+
+	select {
+	case err := <-srv.Errors():
+		if !strings.Contains(err.Error(), "payload") {
+			t.Fatalf("unexpected error for mid-frame death: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("mid-frame death never reported")
+	}
+	// The clean close must not have queued an error.
+	select {
+	case err := <-srv.Errors():
+		t.Fatalf("clean boundary close reported: %v", err)
+	default:
+	}
+}
+
+// TestLinkIdleReapReestablish: a reaped link is gone from the pool, and the
+// next send dials a new connection transparently.
+func TestLinkIdleReapReestablish(t *testing.T) {
+	got := make(chan string, 16)
+	srv, cl := listenCounting(t, func(doc *xmltree.Node) (*xmltree.Node, error) {
+		got <- doc.AttrDefault("id", "")
+		return nil, nil
+	})
+	pool := NewLinkPool()
+	defer pool.Close()
+
+	if err := pool.Send(srv.Addr(), xmltree.ElemAttrs("mqp", xmltree.Attr{Name: "id", Value: "a"})); err != nil {
+		t.Fatal(err)
+	}
+	<-got
+	if n := pool.ReapIdle(0); n != 1 {
+		t.Fatalf("ReapIdle reaped %d links, want 1", n)
+	}
+	pool.mu.Lock()
+	left := len(pool.links)
+	pool.mu.Unlock()
+	if left != 0 {
+		t.Fatalf("%d links survive reaping", left)
+	}
+	if err := pool.Send(srv.Addr(), xmltree.ElemAttrs("mqp", xmltree.Attr{Name: "id", Value: "b"})); err != nil {
+		t.Fatalf("send after reap: %v", err)
+	}
+	<-got
+	if n := cl.accepts.Load(); n != 2 {
+		t.Fatalf("accepts = %d, want 2 (one per link generation)", n)
+	}
+}
+
+// TestLinkOversizeFramePoisonsFrameOnly: a document exceeding MaxFrameBytes
+// fails before touching the wire; the link keeps carrying other frames.
+func TestLinkOversizeFramePoisonsFrameOnly(t *testing.T) {
+	got := make(chan string, 16)
+	srv, cl := listenCounting(t, func(doc *xmltree.Node) (*xmltree.Node, error) {
+		got <- doc.AttrDefault("id", "")
+		return nil, nil
+	})
+	pool := NewLinkPool()
+	defer pool.Close()
+
+	if err := pool.Send(srv.Addr(), xmltree.ElemAttrs("mqp", xmltree.Attr{Name: "id", Value: "a"})); err != nil {
+		t.Fatal(err)
+	}
+	<-got
+
+	huge := xmltree.Elem("mqp", xmltree.ElemText("t", strings.Repeat("x", MaxFrameBytes+1)))
+	if err := pool.Send(srv.Addr(), huge); err == nil {
+		t.Fatal("oversized frame accepted")
+	} else if !strings.Contains(err.Error(), "frame limit") {
+		t.Fatalf("unexpected oversize error: %v", err)
+	}
+
+	if err := pool.Send(srv.Addr(), xmltree.ElemAttrs("mqp", xmltree.Attr{Name: "id", Value: "b"})); err != nil {
+		t.Fatalf("send after oversized frame: %v", err)
+	}
+	<-got
+	if n := cl.accepts.Load(); n != 1 {
+		t.Fatalf("accepts = %d, want 1 — the oversized frame must not break the link", n)
+	}
+}
+
+// TestLinkWriteDeadlinePerFrame: the write deadline is armed per frame, not
+// per connection. A link older than WriteTimeout must still send instantly
+// (the old per-connection deadline would fail here), and a genuinely
+// stalling reader must surface a timeout error in ~WriteTimeout rather than
+// blocking forever.
+func TestLinkWriteDeadlinePerFrame(t *testing.T) {
+	oldW := WriteTimeout
+	WriteTimeout = 500 * time.Millisecond
+	defer func() { WriteTimeout = oldW }()
+
+	got := make(chan string, 16)
+	srv, _ := listenCounting(t, func(doc *xmltree.Node) (*xmltree.Node, error) {
+		got <- doc.AttrDefault("id", "")
+		return nil, nil
+	})
+	pool := NewLinkPool()
+	defer pool.Close()
+
+	if err := pool.Send(srv.Addr(), xmltree.ElemAttrs("mqp", xmltree.Attr{Name: "id", Value: "a"})); err != nil {
+		t.Fatal(err)
+	}
+	<-got
+	// Outlive the deadline that was armed for the first frame; the next
+	// frame must re-arm rather than inherit an expired deadline.
+	time.Sleep(WriteTimeout + 200*time.Millisecond)
+	if err := pool.Send(srv.Addr(), xmltree.ElemAttrs("mqp", xmltree.Attr{Name: "id", Value: "b"})); err != nil {
+		t.Fatalf("send on aged link hit a stale deadline: %v", err)
+	}
+	<-got
+
+	// Stalling reader: accepts and then never reads. Filling the kernel
+	// buffers with 4MiB frames must end in a timeout, not a hang.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		time.Sleep(10 * time.Second) // never read
+	}()
+	l, err := dialLink(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.close()
+	big := xmltree.Elem("mqp", xmltree.ElemText("t", strings.Repeat("y", 4<<20)))
+	enc := xmltree.GetFrameEncoder()
+	defer enc.Release()
+	enc.Node(big)
+	start := time.Now()
+	for i := 0; i < 64; i++ {
+		if err = l.send(0, enc); err != nil {
+			break
+		}
+	}
+	if err == nil {
+		t.Fatal("writes to a stalling reader never failed")
+	}
+	if elapsed := time.Since(start); elapsed > 10*WriteTimeout {
+		t.Fatalf("stalled write took %v, want ~%v", elapsed, WriteTimeout)
+	}
+}

@@ -27,8 +27,12 @@ import (
 // DialTimeout bounds connection establishment.
 const DialTimeout = 5 * time.Second
 
-// WriteTimeout bounds how long Send may block writing a document.
-const WriteTimeout = 30 * time.Second
+// WriteTimeout bounds how long one frame write may block. On a multiplexed
+// link the deadline is re-armed per frame — a connection that has been open
+// for minutes still gets the full budget for each new frame, and one
+// stalling reader cannot charge its delay to a later sender's frame. A
+// variable (not a const) so tests can shorten it.
+var WriteTimeout = 30 * time.Second
 
 // ReadTimeout bounds how long Recv may block reading a document — the
 // read-side counterpart of WriteTimeout, so a peer that connects and then
@@ -185,6 +189,11 @@ type Handler func(doc *xmltree.Node) (reply *xmltree.Node, err error)
 type Server struct {
 	ln   net.Listener
 	errs chan error
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
 }
 
 // Listen starts a server on addr. Handler errors are reported on Errors().
@@ -204,8 +213,44 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 // Errors exposes handler and accept errors.
 func (s *Server) Errors() <-chan error { return s.errs }
 
-// Close stops accepting.
-func (s *Server) Close() error { return s.ln.Close() }
+// Close stops accepting, closes every live connection (persistent links
+// included), and waits for their handler goroutines to finish — after Close
+// returns, no server goroutine touches the Handler, the connections, or
+// package state like the timeout variables.
+func (s *Server) Close() error {
+	err := s.ln.Close()
+	s.mu.Lock()
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+// track registers a live connection, refusing it when the server is already
+// closed (Accept can race Close and hand over one last connection).
+func (s *Server) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	if s.conns == nil {
+		s.conns = make(map[net.Conn]struct{})
+	}
+	s.conns[conn] = struct{}{}
+	s.wg.Add(1)
+	return true
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+	s.wg.Done()
+}
 
 func (s *Server) loop(h Handler) {
 	for {
@@ -217,7 +262,14 @@ func (s *Server) loop(h Handler) {
 			}
 			return
 		}
-		go s.handle(conn, h)
+		if !s.track(conn) {
+			conn.Close()
+			return
+		}
+		go func() {
+			defer s.untrack(conn)
+			s.handle(conn, h)
+		}()
 	}
 }
 
@@ -229,9 +281,24 @@ func (s *Server) handle(conn net.Conn, h Handler) {
 		default:
 		}
 	}
-	doc, _, err := Recv(conn)
+	// Sniff the transport: a multiplexed link announces itself with the
+	// "MUX1" magic, whose first byte can begin neither legacy format (raw
+	// documents start with '<' or whitespace, and a valid length prefix for
+	// a ≤MaxFrameBytes frame starts with 0x00).
+	_ = conn.SetReadDeadline(time.Now().Add(ReadTimeout))
+	br := bufio.NewReader(conn)
+	first, err := br.Peek(1)
 	if err != nil {
-		report(err)
+		report(fmt.Errorf("wire: recv from %s: %w", conn.RemoteAddr(), err))
+		return
+	}
+	if first[0] == linkMagic[0] {
+		s.serveLink(conn, br, h, report)
+		return
+	}
+	doc, _, err := recvAuto(br)
+	if err != nil {
+		report(fmt.Errorf("wire: recv from %s: %w", conn.RemoteAddr(), err))
 		return
 	}
 	reply, err := h(doc)
@@ -244,4 +311,87 @@ func (s *Server) handle(conn net.Conn, h Handler) {
 			report(fmt.Errorf("wire: reply: %w", err))
 		}
 	}
+}
+
+// serveLink runs the multiplexed-link loop: many frames on one connection,
+// each processed inline and answered on the same connection when it carries
+// a nonzero correlation id. A handler failure poisons only its frame — a
+// zero-length reply reports it to a caller, and the loop reads on. The
+// connection closes cleanly when the client side goes away or idles past
+// ReadTimeout at a frame boundary; only a death mid-frame is reported.
+func (s *Server) serveLink(conn net.Conn, br *bufio.Reader, h Handler, report func(error)) {
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil || string(magic[:]) != linkMagic {
+		report(fmt.Errorf("wire: bad link magic from %s", conn.RemoteAddr()))
+		return
+	}
+	var hdr [12]byte
+	for {
+		// Waiting for the next frame is bounded by ReadTimeout; reaching it
+		// (or EOF) between frames is the normal end of an idle link.
+		_ = conn.SetReadDeadline(time.Now().Add(ReadTimeout))
+		if _, err := br.Peek(1); err != nil {
+			return
+		}
+		// A frame has begun: give its header and payload a fresh budget so a
+		// frame that arrives just before the idle deadline is not truncated.
+		_ = conn.SetReadDeadline(time.Now().Add(ReadTimeout))
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			report(fmt.Errorf("wire: link frame header from %s: %w", conn.RemoteAddr(), err))
+			return
+		}
+		n := binary.BigEndian.Uint32(hdr[0:4])
+		corr := binary.BigEndian.Uint64(hdr[4:12])
+		if n == 0 || n > MaxFrameBytes {
+			report(fmt.Errorf("wire: link frame of %d bytes from %s out of bounds", n, conn.RemoteAddr()))
+			return
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			report(fmt.Errorf("wire: link frame payload from %s: %w", conn.RemoteAddr(), err))
+			return
+		}
+		doc, err := xmltree.Decode(payload)
+		var reply *xmltree.Node
+		if err == nil {
+			reply, err = h(doc)
+		}
+		if err != nil {
+			report(err)
+		}
+		if corr == 0 {
+			continue
+		}
+		if err := writeLinkReply(conn, corr, reply, err); err != nil {
+			report(fmt.Errorf("wire: link reply to %s: %w", conn.RemoteAddr(), err))
+			return
+		}
+	}
+}
+
+// writeLinkReply answers one correlated frame: the staged reply document, or
+// a zero-length payload reporting a handler failure (or a handler that had
+// nothing to say).
+func writeLinkReply(conn net.Conn, corr uint64, reply *xmltree.Node, herr error) error {
+	var hdr [12]byte
+	binary.BigEndian.PutUint64(hdr[4:12], corr)
+	_ = conn.SetWriteDeadline(time.Now().Add(WriteTimeout))
+	if herr != nil || reply == nil {
+		_, err := conn.Write(hdr[:])
+		return err
+	}
+	enc := xmltree.GetFrameEncoder()
+	defer enc.Release()
+	enc.Node(reply)
+	if enc.Len() > MaxFrameBytes {
+		_, err := conn.Write(hdr[:]) // oversized reply degrades to a failure report
+		return err
+	}
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(enc.Len()))
+	segs := enc.Segments()
+	bufs := make(net.Buffers, 0, len(segs)+1)
+	bufs = append(bufs, hdr[:])
+	bufs = append(bufs, segs...)
+	_, err := bufs.WriteTo(conn)
+	return err
 }

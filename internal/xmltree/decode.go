@@ -51,11 +51,26 @@ func Decode(buf []byte) (*Node, error) {
 
 // DecodeString parses one XML document from s with the same zero-copy,
 // frozen-at-birth semantics as Decode; node strings are substrings of s.
+//
+// Byte-identical frames short-circuit through a bounded cache: when s is
+// exactly the canonical serialization of a document decoded before, the
+// previously built frozen tree is returned as-is (see framecache.go). The
+// aliasing is safe precisely because decoder output is frozen — the tree is
+// immutable no matter how many receive paths share it.
 func DecodeString(s string) (*Node, error) {
+	if root := frameCacheGet(s); root != nil {
+		return root, nil
+	}
 	d := decPool.Get().(*decoder)
 	d.s = s
 	root, err := d.run()
+	// The whole input is cacheable when the root's clean span covers every
+	// byte of s: no declaration, no surrounding whitespace, canonical body.
+	whole := err == nil && root.memoStr != "" && d.rootSpan[0] == 0 && d.rootSpan[1] == len(s)
 	d.release()
+	if whole {
+		frameCachePut(s, root)
+	}
 	return root, err
 }
 
@@ -140,6 +155,13 @@ type openElem struct {
 	rawName string // prefixed name as written, for end-tag matching
 	kidMark int    // kidStk length when the element opened
 	nsMark  int    // nsUndo length when the element opened
+
+	// Clean-span tracking (see finishSpan): where the element's '<' sits in
+	// the input, the transform counter at open, and whether the start tag
+	// itself already deviated from canonical form.
+	start    int
+	mutsMark int
+	dirty    bool
 }
 
 type nsUndo struct {
@@ -172,6 +194,16 @@ type decoder struct {
 	// (strings.TrimSpace would empty it); computed during the validation
 	// scan so addText never re-reads the run.
 	wsOnly bool
+
+	// muts counts byte-transforming events — entity expansion, \r rewriting,
+	// CDATA sections, comments, processing instructions, directives, dropped
+	// whitespace-only runs — since the decode started. An element whose
+	// [open, close] window saw none of them is a candidate for clean-span
+	// memoization (finishSpan).
+	muts int
+	// rootSpan is the input span [start, end) of the root element, for the
+	// whole-frame decode cache.
+	rootSpan [2]int
 }
 
 var decPool = sync.Pool{New: func() interface{} {
@@ -196,6 +228,8 @@ func (d *decoder) release() {
 	} else {
 		d.scratch = d.scratch[:0]
 	}
+	d.muts = 0
+	d.rootSpan = [2]int{}
 	decPool.Put(d)
 }
 
@@ -400,6 +434,8 @@ func splitName(raw string) (prefix, local string, ok bool) {
 // --- Elements -----------------------------------------------------------
 
 func (d *decoder) startElement() error {
+	start := d.pos - 1 // the '<' consumed by run
+	mutsMark := d.muts
 	raw, err := d.rawName()
 	if err != nil {
 		return err
@@ -415,16 +451,27 @@ func (d *decoder) startElement() error {
 		return d.err("multiple root elements")
 	}
 
+	// dirty accumulates every way the start tag can deviate from canonical
+	// form without the byte-size check noticing: a stripped name prefix,
+	// markup whitespace that is not exactly one space per attribute, '='
+	// padding, single-quoted values, dropped or reordered attributes. Clean
+	// spans (finishSpan) must rule all of these out.
+	dirty := raw != local
+
 	attrMark := len(d.attrStk)
 	nsMark := len(d.nsUndo)
 	empty := false
 	for {
+		ws := d.pos
 		d.space()
 		if d.pos >= len(d.s) {
 			return d.eof()
 		}
 		c := d.s[d.pos]
 		if c == '/' {
+			if d.pos != ws {
+				dirty = true // canonical form has no space before "/>"
+			}
 			d.pos++
 			if d.pos >= len(d.s) {
 				return d.eof()
@@ -437,13 +484,20 @@ func (d *decoder) startElement() error {
 			break
 		}
 		if c == '>' {
+			if d.pos != ws {
+				dirty = true // no space before '>'
+			}
 			d.pos++
 			break
+		}
+		if d.pos != ws+1 || d.s[ws] != ' ' {
+			dirty = true // exactly one plain space precedes each attribute
 		}
 		araw, err := d.rawName()
 		if err != nil {
 			return err
 		}
+		eq := d.pos
 		d.space()
 		if d.pos >= len(d.s) {
 			return d.eof()
@@ -451,7 +505,11 @@ func (d *decoder) startElement() error {
 		if d.s[d.pos] != '=' {
 			return d.err("attribute name without = in element")
 		}
+		if d.pos != eq {
+			dirty = true // whitespace around '='
+		}
 		d.pos++
+		vq := d.pos
 		d.space()
 		if d.pos >= len(d.s) {
 			return d.eof()
@@ -459,6 +517,9 @@ func (d *decoder) startElement() error {
 		q := d.s[d.pos]
 		if q != '"' && q != '\'' {
 			return d.err("unquoted or missing attribute value in element")
+		}
+		if d.pos != vq || q != '"' {
+			dirty = true // '=' padding or single-quoted value
 		}
 		d.pos++
 		val, err := d.scanText(int(q), false)
@@ -514,14 +575,20 @@ func (d *decoder) startElement() error {
 		if dup {
 			continue
 		}
+		if prefix != "" {
+			dirty = true // prefix stripped from an emitted attribute
+		}
 		kept = append(kept, Attr{Name: intern(alocal), Value: a.Value})
+	}
+	if len(kept) != len(rawAttrs) || !attrsSorted(kept) {
+		dirty = true // attributes dropped, or canonical emission reorders
 	}
 	n.Attrs = d.attrSlice(kept)
 	d.attrStk = d.attrStk[:attrMark]
 
 	if empty {
 		d.undoNs(nsMark)
-		d.finish(n)
+		d.finishSpan(n, start, !dirty && d.muts == mutsMark)
 		return nil
 	}
 	// Fast path for the dominant wire shape, <name>text</name>: scan the
@@ -535,21 +602,27 @@ func (d *decoder) startElement() error {
 			return err
 		}
 		if end, ok := d.matchEnd(d.pos+2, raw); d.pos+1 < len(d.s) && d.s[d.pos] == '<' && d.s[d.pos+1] == '/' && ok {
+			// Clean end tag: exactly "</raw>" with no trailing whitespace.
+			endClean := end == d.pos+2+len(raw)+1
 			d.pos = end
-			if !d.wsOnly {
+			if d.wsOnly {
+				dirty = true // whitespace-only content dropped
+			} else {
 				tn := d.newNode()
 				tn.Text = text
 				n.Children = d.kidSlice1(tn)
 			}
 			d.undoNs(nsMark)
-			d.finish(n)
+			d.finishSpan(n, start, endClean && !dirty && d.muts == mutsMark)
 			return nil
 		}
-		d.open = append(d.open, openElem{n: n, rawName: raw, kidMark: len(d.kidStk), nsMark: nsMark})
+		d.open = append(d.open, openElem{n: n, rawName: raw, kidMark: len(d.kidStk), nsMark: nsMark,
+			start: start, mutsMark: mutsMark, dirty: dirty})
 		d.addText(text)
 		return nil
 	}
-	d.open = append(d.open, openElem{n: n, rawName: raw, kidMark: len(d.kidStk), nsMark: nsMark})
+	d.open = append(d.open, openElem{n: n, rawName: raw, kidMark: len(d.kidStk), nsMark: nsMark,
+		start: start, mutsMark: mutsMark, dirty: dirty})
 	return nil
 }
 
@@ -596,14 +669,16 @@ func (d *decoder) endElement() error {
 	// to the slow path, which produces the precise accept/reject behavior.
 	if k := len(d.open); k > 0 {
 		if end, ok := d.matchEnd(d.pos, d.open[k-1].rawName); ok {
+			endClean := end == d.pos+len(d.open[k-1].rawName)+1
 			d.pos = end
-			return d.closeTop()
+			return d.closeTop(endClean)
 		}
 	}
 	raw, err := d.rawName()
 	if err != nil {
 		return err
 	}
+	ws := d.pos
 	d.space()
 	if d.pos >= len(d.s) {
 		return d.eof()
@@ -611,6 +686,7 @@ func (d *decoder) endElement() error {
 	if d.s[d.pos] != '>' {
 		return d.err("invalid characters between </" + raw + " and >")
 	}
+	endClean := d.pos == ws
 	d.pos++
 	if len(d.open) == 0 {
 		return d.err("unbalanced end element " + raw)
@@ -619,31 +695,60 @@ func (d *decoder) endElement() error {
 	if oe.rawName != raw {
 		return d.err("element <" + oe.rawName + "> closed by </" + raw + ">")
 	}
-	return d.closeTop()
+	return d.closeTop(endClean)
 }
 
-// closeTop completes the innermost open element.
-func (d *decoder) closeTop() error {
+// closeTop completes the innermost open element. endClean reports that the
+// end tag was exactly "</name>" — no trailing whitespace canonical emission
+// would drop.
+func (d *decoder) closeTop(endClean bool) error {
 	oe := d.open[len(d.open)-1]
 	d.open = d.open[:len(d.open)-1]
 	n := oe.n
 	n.Children = d.kidSlice(d.kidStk[oe.kidMark:])
 	d.kidStk = d.kidStk[:oe.kidMark]
 	d.undoNs(oe.nsMark)
-	d.finish(n)
+	d.finishSpan(n, oe.start, endClean && !oe.dirty && d.muts == oe.mutsMark)
 	return nil
 }
 
-// finish freezes a completed node and attaches it to its parent (or makes
-// it the root). Child sizes are already memoized, so the byteSize call is
-// the incremental born-frozen step, not a subtree walk.
-func (d *decoder) finish(n *Node) {
+// finishSpan freezes a completed node, attaches it to its parent (or makes
+// it the root), and — when the element's input span is provably canonical —
+// memoizes the span as the node's serialization, so re-emitting a received
+// subtree is a memcpy instead of a re-walk.
+//
+// Soundness of the clean check: clean means no byte-transforming event fired
+// inside the span (d.muts), the start and end tags have canonical layout,
+// attributes were kept verbatim in sorted order, and every element child
+// proved itself clean (its own memoStr is set, so its bytes are exactly its
+// canonical form). Under those conditions the only ways the span can still
+// differ from the canonical serialization are escaping expansions — a raw
+// '>' in text, a raw tab in an attribute value — which strictly increase
+// the canonical length. memoSize == span length therefore forces the two
+// byte strings to be identical.
+func (d *decoder) finishSpan(n *Node, start int, clean bool) {
 	n.byteSize(frozenGen)
+	if clean && n.memoSize == d.pos-start && childElemsClean(n) {
+		n.memoStr = d.s[start:d.pos]
+	}
 	if len(d.open) == 0 {
 		d.root = n
+		d.rootSpan = [2]int{start, d.pos}
 		return
 	}
 	d.kidStk = append(d.kidStk, n)
+}
+
+// childElemsClean reports whether every element child carries a clean-span
+// memo; a child that failed its own check (e.g. <a></a>, whose canonical
+// form is <a/>) poisons the parent's span even when sizes happen to agree.
+func childElemsClean(n *Node) bool {
+	for _, c := range n.Children {
+		if c.Name != "" && c.memoStr == "" {
+			return false
+		}
+	}
+	return true
 }
 
 // addText applies Parse's text policy to one decoded run: dropped outside
@@ -653,7 +758,14 @@ func (d *decoder) finish(n *Node) {
 // run is whitespace-only was already determined during scanText's
 // validation pass (d.wsOnly), so no re-scan happens here.
 func (d *decoder) addText(text string) {
-	if len(d.open) == 0 || d.wsOnly {
+	if len(d.open) == 0 {
+		// Outside the root element: dropped, and outside every span.
+		return
+	}
+	if d.wsOnly {
+		// Whitespace-only run dropped from the enclosing element — its span
+		// no longer matches the canonical form.
+		d.muts++
 		return
 	}
 	top := &d.open[len(d.open)-1]
@@ -702,11 +814,14 @@ func (d *decoder) scanText(quote int, cdata bool) (string, error) {
 	copied := false
 	var b0, b1 byte
 	trunc := 0
-	// flush copies the clean prefix before the first transformation.
+	// flush copies the clean prefix before the first transformation; the
+	// transform (entity expansion, \r rewriting) is also what disqualifies
+	// the enclosing spans from clean-span memoization.
 	flush := func(end int) {
 		if !copied {
 			buf = append(buf, s[start:end]...)
 			copied = true
+			d.muts++
 		}
 	}
 	for {
@@ -931,6 +1046,7 @@ func (d *decoder) bang() error {
 	if d.pos >= len(d.s) {
 		return d.eof()
 	}
+	d.muts++ // comments, CDATA and directives never serialize verbatim
 	switch d.s[d.pos] {
 	case '-':
 		d.pos++
@@ -995,6 +1111,7 @@ func (d *decoder) comment() error {
 // validated, mirroring the reference tokenizer (which would need a charset
 // reader for any encoding other than UTF-8).
 func (d *decoder) procInst() error {
+	d.muts++ // dropped from the canonical form
 	// PI targets take the raw name class with no namespace split: colons
 	// are unrestricted here, unlike element and attribute names.
 	target, err := d.rawName()

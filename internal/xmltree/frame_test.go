@@ -1,0 +1,179 @@
+package xmltree
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// frameDocs is a spread of document shapes: mutable shells, frozen payloads,
+// escaping in text and attributes, empty elements, deep nesting.
+var frameDocs = []string{
+	`<a/>`,
+	`<a b="1"/>`,
+	`<a b="x&amp;y" c="q&quot;r"><t>x &lt; y &gt; z</t><e/></a>`,
+	`<mqp id="q1" target="h:9020"><plan><union><data><item><title>Disintegration</title><price>9.5</price></item></data>` +
+		`<url href="far:9020" path="/data[id=7]"/></union></plan><provenance algo="hmac-sha256"><visit at="1000" server="a:1" sig="AAAA"/></provenance></mqp>`,
+	`<r><a><b><c><d>deep</d></c></b></a></r>`,
+}
+
+func buildMutable(t *testing.T, s string) *Node {
+	t.Helper()
+	n, err := ParseString(s)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return n
+}
+
+// TestFrameEncoderMatchesAppendTo is the frame-equivalence invariant at the
+// xmltree layer: for mutable, frozen, and decoder-born trees the streamed
+// bytes must equal the staged serialization exactly.
+func TestFrameEncoderMatchesAppendTo(t *testing.T) {
+	for _, s := range frameDocs {
+		variants := map[string]*Node{
+			"mutable": buildMutable(t, s),
+			"frozen":  buildMutable(t, s).Freeze(),
+		}
+		if d, err := DecodeString(s); err == nil {
+			variants["decoded"] = d
+		}
+		for kind, n := range variants {
+			want := n.String()
+			e := GetFrameEncoder()
+			e.Node(n)
+			if got := e.String(); got != want {
+				t.Errorf("%s %q: streamed %q != staged %q", kind, s, got, want)
+			}
+			if e.Len() != len(want) {
+				t.Errorf("%s %q: Len %d != %d", kind, s, e.Len(), len(want))
+			}
+			var buf bytes.Buffer
+			if _, err := e.WriteTo(&buf); err != nil {
+				t.Fatalf("WriteTo: %v", err)
+			}
+			if buf.String() != want {
+				t.Errorf("%s %q: WriteTo %q != %q", kind, s, buf.String(), want)
+			}
+			e.Release()
+		}
+	}
+}
+
+// TestFrameEncoderMixedSegments checks the raw/attr/text primitives compose
+// with zero-copy subtree segments across chunk boundaries.
+func TestFrameEncoderMixedSegments(t *testing.T) {
+	big := "<data>" + strings.Repeat("<item><title>xyzzy</title></item>", 200) + "</data>"
+	payload, err := DecodeString(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if payload.memoStr != big {
+		t.Fatalf("decoded payload has no clean-span memo")
+	}
+	e := GetFrameEncoder()
+	defer e.Release()
+	e.Raw("<mqp")
+	e.Attr("id", `q"1`)
+	e.RawByte('>')
+	e.Node(payload)
+	e.Raw("<note>")
+	e.Text("a<b")
+	e.Raw("</note></mqp>")
+	want := `<mqp id="q&quot;1">` + big + `<note>a&lt;b</note></mqp>`
+	if got := e.String(); got != want {
+		t.Fatalf("streamed %q != %q", got, want)
+	}
+	// The payload must have landed as its own segment, aliasing the memo —
+	// not a copy through scratch.
+	found := false
+	for _, seg := range e.Segments() {
+		if len(seg) == len(big) && &seg[0] == unsafeStringData(big) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("large frozen payload was copied instead of aliased")
+	}
+}
+
+// TestFrameEncoderReuse makes sure a pooled encoder starts clean after big
+// and small frames alternate.
+func TestFrameEncoderReuse(t *testing.T) {
+	e := GetFrameEncoder()
+	defer e.Release()
+	e.Raw(strings.Repeat("x", 3*frameChunkSize))
+	if got := e.Len(); got != 3*frameChunkSize {
+		t.Fatalf("Len %d", got)
+	}
+	e.Reset()
+	if e.Len() != 0 || len(e.Segments()) != 0 {
+		t.Fatalf("Reset left state behind")
+	}
+	e.Raw("<a/>")
+	if got := e.String(); got != "<a/>" {
+		t.Fatalf("after reuse: %q", got)
+	}
+}
+
+// TestDecodeCleanSpanMemo: canonical input spans become serialization memos;
+// every deviation from canonical form must leave the memo unset while the
+// serialization itself stays correct (the differential fuzz enforces the
+// latter globally; these are the targeted regressions).
+func TestDecodeCleanSpanMemo(t *testing.T) {
+	clean := []string{
+		`<a/>`,
+		`<a b="1" c="2"/>`,
+		`<a>text</a>`,
+		`<mqp id="q"><plan><data><i>1</i></data></plan></mqp>`,
+		`<v s="a:1">x</v>`,
+	}
+	for _, s := range clean {
+		n, err := DecodeString(s)
+		if err != nil {
+			t.Fatalf("%q: %v", s, err)
+		}
+		if n.memoStr != s {
+			t.Errorf("%q: clean span not memoized (memoStr %q)", s, n.memoStr)
+		}
+	}
+	dirty := []string{
+		`<a ></a>`,             // tag whitespace + non-empty form of empty element
+		`<a></a>`,              // canonical form is <a/>
+		`<a b='1'/>`,           // single-quoted value
+		`<a z="1" b="2"/>`,     // unsorted attributes
+		`<a>&#65;</a>`,         // entity expansion
+		`<a><!--c-->x</a>`,     // comment dropped
+		`<a><![CDATA[x]]></a>`, // CDATA re-escaped
+		`<a>  </a>`,            // whitespace-only content dropped
+		`<p><a></a>></p>`,      // size-neutral composite: dirty child + text escape
+		`<x:a xmlns:x="u"/>`,   // prefix stripped
+	}
+	for _, s := range dirty {
+		n, err := DecodeString(s)
+		if err != nil {
+			t.Fatalf("%q: %v", s, err)
+		}
+		if n.memoStr != "" {
+			t.Errorf("%q: non-canonical span wrongly memoized as %q", s, n.memoStr)
+		}
+		ref, err := ParseString(s)
+		if err != nil {
+			t.Fatalf("parse %q: %v", s, err)
+		}
+		if got, want := n.String(), ref.String(); got != want {
+			t.Errorf("%q: serialization %q != reference %q", s, got, want)
+		}
+	}
+	// Subtree memos inside a dirty document: the clean child keeps its span.
+	n, err := DecodeString(`<p><!--x--><a b="1">t</a></p>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.memoStr != "" {
+		t.Fatalf("root with comment should not memoize")
+	}
+	if c := n.Child("a"); c == nil || c.memoStr != `<a b="1">t</a>` {
+		t.Fatalf("clean child span lost: %+v", c)
+	}
+}
