@@ -7,7 +7,7 @@
 # over the parser and wire-framing targets.
 GO ?= go
 
-.PHONY: build test test-short bench bench-all bench-chaos bench-runtime loadgen-smoke profile race fmt vet chaos chaos-ci chaos-nofault chaos-large chaos-large-ci fuzz-smoke ci
+.PHONY: build test test-short bench bench-all bench-chaos bench-runtime bench-route loadgen-smoke route-smoke profile race fmt vet chaos chaos-ci chaos-nofault chaos-large chaos-large-ci fuzz-smoke ci
 
 build:
 	$(GO) build ./...
@@ -77,6 +77,19 @@ bench-runtime:
 loadgen-smoke:
 	$(GO) run ./cmd/loadgen -smoke -out -
 
+# Learned-routing convergence (cmd/loadgen -route): a learning client vs a
+# no-learning client on the same repeated workload; cold/warm hops,
+# msgs/query and the warm shortcut hit rate land in BENCH_route.json. The
+# run fails if the warm phase does not strictly reduce msgs/query.
+bench-route:
+	$(GO) run ./cmd/loadgen -route -out BENCH_route.json
+
+# CI gate for learned routing: the short -route run plus the E15
+# cold-vs-warm experiment in -short mode (internal/experiments.ShortMode).
+route-smoke:
+	$(GO) run ./cmd/loadgen -route -smoke -out -
+	$(GO) test -short -run 'TestAllExperimentsRun/E15' ./internal/experiments
+
 race:
 	$(GO) test -race ./internal/...
 
@@ -126,4 +139,4 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-ci: fmt vet build test race loadgen-smoke chaos-ci chaos-nofault chaos-large-ci fuzz-smoke
+ci: fmt vet build test race loadgen-smoke route-smoke chaos-ci chaos-nofault chaos-large-ci fuzz-smoke

@@ -38,6 +38,7 @@ func main() {
 	churn := flag.Bool("churn", false, "large worlds: mid-run joins, leaves, crash windows and replica promotion")
 	zipf := flag.Float64("zipf", 0, "large worlds: specialty/query skew exponent (0: seed-derived)")
 	oracleSample := flag.Float64("oracle-sample", 0, "large worlds: fraction of queries given full reference-oracle verification (0: default 0.15)")
+	learn := flag.Bool("learn", false, "enable learned routing shortcuts on every peer (trail mining, learned-tier routing, catalog absorption)")
 	flag.Parse()
 
 	level := chaos.ParseLevel(*levelName)
@@ -56,7 +57,8 @@ func main() {
 	began := time.Now()
 	for _, s := range seeds {
 		rep, err := chaos.Run(chaos.Config{Seed: s, Level: level,
-			Peers: *peersN, Churn: *churn, Zipf: *zipf, OracleSample: *oracleSample})
+			Peers: *peersN, Churn: *churn, Zipf: *zipf, OracleSample: *oracleSample,
+			Learn: *learn})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "chaos: seed %d: harness error: %v\n", s, err)
 			os.Exit(2)

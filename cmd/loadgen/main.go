@@ -207,9 +207,21 @@ func main() {
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "server worker-pool size")
 	cacheSize := flag.Int("plan-cache", 256, "server prepared-plan cache entries")
 	smoke := flag.Bool("smoke", false, "CI smoke mode: short run, relaxed reporting")
-	out := flag.String("out", "BENCH_runtime.json", "report path ('-' for stdout only)")
+	routeMode := flag.Bool("route", false, "learned-routing bench: repeated workload, cold vs warm (writes BENCH_route.json)")
+	out := flag.String("out", "", "report path ('-' for stdout only; defaults per mode)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this path")
 	flag.Parse()
+	if *out == "" {
+		if *routeMode {
+			*out = "BENCH_route.json"
+		} else {
+			*out = "BENCH_runtime.json"
+		}
+	}
+	if *routeMode {
+		runRouteBench(*out, *smoke)
+		return
+	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {

@@ -1,0 +1,220 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/algebra"
+	"repro/internal/catalog"
+	"repro/internal/hierarchy"
+	"repro/internal/namespace"
+	"repro/internal/peer"
+	"repro/internal/simnet"
+	"repro/internal/xmltree"
+)
+
+// Route-bench mode (-route): measures learned-routing convergence under a
+// repeated workload. A learning client mines (area → index) shortcuts from
+// its results' provenance trails; the benchmark reports cold vs warm routing
+// cost and the warm shortcut hit rate, against a no-learning client on the
+// same world and workload. Writes BENCH_route.json.
+
+// routeReport is the BENCH_route.json document.
+type routeReport struct {
+	Peers         int     `json:"peers"`
+	Queries       int     `json:"queries"`
+	Passes        int     `json:"passes"`
+	NoLearnHops   float64 `json:"nolearn_hops"`
+	NoLearnMsgs   float64 `json:"nolearn_msgs_per_query"`
+	ColdHops      float64 `json:"cold_hops"`
+	ColdMsgs      float64 `json:"cold_msgs_per_query"`
+	WarmHops      float64 `json:"warm_hops"`
+	WarmMsgs      float64 `json:"warm_msgs_per_query"`
+	HitRate       float64 `json:"shortcut_hit_rate"`
+	Learned       uint64  `json:"shortcuts_learned"`
+	TableEntries  int     `json:"shortcut_entries"`
+	AbsorbedRegs  int     `json:"absorbed_index_regs"`
+	MsgsReduction float64 `json:"warm_msgs_reduction_vs_nolearn"`
+}
+
+// routeWorld: one meta-index, one authoritative index per state, sellers
+// below them — the hierarchy learned shortcuts let repeat queries skip.
+func routeWorld(sellersPerCity int) (*simnet.Network, *namespace.Namespace, []namespace.Area, error) {
+	loc := hierarchy.New("Location")
+	cities := []string{"USA/OR/Portland", "USA/OR/Eugene", "USA/WA/Seattle", "USA/CA/Oakland"}
+	for _, c := range cities {
+		loc.MustAdd(c)
+	}
+	merch := hierarchy.New("Merchandise")
+	merch.MustAdd("Music/CDs")
+	merch.MustAdd("Furniture/Chairs")
+	ns, err := namespace.New(loc, merch)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	net := simnet.New()
+	if _, err := peer.New(peer.Config{Addr: "meta:9020", Net: net, NS: ns, Key: []byte("kM"),
+		Area: ns.MustParseArea("[*, *]"), Authoritative: true}); err != nil {
+		return nil, nil, nil, err
+	}
+	idxOf := map[string]string{}
+	for _, st := range []string{"USA/OR", "USA/WA", "USA/CA"} {
+		addr := "idx-" + st[len("USA/"):] + ":9020"
+		idx, err := peer.New(peer.Config{Addr: addr, Net: net, NS: ns, Key: []byte("kI"),
+			Area:          namespace.NewArea(namespace.NewCell(hierarchy.MustParsePath(st), hierarchy.Top)),
+			Authoritative: true})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if err := idx.RegisterWith("meta:9020", catalog.RoleIndex); err != nil {
+			return nil, nil, nil, err
+		}
+		idxOf[st] = addr
+	}
+	var areas []namespace.Area
+	for ci, city := range cities {
+		for _, cat := range []string{"Music/CDs", "Furniture/Chairs"} {
+			area := namespace.NewArea(namespace.NewCell(
+				hierarchy.MustParsePath(city), hierarchy.MustParsePath(cat)))
+			areas = append(areas, area)
+			for s := 0; s < sellersPerCity; s++ {
+				addr := fmt.Sprintf("s%d-%d-%s:9020", ci, s, cat[len(cat)-3:])
+				sp, err := peer.New(peer.Config{Addr: addr, Net: net, NS: ns,
+					Key: []byte("k" + addr), Area: area})
+				if err != nil {
+					return nil, nil, nil, err
+				}
+				items := make([]*xmltree.Node, 0, 4)
+				for i := 0; i < 4; i++ {
+					items = append(items, xmltree.MustParse(fmt.Sprintf(
+						"<sale><cd>item-%d</cd><price>%d</price></sale>", i, 5+i)))
+				}
+				sp.AddCollection(peer.Collection{Name: "items", PathExp: "/d", Area: area, Items: items})
+				st := hierarchy.MustParsePath(city).Truncate(2).String()
+				if err := sp.RegisterWith(idxOf[st], catalog.RoleBase); err != nil {
+					return nil, nil, nil, err
+				}
+			}
+		}
+	}
+	return net, ns, areas, nil
+}
+
+func routeClient(net *simnet.Network, ns *namespace.Namespace, addr string, learn bool) (*peer.Peer, error) {
+	cfg := peer.Config{Addr: addr, Net: net, NS: ns, Key: []byte("k" + addr)}
+	if learn {
+		cfg.LearnShortcuts = true
+		cfg.AbsorbThreshold = 2
+	}
+	c, err := peer.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return c, c.Catalog().Register(catalog.Registration{
+		Addr: "meta:9020", Role: catalog.RoleMetaIndex,
+		Area: ns.MustParseArea("[*, *]"), Authoritative: true,
+	})
+}
+
+func routePass(net *simnet.Network, c *peer.Peer, areas []namespace.Area, tag string, pass int) (hops, msgs float64, err error) {
+	net.ResetMetrics()
+	total := 0
+	for qi, area := range areas {
+		plan := algebra.NewPlan(fmt.Sprintf("rb-%s-%d-%d", tag, pass, qi), c.Addr(),
+			algebra.Display(algebra.Count(algebra.URN(namespace.EncodeURN(area)))))
+		plan.RetainOriginal()
+		if err := c.Submit(c.Addr(), plan); err != nil {
+			return 0, 0, err
+		}
+		res, ok := c.TakeResult()
+		if !ok {
+			return 0, 0, fmt.Errorf("route bench: missing result (%s pass %d)", tag, pass)
+		}
+		total += res.Hops
+	}
+	m := net.Metrics()
+	return float64(total) / float64(len(areas)), float64(m.Messages) / float64(len(areas)), nil
+}
+
+func runRouteBench(out string, smoke bool) {
+	sellersPerCity, passes := 3, 4
+	if smoke {
+		sellersPerCity, passes = 1, 2
+	}
+	net, ns, areas, err := routeWorld(sellersPerCity)
+	if err != nil {
+		log.Fatalf("loadgen -route: %v", err)
+	}
+	plain, err := routeClient(net, ns, "plain:9020", false)
+	if err != nil {
+		log.Fatalf("loadgen -route: %v", err)
+	}
+	learner, err := routeClient(net, ns, "learner:9020", true)
+	if err != nil {
+		log.Fatalf("loadgen -route: %v", err)
+	}
+
+	var noHops, noMsgs float64
+	for p := 1; p <= passes; p++ {
+		if noHops, noMsgs, err = routePass(net, plain, areas, "nolearn", p); err != nil {
+			log.Fatalf("loadgen -route: %v", err)
+		}
+	}
+	coldHops, coldMsgs, err := routePass(net, learner, areas, "learn", 1)
+	if err != nil {
+		log.Fatalf("loadgen -route: %v", err)
+	}
+	pre := learner.Shortcuts().Stats()
+	var warmHops, warmMsgs float64
+	for p := 2; p <= passes; p++ {
+		if warmHops, warmMsgs, err = routePass(net, learner, areas, "learn", p); err != nil {
+			log.Fatalf("loadgen -route: %v", err)
+		}
+	}
+	post := learner.Shortcuts().Stats()
+	lookups := float64(post.Hits - pre.Hits + post.Misses - pre.Misses)
+	hitRate := 0.0
+	if lookups > 0 {
+		hitRate = float64(post.Hits-pre.Hits) / lookups
+	}
+	absorbed := 0
+	for _, r := range learner.Catalog().Registrations() {
+		if r.Role == catalog.RoleIndex {
+			absorbed++
+		}
+	}
+	rep := routeReport{
+		Peers:         len(net.Addrs()),
+		Queries:       len(areas),
+		Passes:        passes,
+		NoLearnHops:   noHops,
+		NoLearnMsgs:   noMsgs,
+		ColdHops:      coldHops,
+		ColdMsgs:      coldMsgs,
+		WarmHops:      warmHops,
+		WarmMsgs:      warmMsgs,
+		HitRate:       hitRate,
+		Learned:       post.Learned,
+		TableEntries:  post.Entries,
+		AbsorbedRegs:  absorbed,
+		MsgsReduction: (noMsgs - warmMsgs) / noMsgs,
+	}
+	doc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatalf("loadgen -route: %v", err)
+	}
+	fmt.Println(string(doc))
+	if out != "-" {
+		if err := os.WriteFile(out, append(doc, '\n'), 0o644); err != nil {
+			log.Fatalf("loadgen -route: %v", err)
+		}
+	}
+	if warmMsgs >= noMsgs {
+		log.Fatalf("loadgen -route: warm msgs/query %.2f not below no-learning %.2f", warmMsgs, noMsgs)
+	}
+	if hitRate == 0 {
+		log.Fatal("loadgen -route: learned tier never hit")
+	}
+}

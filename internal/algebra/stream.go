@@ -40,7 +40,7 @@ func EncodeFrame(p *Plan, enc *xmltree.FrameEncoder) {
 		encodeFrameNode(p.Original, enc)
 		enc.Raw("</original>")
 	}
-	if p.Visited != nil && (p.Visited.Len() > 0 || p.Visited.Budget > 0) {
+	if p.Visited != nil && (p.Visited.Len() > 0 || p.Visited.Budget > 0 || p.Visited.AnsweredLen() > 0) {
 		enc.Node(p.Visited.Marshal())
 	}
 	if len(p.Extra) > 0 {

@@ -117,6 +117,9 @@ func FuzzStreamEncodeEquivalence(f *testing.F) {
 		`<annotations><annot k="card" v="12"/></annotations><union><data/><data/></union></project></count></plan></mqp>`)
 	f.Add(`<mqp id="&#113;8" target="t:1"><plan><display><data><x>&#65;&amp;</x></data></display></plan>` +
 		`<visited>legacy:1 1 AA</visited></mqp>`)
+	f.Add(`<mqp id="q9" target="t:1"><plan><union><urn name="urn:InterestArea:(USA.OR.Portland,Furniture.Chairs)"/><data/></union></plan>` +
+		`<visited b="6">m:9020 2 FnYrjV5vcIE<a s="s1:9020" u="urn:InterestArea:(USA.OR.Portland,Music.CDs)"/>` +
+		`<a s="s2:9020" u="urn:InterestArea:(*,*)"/></visited></mqp>`)
 
 	f.Fuzz(func(t *testing.T, s string) {
 		p, err := DecodeString(s)

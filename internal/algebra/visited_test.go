@@ -285,13 +285,14 @@ func TestVisitedCloneIsDeep(t *testing.T) {
 // than decaying into empty memory (which would reopen livelocks).
 func TestUnmarshalVisitedRejectsGarbage(t *testing.T) {
 	for _, src := range []string{
-		`<visited><v n="1"/></visited>`,               // no server
-		`<visited><v s="a:1" n="x"/></visited>`,       // bad count
-		`<visited><v s="a:1" n="0"/></visited>`,       // zero count
-		`<visited><v s="a:1" n="-1000"/></visited>`,   // negative count defeats the budget
-		`<visited><v s="a:1" fp="zz"/></visited>`,     // bad fingerprint
-		`<visited budget="x"><v s="a:1"/></visited>`,  // bad budget
-		`<visited budget="-9"><v s="a:1"/></visited>`, // negative budget
+		`<visited><v n="1"/></visited>`,              // no server
+		`<visited><v s="a:1" n="x"/></visited>`,      // bad count
+		`<visited><v s="a:1" n="0"/></visited>`,      // zero count
+		`<visited><v s="a:1" n="-1000"/></visited>`,  // negative count defeats the budget
+		`<visited><v s="a:1" fp="zz"/></visited>`,    // bad fingerprint
+		`<visited budget="x"><v s="a:1"/></visited>`, // bad budget
+		`<visited><a u="urn:L:USA"/></visited>`,      // answered record, no server
+		`<visited><a s="a:1"/></visited>`,            // answered record, no area
 	} {
 		if _, err := UnmarshalVisited(xmltree.MustParse(src)); err == nil {
 			t.Errorf("no error for %s", src)
@@ -299,5 +300,112 @@ func TestUnmarshalVisitedRejectsGarbage(t *testing.T) {
 	}
 	if _, err := UnmarshalVisited(xmltree.Elem("other")); err == nil {
 		t.Error("wrong element name accepted")
+	}
+}
+
+// TestUnmarshalVisitedBudgetEdge: a budget attr that parses to zero or a
+// negative number means "no override" — the record decodes with Budget 0 so
+// the router falls back to its default, instead of treating the plan as
+// "never revisit" (which stranded plans whose client zeroed the knob).
+// Regression for the revisit-budget edge fixed alongside learned routing.
+func TestUnmarshalVisitedBudgetEdge(t *testing.T) {
+	for _, src := range []string{
+		`<visited budget="0"><v s="a:1"/></visited>`,
+		`<visited budget="-9"><v s="a:1"/></visited>`,
+		`<visited b="0"><v s="a:1"/></visited>`,
+		`<visited b="-3"><v s="a:1"/></visited>`,
+	} {
+		v, err := UnmarshalVisited(xmltree.MustParse(src))
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		if v.Budget != 0 {
+			t.Errorf("%s: Budget = %d, want 0 (router default applies)", src, v.Budget)
+		}
+		// Round trip: Budget 0 must not re-emit a budget attr at all.
+		if got := v.Marshal().AttrDefault("b", ""); got != "" {
+			t.Errorf("%s: re-marshal emitted b=%q, want no attr", src, got)
+		}
+	}
+	// A positive attr still round-trips exactly.
+	v, err := UnmarshalVisited(xmltree.MustParse(`<visited b="7"><v s="a:1"/></visited>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Budget != 7 {
+		t.Fatalf("Budget = %d, want 7", v.Budget)
+	}
+	if got := v.Marshal().AttrDefault("b", ""); got != "7" {
+		t.Fatalf("re-marshal b=%q, want 7", got)
+	}
+}
+
+// TestVisitedAnsweredRoundTrip: answered-area records survive the wire, sort
+// deterministically, and leave the plan fingerprint untouched (they live in
+// the <visited> section, outside the fingerprinted root tree).
+func TestVisitedAnsweredRoundTrip(t *testing.T) {
+	p := visitedTestPlan()
+	fpBefore := Fingerprint(p.Root)
+	v := p.VisitedMemory()
+	v.Mark("idx-OR:9020", 42)
+	v.MarkAnswered("s2:9020", "urn:L:USA/OR")
+	v.MarkAnswered("s1:9020", "urn:L:USA/WA")
+	v.MarkAnswered("s1:9020", "urn:M:Furniture")
+	v.MarkAnswered("s1:9020", "urn:M:Furniture") // duplicate is a no-op
+	if got := Fingerprint(p.Root); got != fpBefore {
+		t.Fatalf("answered records perturbed the root fingerprint: %x != %x", got, fpBefore)
+	}
+	if v.AnsweredLen() != 3 {
+		t.Fatalf("AnsweredLen = %d, want 3", v.AnsweredLen())
+	}
+
+	rt, err := Unmarshal(Marshal(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Visited == nil {
+		t.Fatal("visited section lost")
+	}
+	got := rt.Visited.Answered()
+	want := []AnsweredArea{
+		{Server: "s1:9020", URN: "urn:L:USA/WA"},
+		{Server: "s1:9020", URN: "urn:M:Furniture"},
+		{Server: "s2:9020", URN: "urn:L:USA/OR"},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("answered = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("answered[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if !rt.Visited.IsAnswered("s1:9020", "urn:M:Furniture") {
+		t.Fatal("IsAnswered lost a pair on the wire")
+	}
+	// The packed visit record rides alongside untouched.
+	if r, ok := rt.Visited.Lookup("idx-OR:9020"); !ok || r.Fingerprint != 42 {
+		t.Fatalf("visit record lost alongside answered records: %+v ok=%v", r, ok)
+	}
+
+	// Answered-only memory (no visits, no budget) still travels: it is the
+	// resubmission exclusion state.
+	p2 := visitedTestPlan()
+	p2.VisitedMemory().MarkAnswered("s1:9020", "urn:L:USA")
+	rt2, err := Unmarshal(Marshal(p2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt2.Visited == nil || !rt2.Visited.IsAnswered("s1:9020", "urn:L:USA") {
+		t.Fatal("answered-only visited memory lost on the wire")
+	}
+
+	// Removal helpers invalidate the cached element.
+	rt2.Visited.RemoveAnswered("s1:9020", "urn:L:USA")
+	if rt2.Visited.AnsweredLen() != 0 {
+		t.Fatal("RemoveAnswered left the pair")
+	}
+	if len(rt2.Visited.Marshal().ChildrenNamed("a")) != 0 {
+		t.Fatal("stale cached element re-emitted removed answered records")
 	}
 }

@@ -316,7 +316,7 @@ func marshal(p *Plan, copyDocs bool) *xmltree.Node {
 	if p.Original != nil {
 		doc.Add(xmltree.Elem("original", marshalNode(p.Original, copyDocs)))
 	}
-	if p.Visited != nil && (p.Visited.Len() > 0 || p.Visited.Budget > 0) {
+	if p.Visited != nil && (p.Visited.Len() > 0 || p.Visited.Budget > 0 || p.Visited.AnsweredLen() > 0) {
 		// Emitted whenever there is state to carry — visit records, or just
 		// a per-plan budget override set before the first hop. Marshal is
 		// frozen and cached, so re-serializing the plan for every fallback

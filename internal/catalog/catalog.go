@@ -200,6 +200,75 @@ func (c *Catalog) Register(reg Registration) error {
 	return nil
 }
 
+// Deregister removes every registration from addr — the graceful-leave
+// counterpart of crash supersession: a peer that leaves cleanly announces
+// it, so its dead registrations stop lingering until a replica happens to
+// supersede them. Returns the number of registrations removed; the catalog
+// generation advances only when something was actually removed.
+func (c *Catalog) Deregister(addr string) int {
+	if addr == "" {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	kept := c.regs[:0]
+	for _, r := range c.regs {
+		if r.Addr != addr {
+			kept = append(kept, r)
+		}
+	}
+	removed := len(c.regs) - len(kept)
+	for i := len(kept); i < len(c.regs); i++ {
+		c.regs[i] = Registration{}
+	}
+	c.regs = kept
+	if removed > 0 {
+		c.invalidateLocked()
+	}
+	return removed
+}
+
+// AbsorbLearned folds a confirmed learned shortcut — server answered the
+// resource area named by areaURN — into the catalog as a real,
+// non-authoritative index registration: the §5.1 meta-index update that
+// makes learning survive the shortcut table (and, pushed upstream, the peer)
+// that did it. Areas naming categories this namespace's hierarchies do not
+// know are generalized to their deepest known ancestors first (§3.5:
+// precision may be lost, recall is not). Absorbing an area the catalog
+// already covers for that server is a no-op, so repeated confirmation does
+// not churn the catalog generation.
+func (c *Catalog) AbsorbLearned(server, areaURN string) error {
+	if server == "" || server == c.self {
+		return fmt.Errorf("catalog: cannot absorb shortcut to %q", server)
+	}
+	area, err := namespace.DecodeURN(areaURN)
+	if err != nil {
+		return fmt.Errorf("catalog: absorb %s: %w", server, err)
+	}
+	if err := c.ns.Validate(area); err != nil {
+		area = c.ns.Generalize(area)
+	}
+	if area.Empty() {
+		return fmt.Errorf("catalog: learned area %q generalizes to nothing this namespace knows", areaURN)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := range c.regs {
+		if c.regs[i].Addr == server && c.regs[i].Role == RoleIndex {
+			if c.regs[i].Area.Covers(area) {
+				return nil
+			}
+			cells := append(append([]namespace.Cell(nil), c.regs[i].Area.Cells...), area.Cells...)
+			c.regs[i].Area = namespace.NewArea(cells...)
+			c.invalidateLocked()
+			return nil
+		}
+	}
+	c.regs = append(c.regs, Registration{Addr: server, Role: RoleIndex, Area: area})
+	c.invalidateLocked()
+	return nil
+}
+
 // AddStatement retains an intensional statement.
 func (c *Catalog) AddStatement(s Statement) error {
 	if err := s.Validate(); err != nil {
@@ -461,6 +530,11 @@ func (c *Catalog) bindArea(urn string, area namespace.Area) Binding {
 			for k, v := range h.coll.Annotations {
 				leaf.Annotate(k, v)
 			}
+			// The collection's registered area travels on the leaf so
+			// materialized data stays attributable to a (server, area) pair —
+			// the granularity of partial-result resubmission. The processor
+			// strips it from plans that did not opt into resubmission.
+			leaf.Annotate(algebra.AnnotArea, namespace.EncodeURN(h.coll.Area))
 			leaves[i] = leaf
 		}
 		if len(leaves) == 1 {

@@ -53,6 +53,7 @@ import (
 	"repro/internal/namespace"
 	"repro/internal/peer"
 	"repro/internal/provenance"
+	"repro/internal/route"
 	"repro/internal/simnet"
 	"repro/internal/workload"
 )
@@ -117,6 +118,12 @@ type Config struct {
 	// reference-oracle verification on top of the cheap incremental checks
 	// every query gets; 0 defaults to 0.15, >= 1 verifies everything.
 	OracleSample float64
+	// Learn enables learned routing shortcuts (internal/route.Shortcuts) on
+	// every peer: trails are mined for (area → server) edges, the learned
+	// tier is consulted first when routing, and confirmed edges are absorbed
+	// into peer catalogs. Off by default, so default sweeps exercise the
+	// byte-identical non-learning path.
+	Learn bool
 }
 
 // Report is the outcome of one scenario. Violations empty means every
@@ -152,6 +159,9 @@ type Report struct {
 	// and promotions refused because the replica's staleness bound was
 	// already exhausted.
 	Joined, Left, Promoted, PromotionsRefused int
+	// Shortcuts aggregates the learned-routing tables of every peer at the
+	// end of a Config.Learn scenario (all-zero with learning off).
+	Shortcuts route.ShortcutStats
 	// Events counts scheduler events pumped (deliveries plus control
 	// events); zero for inline-built small worlds before PR 7's stats.
 	Events int
@@ -232,6 +242,7 @@ func Run(cfg Config) (*Report, error) {
 		Seed: rng.Int63(), Sellers: nSellers, ItemsPerSeller: itemsPer, SpecialtyZipf: zipf,
 	})
 
+	learn := cfg.Learn
 	keys := map[string][]byte{}
 	peers := map[string]*peer.Peer{}
 	addPeer := func(cfg peer.Config) (*peer.Peer, error) {
@@ -242,6 +253,12 @@ func Run(cfg Config) (*Report, error) {
 		// provenance, wrong route) trips an invariant. Peers stay
 		// synchronous (Workers=0) — scheduled delivery owns determinism.
 		cfg.PlanCacheSize = 32
+		if learn {
+			cfg.LearnShortcuts = true
+			// Chaos keys are the peer addresses; mining verifies trails
+			// against the same keyring the invariant checks use.
+			cfg.Keyring = func(server string) []byte { return []byte(server) }
+		}
 		p, err := peer.New(cfg)
 		if err != nil {
 			return nil, err
@@ -428,6 +445,7 @@ func Run(cfg Config) (*Report, error) {
 
 	// --- Invariants ------------------------------------------------------
 	checkInvariants(rep, net, peers, keys, client, cases, expected)
+	collectShortcutStats(rep, peers)
 	return rep, nil
 }
 
@@ -503,6 +521,24 @@ func levelFaults(level Level, rng *rand.Rand) (simnet.Faults, int, bool) {
 				Reorder:   0.6 * scale,
 			},
 			rng.Intn(3), rng.Float64() < 0.3
+	}
+}
+
+// collectShortcutStats sums the learned-routing tables across peers into the
+// report; all-zero when the scenario ran without Config.Learn.
+func collectShortcutStats(rep *Report, peers map[string]*peer.Peer) {
+	for _, addr := range sortedAddrs(peers) {
+		s := peers[addr].Shortcuts()
+		if s == nil {
+			continue
+		}
+		st := s.Stats()
+		rep.Shortcuts.Hits += st.Hits
+		rep.Shortcuts.Misses += st.Misses
+		rep.Shortcuts.Learned += st.Learned
+		rep.Shortcuts.Expired += st.Expired
+		rep.Shortcuts.Invalidated += st.Invalidated
+		rep.Shortcuts.Entries += st.Entries
 	}
 }
 

@@ -99,6 +99,10 @@ func runLarge(cfg Config) (*Report, error) {
 	addPeer := func(pcfg peer.Config) (*peer.Peer, error) {
 		pcfg.Key = []byte(pcfg.Addr)
 		pcfg.PlanCacheSize = 32
+		if cfg.Learn {
+			pcfg.LearnShortcuts = true
+			pcfg.Keyring = func(server string) []byte { return []byte(server) }
+		}
 		p, err := peer.New(pcfg)
 		if err != nil {
 			return nil, err
@@ -421,6 +425,7 @@ func runLarge(cfg Config) (*Report, error) {
 
 	// --- Invariants ------------------------------------------------------
 	checkInvariantsLarge(rep, net, peers, keys, client, cases, lowers, uppers, inc)
+	collectShortcutStats(rep, peers)
 	return rep, nil
 }
 

@@ -1,0 +1,115 @@
+package chaos
+
+import (
+	"testing"
+
+	"repro/internal/route"
+)
+
+// Learned-routing chaos coverage: the same seeded fault-injection scenarios,
+// with every peer mining shortcuts from verified trails and routing through
+// the learned tier first. The oracle invariants must hold bit-for-bit as
+// hard as they do without learning — a shortcut may only ever change WHERE a
+// plan travels, never WHAT it answers.
+
+// TestLearningEnabledSweep: mixed-fault scenarios with learning on must
+// violate nothing, and the sweep as a whole must actually learn (a sweep
+// where no table ever gains an edge would mean the learned tier is dead
+// code under chaos and the test proves nothing).
+func TestLearningEnabledSweep(t *testing.T) {
+	seeds := int64(60)
+	if testing.Short() {
+		seeds = 25
+	}
+	var learned uint64
+	for seed := int64(1); seed <= seeds; seed++ {
+		rep, err := Run(Config{Seed: seed, Learn: true})
+		if err != nil {
+			t.Fatalf("seed %d: harness error: %v", seed, err)
+		}
+		if rep.Failed() {
+			t.Errorf("seed %d violated invariants with learning enabled:", seed)
+			for _, v := range rep.Violations {
+				t.Errorf("  %s", v)
+			}
+			return
+		}
+		learned += rep.Shortcuts.Learned
+	}
+	if learned == 0 {
+		t.Fatal("no scenario learned a single shortcut; the learned tier is not exercised")
+	}
+}
+
+// TestLearningFaultFreeNeverStuck: learning must not reintroduce livelocks
+// or strand plans in fault-free worlds — the liveness gate (invariant 5)
+// holds with the learned tier active.
+func TestLearningFaultFreeNeverStuck(t *testing.T) {
+	for seed := int64(1); seed <= 25; seed++ {
+		rep, err := Run(Config{Seed: seed, Level: LevelNone, Learn: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Failed() {
+			t.Fatalf("seed %d: %v", seed, rep.Violations)
+		}
+		if rep.Stuck != 0 || rep.LostToFaults != 0 {
+			t.Fatalf("seed %d: learning stranded plans in a fault-free world: %s", seed, rep.Summary())
+		}
+	}
+}
+
+// TestLearningOffIsByteIdentical: with Learn unset, the scenario is
+// byte-identical to the non-learning build — same summary, zero shortcut
+// state — pinning that the learning machinery is invisible unless opted
+// into (the nil-table guarantee in route.Select and mqp.Config.Shortcuts).
+func TestLearningOffIsByteIdentical(t *testing.T) {
+	for _, seed := range []int64{3, 77, 501} {
+		off, err := Run(Config{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if off.Shortcuts != (route.ShortcutStats{}) {
+			t.Fatalf("seed %d: learning-off run accumulated shortcut state: %+v", seed, off.Shortcuts)
+		}
+		again, err := Run(Config{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if off.Summary() != again.Summary() {
+			t.Fatalf("seed %d: non-learning run not reproducible:\n%s\n%s",
+				seed, off.Summary(), again.Summary())
+		}
+	}
+}
+
+// TestLearningUnderLargeWorldChurn: the shortcut-staleness scenario — a
+// churning 200-peer world where sellers crash-leave and replicas promote
+// with Supersedes — must hold every invariant with learning enabled. This
+// is where stale shortcuts would misroute if expiry/invalidation failed:
+// promotion invalidates edges to the dead source at every learning peer
+// that hears the supersede.
+func TestLearningUnderLargeWorldChurn(t *testing.T) {
+	seeds := []int64{1, 2, 3, 4, 5, 6, 7, 8}
+	if testing.Short() {
+		seeds = seeds[:3]
+	}
+	promoted := 0
+	for _, seed := range seeds {
+		rep, err := Run(Config{Seed: seed, Peers: 200, Churn: true, Learn: true})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if rep.Failed() {
+			t.Errorf("seed %d violated invariants (replay: go run ./cmd/chaos -seed %d -peers 200 -churn -learn):", seed, seed)
+			for _, v := range rep.Violations {
+				t.Errorf("  %s", v)
+			}
+			return
+		}
+		promoted += rep.Promoted
+	}
+	if promoted == 0 {
+		t.Fatal("no churn scenario promoted a replica; the supersede-invalidation path was never exercised")
+	}
+}

@@ -155,5 +155,6 @@ func All() []Runner {
 		{"E12", "Privacy-preserving join", E12PrivateJoin},
 		{"E13", "Optimization ablations", E13Ablations},
 		{"E14", "Fault-injection robustness vs oracle", E14Robustness},
+		{"E15", "Learned routing shortcuts", E15LearnedRouting},
 	}
 }

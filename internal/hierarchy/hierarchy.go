@@ -291,10 +291,11 @@ func (h *Hierarchy) Children(p Path) ([]Path, error) {
 	return out, nil
 }
 
-// Generalize maps a possibly-unknown path to its deepest known ancestor
-// (§3.5: "rewrite USA/OR/Portland into USA/OR, with a possible loss of
-// precision, but no loss of recall").
-func (h *Hierarchy) Generalize(p Path) Path {
+// KnownDepth returns the depth of the deepest known ancestor of p — the
+// truncation point Generalize uses, exposed so callers absorbing learned
+// routing state can tell how much precision a generalization costs before
+// committing it (0 means the hierarchy knows nothing along p).
+func (h *Hierarchy) KnownDepth(p Path) int {
 	cur := h.root
 	known := 0
 	for _, seg := range p.segs {
@@ -305,7 +306,14 @@ func (h *Hierarchy) Generalize(p Path) Path {
 		cur = next
 		known++
 	}
-	return p.Truncate(known)
+	return known
+}
+
+// Generalize maps a possibly-unknown path to its deepest known ancestor
+// (§3.5: "rewrite USA/OR/Portland into USA/OR, with a possible loss of
+// precision, but no loss of recall").
+func (h *Hierarchy) Generalize(p Path) Path {
+	return p.Truncate(h.KnownDepth(p))
 }
 
 // Leaves returns every leaf category in the hierarchy, sorted; workload

@@ -184,6 +184,33 @@ func TestGeneralize(t *testing.T) {
 	}
 }
 
+// TestKnownDepth pins the truncation point Generalize uses — exposed so
+// learned-routing absorption can tell how much precision a generalization
+// costs before committing it.
+func TestKnownDepth(t *testing.T) {
+	h := newLocation()
+	cases := []struct {
+		path string
+		want int
+	}{
+		{"USA/OR/Portland", 3}, // fully known
+		{"USA/OR/Beaverton", 2},
+		{"USA/TX/Austin", 1},
+		{"Atlantis/Deep", 0},
+		{"*", 0},
+	}
+	for _, c := range cases {
+		if got := h.KnownDepth(MustParsePath(c.path)); got != c.want {
+			t.Fatalf("KnownDepth(%s) = %d, want %d", c.path, got, c.want)
+		}
+		// Generalize ≡ Truncate(KnownDepth) — the two stay in lockstep.
+		p := MustParsePath(c.path)
+		if !h.Generalize(p).Equal(p.Truncate(h.KnownDepth(p))) {
+			t.Fatalf("Generalize(%s) diverged from Truncate(KnownDepth)", c.path)
+		}
+	}
+}
+
 func TestLeavesAllSize(t *testing.T) {
 	h := newLocation()
 	leaves := h.Leaves()

@@ -37,12 +37,13 @@ import (
 
 // Message kinds on the wire.
 const (
-	KindMQP      = "mqp"      // a mutant query plan in flight
-	KindResult   = "result"   // a fully evaluated plan arriving at its target
-	KindRegister = "register" // a registration push (§3.3)
-	KindFetch    = "fetch"    // data pull: request a collection's items
-	KindExport   = "export"   // harvest: request a peer's registration
-	KindSubcats  = "subcats"  // category-server query (§3.5)
+	KindMQP        = "mqp"        // a mutant query plan in flight
+	KindResult     = "result"     // a fully evaluated plan arriving at its target
+	KindRegister   = "register"   // a registration push (§3.3)
+	KindDeregister = "deregister" // a graceful-leave un-registration
+	KindFetch      = "fetch"      // data pull: request a collection's items
+	KindExport     = "export"     // harvest: request a peer's registration
+	KindSubcats    = "subcats"    // category-server query (§3.5)
 )
 
 // Collection is a named collection a base server exports, with the XPath
@@ -124,6 +125,23 @@ type Config struct {
 	// PlanCacheSize enables the processor's prepared-plan cache with that
 	// many entries (see internal/mqp). Zero disables it.
 	PlanCacheSize int
+	// LearnShortcuts enables learned routing (internal/route.Shortcuts): the
+	// peer mines (area → server) edges from the provenance trails of plans
+	// and results it handles, consults them ahead of catalog routes, and
+	// absorbs repeatedly confirmed edges into its catalog as real index
+	// registrations. Off by default — a peer without learning routes
+	// byte-identically to earlier builds.
+	LearnShortcuts bool
+	// Keyring, when set alongside LearnShortcuts, verifies trail HMACs
+	// before mining: an unverifiable trail teaches nothing. Nil trusts the
+	// local deployment (the trails a peer mines already crossed its own
+	// signing path).
+	Keyring provenance.Keyring
+	// AbsorbThreshold is the hit count at which a learned shortcut is
+	// absorbed into the catalog as an index registration (surviving shortcut
+	// expiry and this peer's restart-from-catalog). Zero defaults to 2;
+	// negative disables absorption.
+	AbsorbThreshold int
 }
 
 // Peer is one network participant.
@@ -160,6 +178,9 @@ type Peer struct {
 	// rt is the worker-pool runtime, nil when Workers == 0 (synchronous
 	// delivery).
 	rt *runtime
+
+	// shortcuts is the learned routing table, nil unless Config.LearnShortcuts.
+	shortcuts *route.Shortcuts
 }
 
 // New creates a peer and registers it on the network.
@@ -198,6 +219,10 @@ func New(cfg Config) (*Peer, error) {
 		// what a cached step materialized.
 		CacheGeneration: p.store.generation,
 	}
+	if cfg.LearnShortcuts {
+		p.shortcuts = route.NewShortcuts(route.ShortcutsConfig{})
+		pcfg.Shortcuts = p.shortcuts
+	}
 	if cfg.Authoritative {
 		pcfg.Authority = cfg.Area
 	}
@@ -231,6 +256,10 @@ func (p *Peer) Catalog() *catalog.Catalog { return p.cat }
 // CacheStats reports the processor's prepared-plan cache counters (zero
 // when the cache is disabled).
 func (p *Peer) CacheStats() mqp.CacheStats { return p.proc.CacheStats() }
+
+// Shortcuts exposes the learned routing table, nil unless the peer was
+// configured with LearnShortcuts.
+func (p *Peer) Shortcuts() *route.Shortcuts { return p.shortcuts }
 
 func (p *Peer) virtualNow() time.Duration {
 	return time.Duration(p.lastAt.Load())
@@ -337,6 +366,23 @@ func (p *Peer) registerWith(addr string, role catalog.Role, at time.Duration, su
 	})
 }
 
+// DeregisterFrom tells the server at addr that this peer is leaving
+// gracefully: the server drops every registration this peer pushed
+// (catalog.Deregister) and invalidates any learned shortcuts pointing here —
+// the graceful counterpart of the crash-and-supersede path. The local
+// catalog also forgets addr as a cached index server.
+func (p *Peer) DeregisterFrom(addr string, at time.Duration) error {
+	body := xmltree.Elem("deregister")
+	body.SetAttr("addr", p.addr)
+	if err := p.net.Send(&simnet.Message{
+		From: p.addr, To: addr, Kind: KindDeregister, Body: body, At: at,
+	}); err != nil {
+		return err
+	}
+	p.cat.Deregister(addr)
+	return nil
+}
+
 // Harvest pulls the registration of the peer at addr into the local catalog
 // — the §3.3 pull process ("index servers query their base servers for
 // their data, to build more detailed indices").
@@ -436,10 +482,66 @@ func (p *Peer) TakeResult() (Result, bool) {
 
 // recordResult appends a finished query.
 func (p *Peer) recordResult(plan *algebra.Plan, at time.Duration, hops int) {
+	p.mineTrail(plan, at)
 	p.resMu.Lock()
 	p.results = append(p.results, Result{Plan: plan, At: at, Hops: hops,
 		Partial: plan.PartialResult()})
 	p.resMu.Unlock()
+}
+
+// mineTrail extracts learned routing shortcuts from a plan's provenance
+// trail — the tentpole of learned routing. Two classes of edges are mined:
+//
+//   - every verified ActionBind visit whose detail is an area URN says
+//     "that server binds that resource area" — the direct evidence;
+//   - provenance.SuggestShortcuts distills forward-only detours into
+//     teach-the-shortcut edges (the trail walked Via to reach Direct, so
+//     next time skip Via).
+//
+// Shortcuts whose hit count reaches AbsorbThreshold are absorbed into the
+// local catalog as real index registrations (catalog.AbsorbLearned), so the
+// learning survives table expiry and outlives this peer's shortcut table —
+// the paper's meta-index maintenance loop, automated. Mining is message-free:
+// it reads trails already in hand, so enabling it never perturbs network
+// traffic by itself.
+func (p *Peer) mineTrail(plan *algebra.Plan, at time.Duration) {
+	if p.shortcuts == nil {
+		return
+	}
+	t, err := provenance.FromPlan(plan)
+	if err != nil || t == nil || len(t.Visits) == 0 {
+		return
+	}
+	if p.cfg.Keyring != nil {
+		if _, err := t.Verify(p.cfg.Keyring); err != nil {
+			return // an unverifiable trail teaches nothing
+		}
+	}
+	gen := p.cat.Generation()
+	for _, v := range t.Visits {
+		if v.Action == provenance.ActionBind && v.Server != p.addr &&
+			namespace.IsAreaURN(v.Detail) {
+			p.shortcuts.Learn(v.Detail, v.Server, gen, at)
+		}
+	}
+	for _, s := range provenance.SuggestShortcuts(t) {
+		if s.Direct != p.addr && namespace.IsAreaURN(s.Detail) {
+			p.shortcuts.Learn(s.Detail, s.Direct, gen, at)
+		}
+	}
+	threshold := p.cfg.AbsorbThreshold
+	if threshold == 0 {
+		threshold = 2
+	}
+	if threshold < 0 {
+		return
+	}
+	for _, e := range p.shortcuts.Confirmed(threshold, gen, at) {
+		// AbsorbLearned is idempotent for already-covered edges, so repeated
+		// confirmation does not churn the catalog generation (which would
+		// needlessly invalidate the prepared-plan cache).
+		_ = p.cat.AbsorbLearned(e.Server, e.Area)
+	}
 }
 
 // StuckErrors returns errors from plans that could make no progress here:
@@ -512,7 +614,23 @@ func (p *Peer) Deliver(net *simnet.Network, msg *simnet.Message) error {
 		if err != nil {
 			return fmt.Errorf("peer %s: bad registration: %w", p.addr, err)
 		}
+		if reg.Supersedes != "" && p.shortcuts != nil {
+			// A replacement registration (replica promotion) retires the
+			// superseded server: shortcuts still pointing at it would route
+			// plans to a corpse until they expired on their own.
+			p.shortcuts.Invalidate(reg.Supersedes)
+		}
 		return p.cat.Register(reg)
+	case KindDeregister:
+		addr := msg.Body.AttrDefault("addr", "")
+		if addr == "" {
+			return fmt.Errorf("peer %s: deregister without addr", p.addr)
+		}
+		p.cat.Deregister(addr)
+		if p.shortcuts != nil {
+			p.shortcuts.Invalidate(addr)
+		}
+		return nil
 	default:
 		return fmt.Errorf("peer %s: unknown message kind %q", p.addr, msg.Kind)
 	}
@@ -549,6 +667,9 @@ func (p *Peer) processMQP(ctx context.Context, msg *simnet.Message) error {
 	if err != nil {
 		return p.noteStuck(fmt.Errorf("peer %s: %w", p.addr, err))
 	}
+	// Learn from the in-flight trail: the plan just crossed this peer, and
+	// its trail names which servers bound which areas upstream.
+	p.mineTrail(plan, msg.At)
 	// Data pulls during the step charged their RTTs to the plan's clock.
 	at := msg.At + sc.PullDelay
 

@@ -1,0 +1,204 @@
+package peer
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/catalog"
+	"repro/internal/namespace"
+	"repro/internal/route"
+	"repro/internal/simnet"
+)
+
+// resubWorld wires the shape that turns a spanning query into a partial
+// result with one seller's contribution already in hand: a CD seller is
+// registered and serving, while the chairs area the query also spans has no
+// seller yet — its URN ping-pongs between the authoritative meta and index
+// until the visited memory declares the plan exhausted.
+func resubWorld(t *testing.T) (net *simnet.Network, client *Peer, ns *namespace.Namespace) {
+	t.Helper()
+	net = simnet.New()
+	net.SetMaxDepth(40)
+	ns = testNS()
+	pdxCDs := ns.MustParseArea("[USA/OR/Portland, Music/CDs]")
+
+	client = mustPeer(t, Config{Addr: "client:9020", Net: net, NS: ns, Key: []byte("kC")})
+	mustPeer(t, Config{Addr: "M:9020", Net: net, NS: ns, Key: []byte("kM"),
+		Area: ns.MustParseArea("[*, *]"), Authoritative: true})
+	idx := mustPeer(t, Config{Addr: "idx:9020", Net: net, NS: ns, Key: []byte("kI"),
+		Area: ns.MustParseArea("[USA/OR, *]"), Authoritative: true})
+	if err := idx.RegisterWith("M:9020", catalog.RoleIndex); err != nil {
+		t.Fatal(err)
+	}
+	s1 := mustPeer(t, Config{Addr: "s1:9020", Net: net, NS: ns, Key: []byte("k1"), Area: pdxCDs})
+	s1.AddCollection(Collection{Name: "cds", PathExp: "/data[id=1]", Area: pdxCDs, Items: items(
+		`<sale><cd>Blue Train</cd><price>8</price></sale>`,
+		`<sale><cd>Kind of Blue</cd><price>15</price></sale>`,
+	)})
+	if err := s1.RegisterWith("idx:9020", catalog.RoleBase); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Catalog().Register(catalog.Registration{
+		Addr: "M:9020", Role: catalog.RoleMetaIndex,
+		Area: ns.MustParseArea("[*, *]"), Authoritative: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return net, client, ns
+}
+
+// addChairsSeller brings up the missing chairs seller and registers it, so a
+// resubmission can complete the remainder.
+func addChairsSeller(t *testing.T, net *simnet.Network, ns *namespace.Namespace) {
+	t.Helper()
+	pdxChairs := ns.MustParseArea("[USA/OR/Portland, Furniture/Chairs]")
+	s2 := mustPeer(t, Config{Addr: "s2:9020", Net: net, NS: ns, Key: []byte("k2"), Area: pdxChairs})
+	s2.AddCollection(Collection{Name: "chairs", PathExp: "/data[id=2]", Area: pdxChairs, Items: items(
+		`<sale><cd>Rocking Chair</cd><price>40</price></sale>`,
+		`<sale><cd>Stool</cd><price>12</price></sale>`,
+	)})
+	if err := s2.RegisterWith("idx:9020", catalog.RoleBase); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func spanningPlan(id string, ns *namespace.Namespace, resub bool) *algebra.Plan {
+	cds := namespace.EncodeURN(ns.MustParseArea("[USA/OR/Portland, Music/CDs]"))
+	chairs := namespace.EncodeURN(ns.MustParseArea("[USA/OR/Portland, Furniture/Chairs]"))
+	p := algebra.NewPlan(id, "client:9020", algebra.Display(
+		algebra.Select(algebra.MustParsePredicate("price < 100"), algebra.Union(
+			algebra.URN(cds), algebra.URN(chairs)))))
+	if resub {
+		route.MarkResubmittable(p)
+	}
+	p.RetainOriginal()
+	return p
+}
+
+func resultCDs(t *testing.T, p *algebra.Plan) []string {
+	t.Helper()
+	items, err := p.Results()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]string, 0, len(items))
+	for _, it := range items {
+		out = append(out, it.Value("cd"))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestResubmissionSoundness pins the resubmission invariant end to end:
+// partial items ∪ resubmitted items == the oracle's full answer multiset,
+// with the resubmission never re-visiting the seller whose contribution the
+// partial already delivered.
+func TestResubmissionSoundness(t *testing.T) {
+	net, client, ns := resubWorld(t)
+
+	if err := client.Submit("M:9020", spanningPlan("q-1", ns, true)); err != nil {
+		t.Fatal(err)
+	}
+	res, ok := client.TakeResult()
+	if !ok {
+		t.Fatal("no result delivered")
+	}
+	if !res.Partial {
+		t.Fatalf("want a partial result while the chairs area is unserved, got: %s", res.Plan.Root)
+	}
+	partialCDs := resultCDs(t, res.Plan)
+	if len(partialCDs) != 2 {
+		t.Fatalf("partial should hold s1's two items, got %v", partialCDs)
+	}
+	// The partial names s1's contribution as answered — and only s1's.
+	if res.Plan.Visited == nil || res.Plan.Visited.AnsweredLen() != 1 {
+		t.Fatalf("answered records = %+v, want exactly s1's pair",
+			res.Plan.Visited.Answered())
+	}
+	if aa := res.Plan.Visited.Answered()[0]; aa.Server != "s1:9020" {
+		t.Fatalf("answered pair names %s, want s1:9020", aa.Server)
+	}
+
+	// The chairs seller comes up; resubmit the partial.
+	addChairsSeller(t, net, ns)
+	rp, err := route.Resubmit(res.Plan, "q-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Submit("M:9020", rp); err != nil {
+		t.Fatal(err)
+	}
+	res2, ok := client.TakeResult()
+	if !ok {
+		t.Fatal("no resubmission result delivered")
+	}
+	if res2.Partial {
+		t.Fatalf("resubmission should complete, got a partial: %s", res2.Plan.Root)
+	}
+	remCDs := resultCDs(t, res2.Plan)
+	if len(remCDs) != 2 {
+		t.Fatalf("resubmission should fetch only s2's two items, got %v", remCDs)
+	}
+
+	// The resubmission never traveled to s1: its contribution was excluded.
+	if res2.Plan.Visited != nil {
+		if _, saw := res2.Plan.Visited.Lookup("s1:9020"); saw {
+			t.Fatalf("resubmission revisited s1: %v", res2.Plan.Visited.Servers())
+		}
+	}
+
+	// Oracle: the same query, fresh, against the fully served world.
+	if err := client.Submit("M:9020", spanningPlan("q-oracle", ns, false)); err != nil {
+		t.Fatal(err)
+	}
+	res3, ok := client.TakeResult()
+	if !ok {
+		t.Fatal("no oracle result delivered")
+	}
+	if res3.Partial {
+		t.Fatalf("oracle query should complete: %s", res3.Plan.Root)
+	}
+	oracle := resultCDs(t, res3.Plan)
+
+	combined := append(append([]string(nil), partialCDs...), remCDs...)
+	sort.Strings(combined)
+	if len(combined) != len(oracle) {
+		t.Fatalf("partial ∪ resubmitted = %v; oracle = %v", combined, oracle)
+	}
+	for i := range oracle {
+		if combined[i] != oracle[i] {
+			t.Fatalf("partial ∪ resubmitted = %v; oracle = %v", combined, oracle)
+		}
+	}
+}
+
+// TestResubmitRequiresOptIn: a plan that did not opt into resubmission
+// produces a partial without answered records (its wire path is unchanged),
+// and Resubmit refuses non-partial results.
+func TestResubmitRequiresOptIn(t *testing.T) {
+	_, client, ns := resubWorld(t)
+	if err := client.Submit("M:9020", spanningPlan("q-plain", ns, false)); err != nil {
+		t.Fatal(err)
+	}
+	res, ok := client.TakeResult()
+	if !ok {
+		t.Fatal("no result delivered")
+	}
+	if !res.Partial {
+		t.Fatalf("want a partial, got: %s", res.Plan.Root)
+	}
+	if res.Plan.Visited != nil && res.Plan.Visited.AnsweredLen() != 0 {
+		t.Fatalf("non-opt-in plan carried answered records: %+v",
+			res.Plan.Visited.Answered())
+	}
+	if _, err := route.Resubmit(res.Plan, "q-x"); err != nil {
+		// A partial without answered records is still resubmittable — it
+		// just re-runs the whole query.
+		t.Fatalf("resubmit of a record-free partial failed: %v", err)
+	}
+	full := spanningPlan("q-full", ns, false)
+	if _, err := route.Resubmit(full, "q-y"); err == nil {
+		t.Fatal("resubmit of a non-partial plan must fail")
+	}
+}

@@ -1,0 +1,276 @@
+package route
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/algebra"
+)
+
+// Learned routing shortcuts (§5.1 meta-index updating): when a completed
+// plan's provenance trail comes back, the peers along the way saw exactly
+// which server ultimately answered each resource area. Mining those
+// (area → server) edges and consulting them ahead of the catalog turns the
+// trail from an audit record into routing state — the paper's feedback loop.
+//
+// Learned state is dangerous in a churning network: the holder of an area
+// can crash-leave and be replaced by a replica, at which point a shortcut
+// that was perfectly true yesterday misroutes today. Entries therefore
+// carry the catalog generation they were learned under and a virtual-time
+// stamp, and they expire instead of lingering: a fresh entry lives MaxAge;
+// one whose source generation the local catalog has since moved past lives
+// only StaleAge. Expiry can cost a wasted probe hop (the visited-server
+// memory bounds it); it can never produce a wrong answer, because a
+// shortcut only adds forwarding candidates — evaluation and the oracle
+// invariants are untouched.
+
+// ShortcutEntry is one learned (resource area → server) edge.
+type ShortcutEntry struct {
+	// Area is the resource area URN the server answered.
+	Area string
+	// Server is the peer that held the data.
+	Server string
+	// Hits counts how many trails confirmed this edge.
+	Hits int
+	// LearnedAt is the virtual time of the most recent confirmation.
+	LearnedAt time.Duration
+	// Generation is the local catalog generation at the most recent
+	// confirmation; entries from an older generation expire on the short
+	// TTL because the catalog has changed under them.
+	Generation uint64
+}
+
+// ShortcutsConfig bounds a Shortcuts table. Zero values select defaults.
+type ShortcutsConfig struct {
+	// MaxAge is the TTL of a current-generation entry (default 30 virtual
+	// minutes).
+	MaxAge time.Duration
+	// StaleAge is the TTL of an entry whose source catalog generation the
+	// local catalog has moved past (default 5 virtual minutes) — the
+	// staleness discipline replicas use: suspicion, not trust, after churn.
+	StaleAge time.Duration
+	// MaxPerArea caps the edges kept per area (default 4); the lowest-scored
+	// entry is evicted first.
+	MaxPerArea int
+}
+
+const (
+	defaultShortcutMaxAge     = 30 * time.Minute
+	defaultShortcutStaleAge   = 5 * time.Minute
+	defaultShortcutMaxPerArea = 4
+)
+
+// ShortcutStats is a snapshot of a table's counters.
+type ShortcutStats struct {
+	Hits        uint64 // Lookup calls that returned at least one live edge
+	Misses      uint64 // Lookup calls that returned none
+	Learned     uint64 // Learn calls (new edges and re-confirmations)
+	Expired     uint64 // entries dropped for age
+	Invalidated uint64 // entries dropped by Invalidate
+	Entries     int    // live edges currently held
+}
+
+// Shortcuts is a concurrent table of learned routing edges. Safe for
+// concurrent Lookup/Candidates during Learn/Invalidate.
+type Shortcuts struct {
+	cfg    ShortcutsConfig
+	mu     sync.RWMutex
+	byArea map[string][]*ShortcutEntry
+	stats  ShortcutStats
+}
+
+// NewShortcuts creates an empty table.
+func NewShortcuts(cfg ShortcutsConfig) *Shortcuts {
+	if cfg.MaxAge <= 0 {
+		cfg.MaxAge = defaultShortcutMaxAge
+	}
+	if cfg.StaleAge <= 0 {
+		cfg.StaleAge = defaultShortcutStaleAge
+	}
+	if cfg.MaxPerArea <= 0 {
+		cfg.MaxPerArea = defaultShortcutMaxPerArea
+	}
+	return &Shortcuts{cfg: cfg, byArea: map[string][]*ShortcutEntry{}}
+}
+
+// Learn records (or re-confirms) that server answered the area at virtual
+// time at, under catalog generation gen. Re-confirmation bumps the hit
+// count and refreshes both stamps, so a live edge never ages out while the
+// workload keeps proving it right.
+func (s *Shortcuts) Learn(area, server string, gen uint64, at time.Duration) {
+	if area == "" || server == "" {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Learned++
+	entries := s.byArea[area]
+	for _, e := range entries {
+		if e.Server == server {
+			e.Hits++
+			e.LearnedAt = at
+			e.Generation = gen
+			s.sortLocked(entries)
+			return
+		}
+	}
+	entries = append(entries, &ShortcutEntry{
+		Area: area, Server: server, Hits: 1, LearnedAt: at, Generation: gen,
+	})
+	s.sortLocked(entries)
+	if len(entries) > s.cfg.MaxPerArea {
+		entries = entries[:s.cfg.MaxPerArea]
+		s.stats.Expired++
+	}
+	s.byArea[area] = entries
+}
+
+// sortLocked orders entries best-first: most hits, then most recent.
+func (s *Shortcuts) sortLocked(entries []*ShortcutEntry) {
+	sort.SliceStable(entries, func(i, j int) bool {
+		if entries[i].Hits != entries[j].Hits {
+			return entries[i].Hits > entries[j].Hits
+		}
+		return entries[i].LearnedAt > entries[j].LearnedAt
+	})
+}
+
+// liveLocked reports whether the entry is still trustworthy at virtual
+// time at under catalog generation gen.
+func (s *Shortcuts) liveLocked(e *ShortcutEntry, gen uint64, at time.Duration) bool {
+	ttl := s.cfg.MaxAge
+	if e.Generation != gen {
+		ttl = s.cfg.StaleAge
+	}
+	return at-e.LearnedAt <= ttl
+}
+
+// Lookup returns the live learned servers for an area, best-first, and
+// counts the hit or miss. Expired entries are skipped (and reaped on the
+// next Learn or Sweep), never returned.
+func (s *Shortcuts) Lookup(area string, gen uint64, at time.Duration) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []string
+	for _, e := range s.byArea[area] {
+		if s.liveLocked(e, gen, at) {
+			out = append(out, e.Server)
+		}
+	}
+	if len(out) > 0 {
+		s.stats.Hits++
+	} else {
+		s.stats.Misses++
+	}
+	return out
+}
+
+// Candidates walks the plan root's unresolved URN leaves and returns the
+// live learned servers for their areas, best-first per area, deduplicated,
+// never self. The result is meant to be passed to Select as the learned
+// tier — consulted ahead of annotations and catalog routes.
+func (s *Shortcuts) Candidates(root *algebra.Node, self string, gen uint64, at time.Duration) []string {
+	if s == nil {
+		return nil
+	}
+	seen := map[string]bool{self: true, "": true}
+	var out []string
+	root.Walk(func(m *algebra.Node) bool {
+		if m.Kind == algebra.KindURN {
+			for _, srv := range s.Lookup(m.URN, gen, at) {
+				if !seen[srv] {
+					seen[srv] = true
+					out = append(out, srv)
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// Confirmed returns the live entries with at least minHits confirmations —
+// the edges solid enough to absorb into a real catalog registration so the
+// learning survives this peer.
+func (s *Shortcuts) Confirmed(minHits int, gen uint64, at time.Duration) []ShortcutEntry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []ShortcutEntry
+	for _, entries := range s.byArea {
+		for _, e := range entries {
+			if e.Hits >= minHits && s.liveLocked(e, gen, at) {
+				out = append(out, *e)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Area != out[j].Area {
+			return out[i].Area < out[j].Area
+		}
+		return out[i].Server < out[j].Server
+	})
+	return out
+}
+
+// Invalidate drops every edge pointing at server — the peer deregistered,
+// was superseded by a replica, or was observed dead. Returns the number of
+// edges removed.
+func (s *Shortcuts) Invalidate(server string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	removed := 0
+	for area, entries := range s.byArea {
+		kept := entries[:0]
+		for _, e := range entries {
+			if e.Server == server {
+				removed++
+			} else {
+				kept = append(kept, e)
+			}
+		}
+		if len(kept) == 0 {
+			delete(s.byArea, area)
+		} else {
+			s.byArea[area] = kept
+		}
+	}
+	s.stats.Invalidated += uint64(removed)
+	return removed
+}
+
+// Sweep reaps entries no longer live at virtual time at under generation
+// gen. Returns the number reaped.
+func (s *Shortcuts) Sweep(gen uint64, at time.Duration) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	reaped := 0
+	for area, entries := range s.byArea {
+		kept := entries[:0]
+		for _, e := range entries {
+			if s.liveLocked(e, gen, at) {
+				kept = append(kept, e)
+			} else {
+				reaped++
+			}
+		}
+		if len(kept) == 0 {
+			delete(s.byArea, area)
+		} else {
+			s.byArea[area] = kept
+		}
+	}
+	s.stats.Expired += uint64(reaped)
+	return reaped
+}
+
+// Stats snapshots the table's counters.
+func (s *Shortcuts) Stats() ShortcutStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := s.stats
+	for _, entries := range s.byArea {
+		st.Entries += len(entries)
+	}
+	return st
+}

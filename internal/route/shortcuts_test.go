@@ -1,0 +1,185 @@
+package route
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/algebra"
+)
+
+func TestShortcutsLearnLookupOrdering(t *testing.T) {
+	s := NewShortcuts(ShortcutsConfig{})
+	const area = "urn:L:USA/OR"
+	s.Learn(area, "idx-OR:9020", 1, 1*time.Minute)
+	s.Learn(area, "s7:9020", 1, 2*time.Minute)
+	s.Learn(area, "idx-OR:9020", 1, 3*time.Minute) // re-confirm → 2 hits
+
+	got := s.Lookup(area, 1, 4*time.Minute)
+	if len(got) != 2 || got[0] != "idx-OR:9020" || got[1] != "s7:9020" {
+		t.Fatalf("lookup = %v, want [idx-OR:9020 s7:9020] (hits desc)", got)
+	}
+	if got := s.Lookup("urn:L:USA/WA", 1, 4*time.Minute); got != nil {
+		t.Fatalf("unknown area lookup = %v, want nil", got)
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Learned != 3 || st.Entries != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestShortcutsExpiry(t *testing.T) {
+	s := NewShortcuts(ShortcutsConfig{MaxAge: 10 * time.Minute, StaleAge: 2 * time.Minute})
+	const area = "urn:L:USA/OR"
+	s.Learn(area, "idx-OR:9020", 5, 0)
+
+	// Same generation: alive until MaxAge, gone after.
+	if got := s.Lookup(area, 5, 10*time.Minute); len(got) != 1 {
+		t.Fatalf("entry expired before MaxAge: %v", got)
+	}
+	if got := s.Lookup(area, 5, 11*time.Minute); got != nil {
+		t.Fatalf("entry outlived MaxAge: %v", got)
+	}
+
+	// Catalog moved on (churn): the short staleness TTL governs instead.
+	if got := s.Lookup(area, 6, 2*time.Minute); len(got) != 1 {
+		t.Fatalf("stale-generation entry expired before StaleAge: %v", got)
+	}
+	if got := s.Lookup(area, 6, 3*time.Minute); got != nil {
+		t.Fatalf("stale-generation entry outlived StaleAge: %v", got)
+	}
+
+	// A re-confirmation under the new generation restores the full TTL.
+	s.Learn(area, "idx-OR:9020", 6, 4*time.Minute)
+	if got := s.Lookup(area, 6, 13*time.Minute); len(got) != 1 {
+		t.Fatalf("re-confirmed entry expired early: %v", got)
+	}
+
+	if reaped := s.Sweep(6, time.Hour); reaped != 1 {
+		t.Fatalf("sweep reaped %d, want 1", reaped)
+	}
+	if st := s.Stats(); st.Entries != 0 {
+		t.Fatalf("entries after sweep = %d", st.Entries)
+	}
+}
+
+func TestShortcutsMaxPerArea(t *testing.T) {
+	s := NewShortcuts(ShortcutsConfig{MaxPerArea: 2})
+	const area = "urn:L:USA"
+	s.Learn(area, "a:1", 1, 1*time.Minute)
+	s.Learn(area, "a:1", 1, 2*time.Minute)
+	s.Learn(area, "b:1", 1, 3*time.Minute)
+	s.Learn(area, "c:1", 1, 4*time.Minute) // evicts the lowest-scored (b or c)
+	got := s.Lookup(area, 1, 5*time.Minute)
+	if len(got) != 2 || got[0] != "a:1" {
+		t.Fatalf("lookup = %v, want 2 entries led by a:1", got)
+	}
+}
+
+func TestShortcutsInvalidate(t *testing.T) {
+	s := NewShortcuts(ShortcutsConfig{})
+	s.Learn("urn:L:USA/OR", "dead:1", 1, 0)
+	s.Learn("urn:L:USA/WA", "dead:1", 1, 0)
+	s.Learn("urn:L:USA/WA", "alive:1", 1, 0)
+	if n := s.Invalidate("dead:1"); n != 2 {
+		t.Fatalf("invalidated %d, want 2", n)
+	}
+	if got := s.Lookup("urn:L:USA/OR", 1, 0); got != nil {
+		t.Fatalf("invalidated server still returned: %v", got)
+	}
+	if got := s.Lookup("urn:L:USA/WA", 1, 0); len(got) != 1 || got[0] != "alive:1" {
+		t.Fatalf("lookup = %v, want [alive:1]", got)
+	}
+	if st := s.Stats(); st.Invalidated != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestShortcutsConfirmed(t *testing.T) {
+	s := NewShortcuts(ShortcutsConfig{})
+	s.Learn("urn:L:USA/OR", "idx-OR:9020", 1, 0)
+	s.Learn("urn:L:USA/OR", "idx-OR:9020", 1, time.Minute)
+	s.Learn("urn:L:USA/WA", "idx-WA:9020", 1, time.Minute)
+	got := s.Confirmed(2, 1, 2*time.Minute)
+	if len(got) != 1 || got[0].Server != "idx-OR:9020" || got[0].Hits != 2 {
+		t.Fatalf("confirmed = %+v, want the 2-hit OR edge only", got)
+	}
+}
+
+// TestShortcutsCandidates: URN leaves of the plan drive lookups; duplicates
+// and self are dropped; a nil table is inert.
+func TestShortcutsCandidates(t *testing.T) {
+	s := NewShortcuts(ShortcutsConfig{})
+	s.Learn("urn:L:USA/OR", "idx-OR:9020", 1, 0)
+	s.Learn("urn:L:USA/WA", "idx-OR:9020", 1, 0) // dup server across areas
+	s.Learn("urn:L:USA/WA", "self:9020", 1, 0)   // self must be dropped
+	root := algebra.Display(algebra.Union(
+		algebra.URN("urn:L:USA/OR"),
+		algebra.URN("urn:L:USA/WA"),
+		algebra.URN("urn:L:USA/CA"), // no shortcut
+	))
+	got := s.Candidates(root, "self:9020", 1, 0)
+	if len(got) != 1 || got[0] != "idx-OR:9020" {
+		t.Fatalf("candidates = %v, want [idx-OR:9020]", got)
+	}
+	var nilTable *Shortcuts
+	if got := nilTable.Candidates(root, "self:9020", 1, 0); got != nil {
+		t.Fatalf("nil table candidates = %v, want nil", got)
+	}
+}
+
+// TestSelectLearnedTierFirst: learned shortcuts outrank route annotations,
+// catalog routes and URL owners — and an empty learned tier leaves the
+// decision identical to a call without the argument (the byte-identity
+// guarantee for builds with learning disabled).
+func TestSelectLearnedTierFirst(t *testing.T) {
+	p := urlPlan("client:1", "url1:1")
+	dec := Select(p, "self:1", []string{"cat:1"}, "learned:1")
+	if dec.Reason != Forward || len(dec.Hops) != 3 || dec.Hops[0] != "learned:1" {
+		t.Fatalf("decision = %+v, want learned:1 first of 3", dec)
+	}
+	p2 := urlPlan("client:1", "url1:1")
+	with := Select(p2, "self:1", []string{"cat:1"})
+	without := Select(p2, "self:1", []string{"cat:1"}, []string{}...)
+	if fmt.Sprint(with) != fmt.Sprint(without) {
+		t.Fatalf("empty learned tier changed the decision: %+v vs %+v", with, without)
+	}
+}
+
+// TestShortcutsConcurrent exercises concurrent readers during mining and
+// invalidation; run under -race (make race does).
+func TestShortcutsConcurrent(t *testing.T) {
+	s := NewShortcuts(ShortcutsConfig{})
+	root := algebra.Display(algebra.Union(
+		algebra.URN("urn:L:USA/OR"), algebra.URN("urn:L:USA/WA")))
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				at := time.Duration(i) * time.Second
+				switch w {
+				case 0:
+					s.Learn("urn:L:USA/OR", fmt.Sprintf("s%d:1", i%8), uint64(i%3), at)
+				case 1:
+					s.Learn("urn:L:USA/WA", fmt.Sprintf("s%d:1", i%8), uint64(i%3), at)
+					if i%50 == 0 {
+						s.Invalidate(fmt.Sprintf("s%d:1", i%8))
+					}
+				case 2:
+					s.Lookup("urn:L:USA/OR", uint64(i%3), at)
+					s.Candidates(root, "self:1", uint64(i%3), at)
+				case 3:
+					s.Confirmed(2, uint64(i%3), at)
+					s.Stats()
+					if i%100 == 0 {
+						s.Sweep(uint64(i%3), at)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

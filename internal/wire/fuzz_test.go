@@ -29,6 +29,10 @@ func FuzzRecv(f *testing.F) {
 	f.Add(frame(`<mqp id="q" target="t:1"><plan><data/></plan></mqp>`))
 	f.Add(frame(`<mqp id="q" target="t:1"><plan><urn name="urn:X:Y"/></plan>` +
 		`<visited budget="3"><v fp="deadbeef42" n="2" s="meta:9020"/></visited></mqp>`))
+	f.Add(frame(`<mqp id="q" target="t:1"><plan><urn name="urn:X:Y"/></plan>` +
+		`<visited b="4">meta:9020 FnYrjV5vcIE<a s="s1:9020" u="urn:InterestArea:(USA.OR.Portland,Music.CDs)"/></visited></mqp>`))
+	f.Add(frame(`<mqp id="q" target="t:1"><plan><data/></plan>` +
+		`<visited><a s="s:1" u=""/></visited></mqp>`)) // malformed answered record: empty area
 	f.Add([]byte{0, 0})                             // truncated length prefix
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, '<', 'a'}) // oversized length
 	f.Add([]byte{0, 0, 0, 0})                       // zero-length frame

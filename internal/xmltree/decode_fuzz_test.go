@@ -22,6 +22,8 @@ func FuzzDecodeEquivalence(f *testing.F) {
 	}
 	f.Add(`<mqp id="q" target="c:1"><plan><union><data><i>1</i></data><url href="h:1" path="/d"/></union></plan>` +
 		`<visited b="3">m:9020 2 q29tcGFjdA;s:1 1 AAAAAAAB</visited><provenance algo="hmac-sha256"><visit at="1000" server="a:1"/></provenance></mqp>`)
+	f.Add(`<mqp id="q" target="c:1"><plan><data/></plan><visited b="6">m:9020 2 q29tcGFjdA` +
+		`<a s="s1:9020" u="urn:InterestArea:(USA.OR.Portland,Music.CDs)"/><a s="s2:9020" u="urn:InterestArea:(*,Furniture.Chairs)"/></visited></mqp>`)
 	f.Fuzz(func(t *testing.T, s string) {
 		if len(s) > 1<<16 {
 			t.Skip("oversized input")

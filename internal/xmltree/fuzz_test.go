@@ -18,6 +18,8 @@ func FuzzParseRoundTrip(f *testing.F) {
 		`<a x:k="1" y:k="2" xmlns:x="u1" xmlns:y="u2"/>`,
 		"<a k=\"tab\tnl\ncr\rend\">line1\nline2&#xD;</a>",
 		`<a><b><c><d>deep</d></c></b></a>`,
+		`<mqp id="q" target="c:1"><plan><urn name="urn:X:Y"/></plan>` +
+			`<visited b="4">meta:9020 2 FnYrjV5vcIE<a s="s1:9020" u="urn:InterestArea:(USA.OR.Portland,Music.CDs)"/></visited></mqp>`,
 	} {
 		f.Add(s)
 	}
