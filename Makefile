@@ -7,7 +7,7 @@
 # over the parser and wire-framing targets.
 GO ?= go
 
-.PHONY: build test test-short bench bench-all bench-chaos bench-runtime bench-route loadgen-smoke route-smoke profile race fmt vet chaos chaos-ci chaos-nofault chaos-large chaos-large-ci fuzz-smoke ci
+.PHONY: build test test-short bench bench-all bench-chaos bench-runtime bench-route bench-mem loadgen-smoke route-smoke mem-smoke profile race fmt vet chaos chaos-ci chaos-nofault chaos-large chaos-large-ci fuzz-smoke ci
 
 build:
 	$(GO) build ./...
@@ -23,24 +23,22 @@ test-short: build
 	$(GO) test -short ./...
 
 # Machinery benchmark suite (hop path, clone, serialization, engine) with
-# allocation stats; the raw test2json stream lands in BENCH_plan_hop.json
-# (one JSON object per line) and the benchmark lines echo to the console.
-# The receive side (zero-copy BenchmarkDecode vs the encoding/xml-based
-# BenchmarkParseLegacy) is recorded separately in BENCH_decode.json so
-# decode-path wins and regressions are visible on their own, and the
-# streaming wire path (warm codec hop, streaming frame encoder, reused
-# persistent link over real TCP) lands in BENCH_wire.json — the numbers
-# behind the "wire hop within ~3x of the tree hop" acceptance bar.
+# allocation stats. Each stream is distilled by cmd/benchjson into a clean
+# summary (one record per benchmark, parsed metrics) matching the loadgen
+# reports — BENCH_plan_hop.json, BENCH_decode.json (zero-copy
+# BenchmarkDecode vs the encoding/xml-based BenchmarkParseLegacy, so
+# decode-path wins and regressions are visible on their own) and
+# BENCH_wire.json (warm codec hop, streaming frame encoder, reused
+# persistent link over real TCP — the numbers behind the "wire hop within
+# ~3x of the tree hop" acceptance bar). The benchmark lines still echo to
+# the console.
 bench:
-	$(GO) test -run '^$$' -bench '^Benchmark(PlanHop$$|PlanClone|Micro|Canonical|ByteSize)' -benchmem -json . > BENCH_plan_hop.json
-	@sed -n 's/.*"Output":"\(.*\)".*/\1/p' BENCH_plan_hop.json \
-		| tr -d '\n' | sed 's/\\n/\n/g;s/\\t/\t/g' | grep 'ns/op' || true
-	$(GO) test -run '^$$' -bench '^Benchmark(Decode|ParseLegacy)$$' -benchmem -json . > BENCH_decode.json
-	@sed -n 's/.*"Output":"\(.*\)".*/\1/p' BENCH_decode.json \
-		| tr -d '\n' | sed 's/\\n/\n/g;s/\\t/\t/g' | grep 'ns/op' || true
-	$(GO) test -run '^$$' -bench '^Benchmark(PlanHopWire$$|PlanHopWireReused$$|StreamEncode$$)' -benchmem -json . > BENCH_wire.json
-	@sed -n 's/.*"Output":"\(.*\)".*/\1/p' BENCH_wire.json \
-		| tr -d '\n' | sed 's/\\n/\n/g;s/\\t/\t/g' | grep 'ns/op' || true
+	$(GO) test -run '^$$' -bench '^Benchmark(PlanHop$$|PlanClone|Micro|Canonical|ByteSize)' -benchmem -json . \
+		| $(GO) run ./cmd/benchjson -out BENCH_plan_hop.json
+	$(GO) test -run '^$$' -bench '^Benchmark(Decode|ParseLegacy)$$' -benchmem -json . \
+		| $(GO) run ./cmd/benchjson -out BENCH_decode.json
+	$(GO) test -run '^$$' -bench '^Benchmark(PlanHopWire$$|PlanHopWireReused$$|StreamEncode$$)' -benchmem -json . \
+		| $(GO) run ./cmd/benchjson -out BENCH_wire.json
 
 # CPU and heap profiles of the hop path (cpu.prof / mem.prof, inspect with
 # `go tool pprof`): the first stop when chasing a decode- or marshal-side
@@ -57,9 +55,8 @@ profile:
 # churn scenarios/sec, the incremental oracle's per-scenario cost
 # (oracle-ms/op) and peak RSS.
 bench-chaos:
-	$(GO) test -run '^$$' -bench '^BenchmarkScenario(Large)?$$' -benchmem -json ./internal/chaos > BENCH_chaos.json
-	@sed -n 's/.*"Output":"\(.*\)".*/\1/p' BENCH_chaos.json \
-		| tr -d '\n' | sed 's/\\n/\n/g;s/\\t/\t/g' | grep 'ns/op' || true
+	$(GO) test -run '^$$' -bench '^BenchmarkScenario(Large)?$$' -benchmem -json ./internal/chaos \
+		| $(GO) run ./cmd/benchjson -out BENCH_chaos.json
 
 # Every benchmark, including the full E1-E14 experiment reproductions.
 bench-all:
@@ -89,6 +86,19 @@ bench-route:
 route-smoke:
 	$(GO) run ./cmd/loadgen -route -smoke -out -
 	$(GO) test -short -run 'TestAllExperimentsRun/E15' ./internal/experiments
+
+# Payload-store memory benchmark (cmd/loadgen -mem): the same dedup-heavy
+# world driven store-off then store-on in one process, comparing live heap
+# (GC'd HeapAlloc, the portable peak-RSS proxy), dedup ratio and bytes
+# moved by reference. Fails below the 30% resident-memory reduction bar or
+# when no repeat freight goes by reference. Records BENCH_mem.json.
+bench-mem:
+	$(GO) run ./cmd/loadgen -mem -out BENCH_mem.json
+
+# CI gate for the payload store: the short -mem run, same acceptance bars,
+# without writing over the recorded benchmark.
+mem-smoke:
+	$(GO) run ./cmd/loadgen -mem -smoke -out -
 
 race:
 	$(GO) test -race ./internal/...
@@ -139,4 +149,4 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-ci: fmt vet build test race loadgen-smoke route-smoke chaos-ci chaos-nofault chaos-large-ci fuzz-smoke
+ci: fmt vet build test race loadgen-smoke route-smoke mem-smoke chaos-ci chaos-nofault chaos-large-ci fuzz-smoke

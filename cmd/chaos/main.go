@@ -39,6 +39,7 @@ func main() {
 	zipf := flag.Float64("zipf", 0, "large worlds: specialty/query skew exponent (0: seed-derived)")
 	oracleSample := flag.Float64("oracle-sample", 0, "large worlds: fraction of queries given full reference-oracle verification (0: default 0.15)")
 	learn := flag.Bool("learn", false, "enable learned routing shortcuts on every peer (trail mining, learned-tier routing, catalog absorption)")
+	blobs := flag.Bool("blobs", false, "enable the content-addressed payload store on every peer (dedup at rest, by-reference freight, fetch-on-miss)")
 	flag.Parse()
 
 	level := chaos.ParseLevel(*levelName)
@@ -54,11 +55,13 @@ func main() {
 
 	var plans, completed, partial, stuck, lost, checked, failures int
 	var joined, left, promoted, refused, sampled int
+	var byRef, fetches, fetchFails uint64
+	var byRefBytes int64
 	began := time.Now()
 	for _, s := range seeds {
 		rep, err := chaos.Run(chaos.Config{Seed: s, Level: level,
 			Peers: *peersN, Churn: *churn, Zipf: *zipf, OracleSample: *oracleSample,
-			Learn: *learn})
+			Learn: *learn, Blobs: *blobs})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "chaos: seed %d: harness error: %v\n", s, err)
 			os.Exit(2)
@@ -80,6 +83,10 @@ func main() {
 		promoted += rep.Promoted
 		refused += rep.PromotionsRefused
 		sampled += rep.SampledChecks
+		byRef += rep.Blobs.ByRefSent
+		byRefBytes += rep.Blobs.ByRefBytes
+		fetches += rep.Blobs.Fetches
+		fetchFails += rep.Blobs.FetchFailures
 		if rep.Failed() {
 			failures++
 			fmt.Fprintf(os.Stderr, "chaos: seed %d VIOLATED (replay: make chaos SEED=%d):\n", s, s)
@@ -95,6 +102,10 @@ func main() {
 	if *peersN > 0 {
 		fmt.Printf("chaos: large worlds (peers=%d churn=%v): %d sampled-oracle checks, %d joined, %d left, %d promoted, %d promotions-refused\n",
 			*peersN, *churn, sampled, joined, left, promoted, refused)
+	}
+	if *blobs {
+		fmt.Printf("chaos: payload store: %d by-ref sends saving %d bytes, %d fetches (%d failed)\n",
+			byRef, byRefBytes, fetches, fetchFails)
 	}
 	fmt.Printf("chaos: %d scenarios (level=%s) in %v (%.0f/s): %d plans, %d completed, %d partial, %d stuck, %d lost-to-faults, %d oracle-checked, %d violations\n",
 		len(seeds), level, elapsed.Round(time.Millisecond), float64(len(seeds))/elapsed.Seconds(),

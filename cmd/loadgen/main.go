@@ -208,18 +208,26 @@ func main() {
 	cacheSize := flag.Int("plan-cache", 256, "server prepared-plan cache entries")
 	smoke := flag.Bool("smoke", false, "CI smoke mode: short run, relaxed reporting")
 	routeMode := flag.Bool("route", false, "learned-routing bench: repeated workload, cold vs warm (writes BENCH_route.json)")
+	memMode := flag.Bool("mem", false, "payload-store memory bench: dedup-heavy workload, store off vs on (writes BENCH_mem.json)")
 	out := flag.String("out", "", "report path ('-' for stdout only; defaults per mode)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this path")
 	flag.Parse()
 	if *out == "" {
-		if *routeMode {
+		switch {
+		case *routeMode:
 			*out = "BENCH_route.json"
-		} else {
+		case *memMode:
+			*out = "BENCH_mem.json"
+		default:
 			*out = "BENCH_runtime.json"
 		}
 	}
 	if *routeMode {
 		runRouteBench(*out, *smoke)
+		return
+	}
+	if *memMode {
+		runMemBench(*out, *smoke)
 		return
 	}
 	if *cpuprofile != "" {

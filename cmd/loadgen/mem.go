@@ -1,0 +1,254 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"strings"
+
+	"repro/internal/algebra"
+	"repro/internal/blobstore"
+	"repro/internal/catalog"
+	"repro/internal/hierarchy"
+	"repro/internal/namespace"
+	"repro/internal/peer"
+	"repro/internal/simnet"
+	"repro/internal/xmltree"
+)
+
+// Memory-bench mode (-mem): measures what the content-addressed payload
+// store (internal/blobstore) buys on a dedup-heavy workload. The same world
+// — several sellers whose collections repeat a small set of large payload
+// documents, a client replaying one query — is built and driven twice in
+// one process, store-off then store-on, and the live heap (runtime.GC +
+// HeapAlloc, the portable peak-RSS proxy) is compared. Store-on must also
+// move repeat freight by reference on the wire; the run fails if the
+// resident-memory reduction misses the 30% acceptance bar or nothing went
+// by reference. Writes BENCH_mem.json.
+
+// memReport is the BENCH_mem.json document.
+type memReport struct {
+	Sellers          int     `json:"sellers"`
+	ItemsPerSeller   int     `json:"items_per_seller"`
+	DistinctPayloads int     `json:"distinct_payloads"`
+	Queries          int     `json:"queries"`
+	ResultsPerQuery  int     `json:"results_per_query"`
+	HeapOffBytes     uint64  `json:"live_heap_off_bytes"`
+	HeapOnBytes      uint64  `json:"live_heap_on_bytes"`
+	HeapReduction    float64 `json:"live_heap_reduction"`
+	DedupRatio       float64 `json:"dedup_ratio"`
+	ByRefSent        uint64  `json:"by_ref_sent"`
+	ByRefBytes       int64   `json:"by_ref_bytes"`
+	Fetches          uint64  `json:"fetches"`
+	FetchFailures    uint64  `json:"fetch_failures"`
+}
+
+// memPhase is one store-off or store-on pass over the workload.
+type memPhase struct {
+	heap       uint64
+	results    int
+	byRefSent  uint64
+	byRefBytes int64
+	fetches    uint64
+	fetchFails uint64
+	dedupRatio float64
+}
+
+// memPayload is one large catalog document (~1.3 KB canonical — well above
+// the by-reference threshold). Collections repeat these: the many-listings,
+// few-distinct-descriptions shape replicated catalogs have.
+func memPayload(i int) string {
+	return fmt.Sprintf("<sale><cd>Pressing %02d</cd><price>%d</price><desc>%s</desc></sale>",
+		i, 3+i*2, strings.Repeat("A fine recording, archived with full provenance detail. ", 22))
+}
+
+// memWorld builds the dedup-heavy topology: one authoritative meta index,
+// `sellers` base peers each holding `itemsPer` items drawn round-robin from
+// `distinct` payload documents, and a querying client. Every peer carries a
+// payload store when storeOn is set; the world is byte-identical otherwise.
+func memWorld(sellers, itemsPer, distinct int, storeOn bool) (*simnet.Network, *peer.Peer, error) {
+	loc := hierarchy.New("Location")
+	loc.MustAdd("USA/OR/Portland")
+	merch := hierarchy.New("Merchandise")
+	merch.MustAdd("Music/CDs")
+	ns, err := namespace.New(loc, merch)
+	if err != nil {
+		return nil, nil, err
+	}
+	area := ns.MustParseArea("[USA/OR/Portland, Music/CDs]")
+	blobs := func() *blobstore.Store {
+		if storeOn {
+			return blobstore.New()
+		}
+		return nil
+	}
+
+	net := simnet.New()
+	meta, err := peer.New(peer.Config{Addr: "meta:9020", Net: net, NS: ns,
+		Area: area, Authoritative: true, PushSelect: true, Blobs: blobs()})
+	if err != nil {
+		return nil, nil, err
+	}
+	for s := 0; s < sellers; s++ {
+		sp, err := peer.New(peer.Config{Addr: fmt.Sprintf("s%d:9020", s),
+			Net: net, NS: ns, Area: area, PushSelect: true, Blobs: blobs()})
+		if err != nil {
+			return nil, nil, err
+		}
+		items := make([]*xmltree.Node, 0, itemsPer)
+		for i := 0; i < itemsPer; i++ {
+			items = append(items, xmltree.MustParse(memPayload(i%distinct)))
+		}
+		sp.AddCollection(peer.Collection{
+			Name: "cds", PathExp: fmt.Sprintf("/data[id=%d]", s+1), Area: area, Items: items,
+		})
+		if err := sp.RegisterWith("meta:9020", catalog.RoleBase); err != nil {
+			return nil, nil, err
+		}
+	}
+	meta.Catalog().AddAlias("urn:ForSale:Portland-CDs", namespace.EncodeURN(area))
+
+	client, err := peer.New(peer.Config{Addr: "client:9020", Net: net, NS: ns, Blobs: blobs()})
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := client.Catalog().Register(catalog.Registration{
+		Addr: "meta:9020", Role: catalog.RoleMetaIndex,
+		Area: area, Authoritative: true,
+	}); err != nil {
+		return nil, nil, err
+	}
+	return net, client, nil
+}
+
+// runMemPhase builds the world, replays the query, and reports the live
+// heap the resident world costs (GC'd HeapAlloc delta across the build) and
+// the phase's store/wire counters.
+func runMemPhase(sellers, itemsPer, distinct, queries int, storeOn bool) (memPhase, error) {
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+
+	net, client, err := memWorld(sellers, itemsPer, distinct, storeOn)
+	if err != nil {
+		return memPhase{}, err
+	}
+	tag := "off"
+	if storeOn {
+		tag = "on"
+	}
+	var ph memPhase
+	for q := 0; q < queries; q++ {
+		plan := algebra.NewPlan(fmt.Sprintf("mem-%s-%d", tag, q), "client:9020",
+			algebra.Display(algebra.Select(algebra.MustParsePredicate("price < 10"),
+				algebra.URN("urn:ForSale:Portland-CDs"))))
+		if err := client.Submit("meta:9020", plan); err != nil {
+			return memPhase{}, err
+		}
+		res, ok := client.TakeResult()
+		if !ok {
+			return memPhase{}, fmt.Errorf("query mem-%s-%d: no result", tag, q)
+		}
+		got, err := res.Plan.Results()
+		if err != nil {
+			return memPhase{}, err
+		}
+		if ph.results != 0 && ph.results != len(got) {
+			return memPhase{}, fmt.Errorf("store-%s: result count drifted across repeats: %d then %d",
+				tag, ph.results, len(got))
+		}
+		ph.results = len(got)
+	}
+
+	runtime.GC()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	if after.HeapAlloc > before.HeapAlloc {
+		ph.heap = after.HeapAlloc - before.HeapAlloc
+	}
+
+	var resident, logical int64
+	for _, addr := range net.Addrs() {
+		p, ok := net.Peer(addr).(*peer.Peer)
+		if !ok {
+			continue
+		}
+		st := p.BlobNetStats()
+		ph.byRefSent += st.ByRefSent
+		ph.byRefBytes += st.ByRefBytes
+		ph.fetches += st.Fetches
+		ph.fetchFails += st.FetchFailures
+		if s := p.BlobStore(); s != nil {
+			ss := s.Stats()
+			resident += ss.Bytes
+			logical += ss.LogicalBytes
+		}
+		p.Close()
+	}
+	if resident > 0 {
+		ph.dedupRatio = float64(logical) / float64(resident)
+	}
+	return ph, nil
+}
+
+func runMemBench(out string, smoke bool) {
+	sellers, itemsPer, distinct, queries := 6, 128, 8, 3
+	if smoke {
+		sellers, itemsPer, distinct, queries = 3, 48, 8, 2
+	}
+	off, err := runMemPhase(sellers, itemsPer, distinct, queries, false)
+	if err != nil {
+		log.Fatalf("loadgen -mem (store off): %v", err)
+	}
+	on, err := runMemPhase(sellers, itemsPer, distinct, queries, true)
+	if err != nil {
+		log.Fatalf("loadgen -mem (store on): %v", err)
+	}
+	if off.results != on.results || off.results == 0 {
+		log.Fatalf("loadgen -mem: store changed the answer: %d results off, %d on",
+			off.results, on.results)
+	}
+	reduction := 0.0
+	if off.heap > 0 {
+		reduction = 1 - float64(on.heap)/float64(off.heap)
+	}
+	rep := memReport{
+		Sellers:          sellers,
+		ItemsPerSeller:   itemsPer,
+		DistinctPayloads: distinct,
+		Queries:          queries,
+		ResultsPerQuery:  off.results,
+		HeapOffBytes:     off.heap,
+		HeapOnBytes:      on.heap,
+		HeapReduction:    reduction,
+		DedupRatio:       on.dedupRatio,
+		ByRefSent:        on.byRefSent,
+		ByRefBytes:       on.byRefBytes,
+		Fetches:          on.fetches,
+		FetchFailures:    on.fetchFails,
+	}
+	doc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatalf("loadgen -mem: %v", err)
+	}
+	fmt.Println(string(doc))
+	if out != "-" {
+		if err := os.WriteFile(out, append(doc, '\n'), 0o644); err != nil {
+			log.Fatalf("loadgen -mem: %v", err)
+		}
+	}
+	if off.byRefSent != 0 || off.byRefBytes != 0 {
+		log.Fatalf("loadgen -mem: store-off phase reported by-reference traffic: %+v", off)
+	}
+	if on.byRefBytes == 0 {
+		log.Fatal("loadgen -mem: no repeat freight went by reference")
+	}
+	if on.fetchFails != 0 {
+		log.Fatalf("loadgen -mem: %d fetch failures in a fault-free run", on.fetchFails)
+	}
+	if reduction < 0.30 {
+		log.Fatalf("loadgen -mem: live-heap reduction %.1f%% below the 30%% acceptance bar", reduction*100)
+	}
+}

@@ -1,0 +1,164 @@
+package blobstore
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/xmltree"
+)
+
+func item(i int) *xmltree.Node {
+	return xmltree.MustParse(fmt.Sprintf("<sale><cd>Album %02d</cd><price>%d</price></sale>", i, 3+i))
+}
+
+func TestFingerprintStableAcrossForms(t *testing.T) {
+	// Same content, three provenances: built mutable, built and frozen,
+	// decoded from the wire. All must fingerprint identically.
+	mutable := item(1)
+	frozen := item(1).Freeze()
+	decoded, err := xmltree.DecodeString(frozen.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpM, sizeM := Fingerprint(mutable)
+	fpF, sizeF := Fingerprint(frozen)
+	fpD, _ := Fingerprint(decoded)
+	if fpM != fpF || fpF != fpD {
+		t.Fatalf("fingerprints diverge: mutable %s frozen %s decoded %s", fpM, fpF, fpD)
+	}
+	if sizeM != sizeF || sizeM != len(frozen.String()) {
+		t.Fatalf("sizes diverge: %d vs %d", sizeM, sizeF)
+	}
+	if other, _ := Fingerprint(item(2)); other == fpM {
+		t.Fatal("distinct content collided")
+	}
+}
+
+func TestFPWireForm(t *testing.T) {
+	fp, _ := Fingerprint(item(7))
+	s := fp.String()
+	if len(s) != 22 {
+		t.Fatalf("wire form %q: want 22 chars", s)
+	}
+	back, ok := ParseFP(s)
+	if !ok || back != fp {
+		t.Fatalf("round trip failed: %q", s)
+	}
+	for _, bad := range []string{"", "abc", s[:21], s + "A", "!!!!!!!!!!!!!!!!!!!!!!"} {
+		if _, ok := ParseFP(bad); ok {
+			t.Errorf("ParseFP(%q) accepted", bad)
+		}
+	}
+}
+
+func TestInternDedupsAndRefcounts(t *testing.T) {
+	s := New()
+	a, fpA := s.Intern(item(1))
+	b, fpB := s.Intern(item(1)) // same content, distinct tree
+	if fpA != fpB {
+		t.Fatal("same content, different fingerprints")
+	}
+	if a != b {
+		t.Fatal("second intern did not return the canonical tree")
+	}
+	st := s.Stats()
+	if st.Entries != 1 || st.Hits != 1 || st.Interns != 2 {
+		t.Fatalf("stats after dedup: %+v", st)
+	}
+	if st.LogicalBytes != 2*st.Bytes {
+		t.Fatalf("logical %d vs resident %d: want 2x", st.LogicalBytes, st.Bytes)
+	}
+	if st.DedupRatio() != 2 {
+		t.Fatalf("dedup ratio %v, want 2", st.DedupRatio())
+	}
+
+	// Two references: one release keeps it resident, the second frees it.
+	s.Release(fpA)
+	if !s.Contains(fpA) {
+		t.Fatal("released below refcount, entry gone early")
+	}
+	s.Release(fpA)
+	if s.Contains(fpA) {
+		t.Fatal("entry survived final release")
+	}
+	if st := s.Stats(); st.Entries != 0 || st.Bytes != 0 || st.Released != 1 {
+		t.Fatalf("stats after free: %+v", st)
+	}
+	// The alias handed out earlier is still a valid frozen tree.
+	if a.String() == "" || !a.Frozen() {
+		t.Fatal("alias invalidated by release")
+	}
+	// Releasing a non-resident fingerprint is a no-op.
+	s.Release(fpA)
+}
+
+func TestCanonicalizeNeverOwns(t *testing.T) {
+	s := New()
+	_, fp := s.Intern(item(3))
+	dup := item(3)
+	if got := s.Canonicalize(dup); got == dup {
+		t.Fatal("resident content not canonicalized")
+	}
+	miss := item(4)
+	if got := s.Canonicalize(miss); got != miss {
+		t.Fatal("miss should return the input")
+	}
+	if s.Len() != 1 {
+		t.Fatal("Canonicalize created an entry")
+	}
+	// Canonicalize took no reference: one release frees the entry.
+	s.Release(fp)
+	if s.Len() != 0 {
+		t.Fatal("Canonicalize leaked a reference")
+	}
+}
+
+func TestRetain(t *testing.T) {
+	s := New()
+	_, fp := s.Intern(item(5))
+	if !s.Retain(fp) {
+		t.Fatal("Retain on resident entry failed")
+	}
+	s.Release(fp)
+	s.Release(fp)
+	if s.Contains(fp) {
+		t.Fatal("refcount accounting broken")
+	}
+	if s.Retain(fp) {
+		t.Fatal("Retain on freed entry succeeded")
+	}
+}
+
+// TestConcurrentInternRelease drives interleaved intern/release/get from
+// many goroutines over a small content set, so `go test -race` exercises
+// the acceptance requirement directly.
+func TestConcurrentInternRelease(t *testing.T) {
+	s := New()
+	const goroutines = 8
+	const rounds = 400
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				n, fp := s.Intern(item(r % 5))
+				if _, ok := s.Get(fp); !ok {
+					t.Error("interned entry not resident")
+					return
+				}
+				if got, _ := Fingerprint(n); got != fp {
+					t.Error("canonical node fingerprint mismatch")
+					return
+				}
+				s.Canonicalize(item((r + g) % 5))
+				s.Release(fp)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Len() != 0 {
+		t.Fatalf("%d entries leaked", s.Len())
+	}
+}

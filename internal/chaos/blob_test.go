@@ -1,0 +1,122 @@
+package chaos
+
+import (
+	"testing"
+
+	"repro/internal/peer"
+)
+
+// Payload-store chaos coverage: the same seeded fault-injection scenarios
+// with every peer running a content-addressed blobstore — collection dedup
+// at rest, by-reference result freight, fetch-on-miss repair under drops,
+// duplicates, reordering, partitions and crashes. The store may only ever
+// change HOW payload bytes travel, never WHAT a plan answers.
+
+// TestBlobsEnabledSweep: mixed-fault scenarios with stores on must violate
+// nothing, and the sweep as a whole must actually exercise the reference
+// path (a sweep where nothing ever ships by reference would mean the store
+// is dead code under chaos and the test proves nothing).
+func TestBlobsEnabledSweep(t *testing.T) {
+	seeds := int64(60)
+	if testing.Short() {
+		seeds = 25
+	}
+	var byRef, fetches uint64
+	for seed := int64(1); seed <= seeds; seed++ {
+		rep, err := Run(Config{Seed: seed, Blobs: true})
+		if err != nil {
+			t.Fatalf("seed %d: harness error: %v", seed, err)
+		}
+		if rep.Failed() {
+			t.Errorf("seed %d violated invariants with blob stores enabled:", seed)
+			for _, v := range rep.Violations {
+				t.Errorf("  %s", v)
+			}
+			return
+		}
+		if rep.BlobLogicalBytes < rep.BlobBytes {
+			t.Fatalf("seed %d: logical bytes below resident bytes: %d < %d",
+				seed, rep.BlobLogicalBytes, rep.BlobBytes)
+		}
+		byRef += rep.Blobs.ByRefSent
+		fetches += rep.Blobs.Fetches
+	}
+	if byRef == 0 {
+		t.Fatal("no scenario shipped a single payload by reference; the store wire path is not exercised")
+	}
+	t.Logf("sweep: byRef=%d fetches=%d", byRef, fetches)
+}
+
+// TestBlobsFaultFreeNeverStuck: by-reference freight must not strand plans
+// in fault-free worlds — every reference a sender emits is resolvable, so
+// the liveness gate (invariant 5) holds with stores active.
+func TestBlobsFaultFreeNeverStuck(t *testing.T) {
+	for seed := int64(1); seed <= 25; seed++ {
+		rep, err := Run(Config{Seed: seed, Level: LevelNone, Blobs: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Failed() {
+			t.Fatalf("seed %d: %v", seed, rep.Violations)
+		}
+		if rep.Stuck != 0 || rep.LostToFaults != 0 {
+			t.Fatalf("seed %d: blob stores stranded plans in a fault-free world: %s", seed, rep.Summary())
+		}
+		if rep.Blobs.FetchFailures != 0 {
+			t.Fatalf("seed %d: fetch failed without faults: %+v", seed, rep.Blobs)
+		}
+	}
+}
+
+// TestBlobsOffIsByteIdentical: with Blobs unset, the scenario is
+// byte-identical to the store-less build — same summary, zero blob state —
+// pinning that the payload store is invisible unless opted into (the
+// nil-store guarantee threaded through peer.Config.Blobs).
+func TestBlobsOffIsByteIdentical(t *testing.T) {
+	for _, seed := range []int64{3, 77, 501} {
+		off, err := Run(Config{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if off.Blobs != (peer.BlobNetStats{}) || off.BlobBytes != 0 || off.BlobLogicalBytes != 0 {
+			t.Fatalf("seed %d: store-off run accumulated blob state: %+v", seed, off.Blobs)
+		}
+		again, err := Run(Config{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if off.Summary() != again.Summary() {
+			t.Fatalf("seed %d: store-off run not reproducible:\n%s\n%s",
+				seed, off.Summary(), again.Summary())
+		}
+	}
+}
+
+// TestBlobsWithLearningLargeWorldChurn: stores and learned routing together
+// in a churning 200-peer world — replica snapshots intern through the
+// store, promotions redirect traffic, and crash-severed links force the
+// fetch-on-miss path while shortcuts reroute around the dead source.
+func TestBlobsWithLearningLargeWorldChurn(t *testing.T) {
+	seeds := []int64{1, 2, 3, 4}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	var byRef uint64
+	for _, seed := range seeds {
+		rep, err := Run(Config{Seed: seed, Peers: 200, Churn: true, Learn: true, Blobs: true})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if rep.Failed() {
+			t.Errorf("seed %d violated invariants (replay: go run ./cmd/chaos -seed %d -peers 200 -churn -learn -blobs):", seed, seed)
+			for _, v := range rep.Violations {
+				t.Errorf("  %s", v)
+			}
+			return
+		}
+		byRef += rep.Blobs.ByRefSent
+	}
+	if byRef == 0 {
+		t.Fatal("no large-world scenario shipped a payload by reference")
+	}
+}

@@ -47,6 +47,7 @@ import (
 	"time"
 
 	"repro/internal/algebra"
+	"repro/internal/blobstore"
 	"repro/internal/catalog"
 	"repro/internal/hierarchy"
 	"repro/internal/mqp"
@@ -124,6 +125,13 @@ type Config struct {
 	// into peer catalogs. Off by default, so default sweeps exercise the
 	// byte-identical non-learning path.
 	Learn bool
+	// Blobs gives every peer a content-addressed payload store
+	// (internal/blobstore): collection installs and replica snapshots dedup
+	// at rest, and repeated result freight ships by reference once the
+	// receiver provably holds the fingerprint, with fetch-on-miss repair
+	// under faults. Off by default, so default sweeps exercise the
+	// byte-identical store-off path.
+	Blobs bool
 }
 
 // Report is the outcome of one scenario. Violations empty means every
@@ -162,6 +170,13 @@ type Report struct {
 	// Shortcuts aggregates the learned-routing tables of every peer at the
 	// end of a Config.Learn scenario (all-zero with learning off).
 	Shortcuts route.ShortcutStats
+	// Blobs aggregates every peer's payload-store wire counters at the end
+	// of a Config.Blobs scenario (all-zero with stores off). FetchFailures
+	// feed the stuck/lost accounting, never silent loss.
+	Blobs peer.BlobNetStats
+	// BlobBytes and BlobLogicalBytes sum resident vs logical store bytes
+	// across peers; logical/resident > 1 means dedup at rest happened.
+	BlobBytes, BlobLogicalBytes int64
 	// Events counts scheduler events pumped (deliveries plus control
 	// events); zero for inline-built small worlds before PR 7's stats.
 	Events int
@@ -243,6 +258,7 @@ func Run(cfg Config) (*Report, error) {
 	})
 
 	learn := cfg.Learn
+	blobs := cfg.Blobs
 	keys := map[string][]byte{}
 	peers := map[string]*peer.Peer{}
 	addPeer := func(cfg peer.Config) (*peer.Peer, error) {
@@ -258,6 +274,9 @@ func Run(cfg Config) (*Report, error) {
 			// Chaos keys are the peer addresses; mining verifies trails
 			// against the same keyring the invariant checks use.
 			cfg.Keyring = func(server string) []byte { return []byte(server) }
+		}
+		if blobs {
+			cfg.Blobs = blobstore.New()
 		}
 		p, err := peer.New(cfg)
 		if err != nil {
@@ -446,6 +465,7 @@ func Run(cfg Config) (*Report, error) {
 	// --- Invariants ------------------------------------------------------
 	checkInvariants(rep, net, peers, keys, client, cases, expected)
 	collectShortcutStats(rep, peers)
+	collectBlobStats(rep, peers)
 	return rep, nil
 }
 
@@ -539,6 +559,29 @@ func collectShortcutStats(rep *Report, peers map[string]*peer.Peer) {
 		rep.Shortcuts.Expired += st.Expired
 		rep.Shortcuts.Invalidated += st.Invalidated
 		rep.Shortcuts.Entries += st.Entries
+	}
+}
+
+// collectBlobStats sums the payload-store wire counters and residency
+// across peers; all-zero when the scenario ran without Config.Blobs.
+func collectBlobStats(rep *Report, peers map[string]*peer.Peer) {
+	for _, addr := range sortedAddrs(peers) {
+		p := peers[addr]
+		st := p.BlobNetStats()
+		rep.Blobs.ByRefSent += st.ByRefSent
+		rep.Blobs.ByRefBytes += st.ByRefBytes
+		rep.Blobs.RefsResolved += st.RefsResolved
+		rep.Blobs.Fetches += st.Fetches
+		rep.Blobs.FetchRetries += st.FetchRetries
+		rep.Blobs.FetchFailures += st.FetchFailures
+		rep.Blobs.FetchServed += st.FetchServed
+		rep.Blobs.Taught += st.Taught
+		rep.Blobs.Probes += st.Probes
+		if s := p.BlobStore(); s != nil {
+			ss := s.Stats()
+			rep.BlobBytes += ss.Bytes
+			rep.BlobLogicalBytes += ss.LogicalBytes
+		}
 	}
 }
 

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"repro/internal/algebra"
+	"repro/internal/blobstore"
 	"repro/internal/catalog"
 	"repro/internal/hierarchy"
 	"repro/internal/mqp"
@@ -102,6 +103,9 @@ func runLarge(cfg Config) (*Report, error) {
 		if cfg.Learn {
 			pcfg.LearnShortcuts = true
 			pcfg.Keyring = func(server string) []byte { return []byte(server) }
+		}
+		if cfg.Blobs {
+			pcfg.Blobs = blobstore.New()
 		}
 		p, err := peer.New(pcfg)
 		if err != nil {
@@ -426,6 +430,7 @@ func runLarge(cfg Config) (*Report, error) {
 	// --- Invariants ------------------------------------------------------
 	checkInvariantsLarge(rep, net, peers, keys, client, cases, lowers, uppers, inc)
 	collectShortcutStats(rep, peers)
+	collectBlobStats(rep, peers)
 	return rep, nil
 }
 

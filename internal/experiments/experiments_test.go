@@ -99,7 +99,7 @@ func TestRunnersDistinct(t *testing.T) {
 			t.Fatalf("experiment %s incomplete", r.ID)
 		}
 	}
-	if len(seen) != 15 {
-		t.Fatalf("expected 15 experiments, have %d", len(seen))
+	if len(seen) != 16 {
+		t.Fatalf("expected 16 experiments, have %d", len(seen))
 	}
 }

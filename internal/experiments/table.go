@@ -156,5 +156,6 @@ func All() []Runner {
 		{"E13", "Optimization ablations", E13Ablations},
 		{"E14", "Fault-injection robustness vs oracle", E14Robustness},
 		{"E15", "Learned routing shortcuts", E15LearnedRouting},
+		{"E16", "Content-addressed payload store", E16PayloadStore},
 	}
 }

@@ -227,6 +227,13 @@ type Config struct {
 	// the hierarchy walk. Nil disables — routing is then byte-identical to
 	// a build without learning.
 	Shortcuts *route.Shortcuts
+	// InternDoc, when non-nil, maps a frozen payload document to its
+	// canonical alias (typically blobstore.Canonicalize on the serving
+	// peer's store). Prepared-plan cache entries pass their freight through
+	// it so a cached materialization pins one resident copy of payloads the
+	// store already holds, not a private duplicate. It must not take
+	// ownership: cache eviction does no release bookkeeping.
+	InternDoc func(n *xmltree.Node) *xmltree.Node
 }
 
 // Processor is one server's MQP processing station. It holds no per-step
@@ -503,9 +510,13 @@ func (p *Processor) StepCtx(sc *StepContext, plan *algebra.Plan) (Outcome, error
 			st.record(provenance.ActionForward, "", 0)
 		}
 		if cacheable && !st.remoteIO {
+			outRoot := plan.Root.Clone()
+			if p.cfg.InternDoc != nil {
+				internDocs(outRoot, p.cfg.InternDoc)
+			}
 			p.cache.insert(fp, &cacheEntry{
 				inRoot:   inRoot,
-				outRoot:  plan.Root.Clone(),
+				outRoot:  outRoot,
 				routes:   append([]string(nil), routeCandidates...),
 				actions:  append([]provAction(nil), st.actions...),
 				bound:    out.Bound,
@@ -617,6 +628,21 @@ func hasDocs(root *algebra.Node) bool {
 		return true
 	})
 	return found
+}
+
+// internDocs rewrites every payload document in a freshly cloned prepared
+// root to its canonical alias via Config.InternDoc. The clone is private to
+// the cache entry being built, so the in-place rewrite is safe; the docs
+// themselves are frozen aliases either way.
+func internDocs(root *algebra.Node, intern func(*xmltree.Node) *xmltree.Node) {
+	root.Walk(func(m *algebra.Node) bool {
+		if m.Kind == algebra.KindData {
+			for i, d := range m.Docs {
+				m.Docs[i] = intern(d)
+			}
+		}
+		return true
+	})
 }
 
 // materializeAndReduce is the resolve→rebind→reduce tail of a processing

@@ -1,0 +1,482 @@
+package peer
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/algebra"
+	"repro/internal/blobstore"
+	"repro/internal/simnet"
+	"repro/internal/xmltree"
+)
+
+// Payload-by-reference: the peer-side runtime of the content-addressed
+// payload store (internal/blobstore).
+//
+// A blob-enabled peer marks every body it sends with algebra.BlobsAttr, so
+// its neighbors learn the capability from ordinary traffic — registrations,
+// fetch requests and replies, plans, results. Once a neighbor has proven
+// capable, the peer substitutes payload documents it has already exchanged
+// inline with that neighbor (the per-neighbor "taught" set) with <blob fp>
+// references, and resolves incoming references against its own store. A
+// reference that misses — the teaching send was dropped, the store was
+// restarted — is repaired by a fetch-on-miss request back to the sender,
+// whose reply carries the payload inline: the optimization degrades to
+// inline shipping, never to a wrong answer. Every fingerprint a peer has
+// taught stays pinned in its own store precisely so that fetch is always
+// servable.
+//
+// Refcount ownership (see blobstore): each container below owns one
+// reference per fingerprint it holds and releases it on eviction —
+//   - the per-neighbor taught sets (bounded FIFO per neighbor),
+//   - the wire-taught FIFO of payloads interned off received bodies
+//     (bounded, shared across neighbors),
+//   - the collection store (one reference per installed item, released
+//     when a snapshot is replaced; see AddCollection/SetItems).
+// The prepared-plan cache deliberately owns nothing: its freight is
+// canonicalized with Canonicalize, so cache eviction needs no bookkeeping.
+
+// blobMinBytes is the smallest canonical payload worth teaching or
+// substituting: below it a 33-byte reference plus the risk of a fetch round
+// trip saves nothing.
+const blobMinBytes = 128
+
+// blobMaxTaughtPerPeer bounds each per-neighbor taught set; the oldest
+// teaching is forgotten (and its pin released) first.
+const blobMaxTaughtPerPeer = 1024
+
+// blobMaxWireTaught bounds the wire-taught FIFO of payloads interned off
+// received bodies.
+const blobMaxWireTaught = 4096
+
+// BlobNetStats counts a peer's payload-by-reference wire activity.
+type BlobNetStats struct {
+	// ByRefSent counts payload references substituted into outgoing
+	// bodies; ByRefBytes is the canonical bytes they replaced.
+	ByRefSent  uint64
+	ByRefBytes int64
+	// RefsResolved counts incoming references answered by the local store.
+	RefsResolved uint64
+	// Fetches counts fetch-on-miss requests issued; FetchRetries the
+	// second attempts; FetchFailures the fetches that failed even after
+	// the retry (the plan is then stuck, attributably).
+	Fetches, FetchRetries, FetchFailures uint64
+	// FetchServed counts fetch requests this peer answered from its store.
+	FetchServed uint64
+	// Taught counts fingerprints pinned into per-neighbor taught sets.
+	Taught uint64
+	// Probes counts capability probes issued to neighbors of unknown
+	// capability.
+	Probes uint64
+}
+
+// taughtSet is the fingerprints one neighbor provably exchanged inline with
+// this peer, FIFO-bounded. Each member holds one store reference.
+type taughtSet struct {
+	set  map[blobstore.FP]bool
+	fifo []blobstore.FP
+}
+
+// blobFetch is one in-flight fetch-on-miss, single-flighted per
+// fingerprint: concurrent resolvers of the same missing payload share one
+// request. Waiters charge no virtual time (they did not issue it).
+type blobFetch struct {
+	done chan struct{}
+	node *xmltree.Node
+	err  error
+}
+
+// blobState is a peer's payload-by-reference runtime, nil unless
+// Config.Blobs is set.
+type blobState struct {
+	store *blobstore.Store
+
+	mu       sync.Mutex
+	capable  map[string]bool
+	probed   map[string]bool
+	taught   map[string]*taughtSet
+	wireSet  map[blobstore.FP]bool
+	wireFIFO []blobstore.FP
+	collFPs  map[string][]blobstore.FP
+	fetching map[blobstore.FP]*blobFetch
+	stats    BlobNetStats
+}
+
+func newBlobState(store *blobstore.Store) *blobState {
+	return &blobState{
+		store:    store,
+		capable:  map[string]bool{},
+		probed:   map[string]bool{},
+		taught:   map[string]*taughtSet{},
+		wireSet:  map[blobstore.FP]bool{},
+		collFPs:  map[string][]blobstore.FP{},
+		fetching: map[blobstore.FP]*blobFetch{},
+	}
+}
+
+// NetStats snapshots the peer's payload-by-reference counters; zero when
+// the store is disabled.
+func (p *Peer) BlobNetStats() BlobNetStats {
+	if p.blobs == nil {
+		return BlobNetStats{}
+	}
+	p.blobs.mu.Lock()
+	defer p.blobs.mu.Unlock()
+	return p.blobs.stats
+}
+
+// BlobStore returns the peer's payload store, nil when disabled.
+func (p *Peer) BlobStore() *blobstore.Store {
+	if p.blobs == nil {
+		return nil
+	}
+	return p.blobs.store
+}
+
+// blobMark marks an outgoing non-plan body (registration, fetch request or
+// reply, …) with the capability attribute, teaching the receiver that this
+// peer speaks payload-by-reference. Returns the body for call-site chaining.
+func (p *Peer) blobMark(body *xmltree.Node) *xmltree.Node {
+	if p.blobs != nil {
+		body.SetAttr(algebra.BlobsAttr, "1")
+	}
+	return body
+}
+
+// blobLearn records addr as blob-capable when a body it sent is marked.
+func (p *Peer) blobLearn(addr string, body *xmltree.Node) {
+	if p.blobs == nil || body == nil || !algebra.Marked(body) {
+		return
+	}
+	p.blobs.mu.Lock()
+	p.blobs.capable[addr] = true
+	p.blobs.mu.Unlock()
+}
+
+// blobEncode rewrites a freshly marshaled staging body bound for `to`:
+// payload documents the receiver provably holds become <blob> references,
+// and the body is marked as blob-capable (unless a payload is ambiguous
+// with the reference shape, in which case SubstituteBlobs leaves the whole
+// body inline and unmarked). The body is mutated in place; it must be this
+// peer's own staging tree, straight out of Marshal. at is the sender's
+// virtual time, used for the one-time capability probe.
+func (p *Peer) blobEncode(body *xmltree.Node, to string, at time.Duration) *xmltree.Node {
+	if p.blobs == nil {
+		return body
+	}
+	p.blobs.encode(p, body, to, at)
+	return body
+}
+
+// ensureCapable reports whether `to` is known blob-capable, probing once
+// when unknown: message flow is largely one-directional (client → meta →
+// sellers → client), so a sender often never receives traffic from the
+// neighbor it ships payloads to and cannot learn its capability passively.
+// The probe is a payload-less fetch request; a marked reply proves the
+// extension, any failure (legacy peer, unreachable) caches inline-only for
+// this run — later marked traffic from the neighbor still upgrades it. The
+// probe's round trip is not charged to any plan: it is one-time, per
+// neighbor, capability metadata rather than plan work.
+func (b *blobState) ensureCapable(p *Peer, to string, at time.Duration) bool {
+	b.mu.Lock()
+	if b.capable[to] {
+		b.mu.Unlock()
+		return true
+	}
+	if b.probed[to] {
+		b.mu.Unlock()
+		return false
+	}
+	b.probed[to] = true
+	b.stats.Probes++
+	b.mu.Unlock()
+	req := xmltree.Elem("blobfetch")
+	req.SetAttr("probe", "1")
+	req.SetAttr(algebra.BlobsAttr, "1")
+	reply, _, err := p.net.Request(p.addr, to, KindBlobFetch, req, at)
+	if err != nil || !algebra.Marked(reply) {
+		return false
+	}
+	b.mu.Lock()
+	b.capable[to] = true
+	b.mu.Unlock()
+	return true
+}
+
+func (b *blobState) encode(p *Peer, body *xmltree.Node, to string, at time.Duration) {
+	// Capability is checked lazily, on the first payload worth
+	// substituting: payload-free bodies never probe.
+	checked, capable := false, false
+	algebra.SubstituteBlobs(body, func(doc *xmltree.Node) (string, bool) {
+		fp, size := blobstore.Fingerprint(doc)
+		if size < blobMinBytes {
+			return "", false
+		}
+		if !checked {
+			checked, capable = true, b.ensureCapable(p, to, at)
+		}
+		if !capable {
+			return "", false
+		}
+		if !b.teach(to, fp, doc) {
+			// First exchange of these bytes with `to`: ship inline, so the
+			// receiver can intern them. Next time they go by reference.
+			return "", false
+		}
+		b.mu.Lock()
+		b.stats.ByRefSent++
+		b.stats.ByRefBytes += int64(size)
+		b.mu.Unlock()
+		return fp.String(), true
+	})
+}
+
+// teach records that `to` is about to hold doc's bytes (we are sending them
+// inline, or just received them from `to`). It reports whether the
+// fingerprint was already taught — i.e. whether the receiver provably holds
+// it and a reference may be sent instead. A newly taught fingerprint is
+// pinned in this peer's own store so a later fetch-on-miss is always
+// servable.
+func (b *blobState) teach(to string, fp blobstore.FP, doc *xmltree.Node) bool {
+	b.mu.Lock()
+	ts := b.taught[to]
+	if ts == nil {
+		ts = &taughtSet{set: map[blobstore.FP]bool{}}
+		b.taught[to] = ts
+	}
+	if ts.set[fp] {
+		b.mu.Unlock()
+		return true
+	}
+	b.mu.Unlock()
+	// Pin outside the state lock: Intern takes the store's own lock.
+	b.store.Intern(doc)
+	b.mu.Lock()
+	if ts.set[fp] { // raced with another sender teaching the same bytes
+		b.mu.Unlock()
+		b.store.Release(fp)
+		return true
+	}
+	ts.set[fp] = true
+	ts.fifo = append(ts.fifo, fp)
+	b.stats.Taught++
+	var evict blobstore.FP
+	evicted := false
+	if len(ts.fifo) > blobMaxTaughtPerPeer {
+		evict, evicted = ts.fifo[0], true
+		ts.fifo = ts.fifo[1:]
+		delete(ts.set, evict)
+	}
+	b.mu.Unlock()
+	if evicted {
+		b.store.Release(evict)
+	}
+	return false
+}
+
+// internWire interns a payload received inline from `from` into the store,
+// pinned by the wire-taught FIFO, and records it as taught toward `from`
+// (both ends now hold the bytes, so either may reference them). Returns the
+// canonical alias.
+func (b *blobState) internWire(from string, doc *xmltree.Node) *xmltree.Node {
+	canon, fp := b.store.Intern(doc)
+	b.mu.Lock()
+	if b.wireSet[fp] {
+		b.mu.Unlock()
+		b.store.Release(fp) // the FIFO already owns its pin
+	} else {
+		b.wireSet[fp] = true
+		b.wireFIFO = append(b.wireFIFO, fp)
+		var evict blobstore.FP
+		evicted := false
+		if len(b.wireFIFO) > blobMaxWireTaught {
+			evict, evicted = b.wireFIFO[0], true
+			b.wireFIFO = b.wireFIFO[1:]
+			delete(b.wireSet, evict)
+		}
+		b.mu.Unlock()
+		if evicted {
+			b.store.Release(evict)
+		}
+	}
+	if b.store.Retain(fp) { // the taught set's own pin
+		b.mu.Lock()
+		ts := b.taught[from]
+		if ts == nil {
+			ts = &taughtSet{set: map[blobstore.FP]bool{}}
+			b.taught[from] = ts
+		}
+		if ts.set[fp] {
+			b.mu.Unlock()
+			b.store.Release(fp)
+		} else {
+			ts.set[fp] = true
+			ts.fifo = append(ts.fifo, fp)
+			b.stats.Taught++
+			var evict blobstore.FP
+			evicted := false
+			if len(ts.fifo) > blobMaxTaughtPerPeer {
+				evict, evicted = ts.fifo[0], true
+				ts.fifo = ts.fifo[1:]
+				delete(ts.set, evict)
+			}
+			b.mu.Unlock()
+			if evicted {
+				b.store.Release(evict)
+			}
+		}
+	}
+	return canon
+}
+
+// blobDecode resolves a received plan/result body: learns the sender's
+// capability, replaces <blob> references with payloads from the store
+// (fetching misses back from the sender), and interns inline payloads so
+// repeated freight collapses to one resident copy. The returned delay is
+// the virtual time fetch-on-miss round trips cost, to be charged to the
+// plan's clock. Unmarked bodies (or a peer without a store) pass through
+// untouched.
+func (p *Peer) blobDecode(msg *simnet.Message) (*xmltree.Node, time.Duration, error) {
+	if p.blobs == nil || !algebra.Marked(msg.Body) {
+		return msg.Body, 0, nil
+	}
+	b := p.blobs
+	b.mu.Lock()
+	b.capable[msg.From] = true
+	b.mu.Unlock()
+	var delay time.Duration
+	resolved, err := algebra.ResolveBlobs(msg.Body,
+		func(fpStr string) (*xmltree.Node, error) {
+			fp, ok := blobstore.ParseFP(fpStr)
+			if !ok {
+				return nil, fmt.Errorf("malformed fingerprint %q", fpStr)
+			}
+			if n, ok := b.store.Get(fp); ok {
+				b.mu.Lock()
+				b.stats.RefsResolved++
+				b.mu.Unlock()
+				return n, nil
+			}
+			n, d, err := b.fetchMissing(p, msg.From, fp, msg.At+delay)
+			delay += d
+			return n, err
+		},
+		func(doc *xmltree.Node) *xmltree.Node {
+			if _, size := blobstore.Fingerprint(doc); size < blobMinBytes {
+				return doc
+			}
+			return b.internWire(msg.From, doc)
+		})
+	if err != nil {
+		return nil, delay, err
+	}
+	return resolved, delay, nil
+}
+
+// fetchMissing pulls a missing payload from the peer that referenced it —
+// the inline fallback of the by-reference path. One request, one retry;
+// requests for the same fingerprint are single-flighted. The fetched
+// payload is interned like any inline receipt. Returns the virtual time the
+// round trip(s) cost.
+func (b *blobState) fetchMissing(p *Peer, from string, fp blobstore.FP, at time.Duration) (*xmltree.Node, time.Duration, error) {
+	b.mu.Lock()
+	if c := b.fetching[fp]; c != nil {
+		b.mu.Unlock()
+		<-c.done
+		return c.node, 0, c.err
+	}
+	c := &blobFetch{done: make(chan struct{})}
+	b.fetching[fp] = c
+	b.stats.Fetches++
+	b.mu.Unlock()
+
+	req := xmltree.Elem("blobfetch")
+	req.SetAttr("fp", fp.String())
+	req.SetAttr(algebra.BlobsAttr, "1")
+	var delay time.Duration
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		if attempt > 0 {
+			b.mu.Lock()
+			b.stats.FetchRetries++
+			b.mu.Unlock()
+		}
+		reply, rat, err := p.net.Request(p.addr, from, KindBlobFetch, req, at+delay)
+		if rat > at+delay {
+			// Virtual time passed either way: a dropped request still burned
+			// its timeout before the retry could go out.
+			delay = rat - at
+		}
+		if err == nil {
+			els := reply.Elements()
+			if len(els) == 0 {
+				lastErr = fmt.Errorf("empty fetch reply")
+				continue
+			}
+			c.node = b.internWire(from, els[0].Freeze())
+			break
+		}
+		lastErr = err
+	}
+	if c.node == nil {
+		b.mu.Lock()
+		b.stats.FetchFailures++
+		b.mu.Unlock()
+		c.err = fmt.Errorf("blob %s fetch from %s failed after retry: %w", fp, from, lastErr)
+	}
+	close(c.done)
+	b.mu.Lock()
+	delete(b.fetching, fp)
+	b.mu.Unlock()
+	return c.node, delay, c.err
+}
+
+// serveBlobFetch answers a fetch-on-miss request from the store. A miss is
+// an error — by the teaching discipline this peer pins everything it has
+// referenced, so a miss means the requester was taught by someone else (or
+// the reference was forged) and the requester's retry/failure path owns the
+// outcome.
+func (p *Peer) serveBlobFetch(req *simnet.Message) (*xmltree.Node, error) {
+	if p.blobs == nil {
+		return nil, fmt.Errorf("peer %s: no payload store", p.addr)
+	}
+	if req.Body.AttrDefault("probe", "") != "" {
+		// Capability probe: the marked empty reply is the proof.
+		return p.blobMark(xmltree.Elem("blobdata")), nil
+	}
+	fpStr := req.Body.AttrDefault("fp", "")
+	fp, ok := blobstore.ParseFP(fpStr)
+	if !ok {
+		return nil, fmt.Errorf("peer %s: malformed blob fingerprint %q", p.addr, fpStr)
+	}
+	n, ok := p.blobs.store.Get(fp)
+	if !ok {
+		return nil, fmt.Errorf("peer %s: blob %s not resident", p.addr, fpStr)
+	}
+	p.blobs.mu.Lock()
+	p.blobs.stats.FetchServed++
+	p.blobs.mu.Unlock()
+	reply := p.blobMark(xmltree.Elem("blobdata"))
+	reply.Add(n.Share())
+	return reply, nil
+}
+
+// internCollection interns a collection snapshot's items, returning the
+// canonical aliases to install. The store reference per item is owned by
+// the collection slot: replacing a snapshot releases the previous one.
+func (b *blobState) internCollection(pathExp string, items []*xmltree.Node) []*xmltree.Node {
+	canon := make([]*xmltree.Node, len(items))
+	fps := make([]blobstore.FP, len(items))
+	for i, it := range items {
+		canon[i], fps[i] = b.store.Intern(it)
+	}
+	b.mu.Lock()
+	old := b.collFPs[pathExp]
+	b.collFPs[pathExp] = fps
+	b.mu.Unlock()
+	for _, fp := range old {
+		b.store.Release(fp)
+	}
+	return canon
+}

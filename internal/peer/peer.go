@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/algebra"
+	"repro/internal/blobstore"
 	"repro/internal/catalog"
 	"repro/internal/hierarchy"
 	"repro/internal/mqp"
@@ -44,6 +45,7 @@ const (
 	KindFetch      = "fetch"      // data pull: request a collection's items
 	KindExport     = "export"     // harvest: request a peer's registration
 	KindSubcats    = "subcats"    // category-server query (§3.5)
+	KindBlobFetch  = "blobfetch"  // payload fetch-on-miss (see blob.go)
 )
 
 // Collection is a named collection a base server exports, with the XPath
@@ -142,6 +144,13 @@ type Config struct {
 	// expiry and this peer's restart-from-catalog). Zero defaults to 2;
 	// negative disables absorption.
 	AbsorbThreshold int
+	// Blobs, when non-nil, is the peer's content-addressed payload store
+	// (internal/blobstore): collection snapshots and received payloads are
+	// interned so identical subtrees are resident once, and bodies sent to
+	// neighbors that have proven blob-capable carry payload references
+	// instead of bytes both ends already hold (see blob.go). Nil keeps the
+	// peer byte-identical to a build without the store.
+	Blobs *blobstore.Store
 }
 
 // Peer is one network participant.
@@ -181,6 +190,9 @@ type Peer struct {
 
 	// shortcuts is the learned routing table, nil unless Config.LearnShortcuts.
 	shortcuts *route.Shortcuts
+
+	// blobs is the payload-by-reference runtime, nil unless Config.Blobs.
+	blobs *blobState
 }
 
 // New creates a peer and registers it on the network.
@@ -222,6 +234,12 @@ func New(cfg Config) (*Peer, error) {
 	if cfg.LearnShortcuts {
 		p.shortcuts = route.NewShortcuts(route.ShortcutsConfig{})
 		pcfg.Shortcuts = p.shortcuts
+	}
+	if cfg.Blobs != nil {
+		p.blobs = newBlobState(cfg.Blobs)
+		// Prepared-plan cache freight dedups against the store without
+		// taking ownership (see blobstore.Canonicalize).
+		pcfg.InternDoc = cfg.Blobs.Canonicalize
 	}
 	if cfg.Authoritative {
 		pcfg.Authority = cfg.Area
@@ -273,6 +291,12 @@ func (p *Peer) AddCollection(c Collection) {
 		it.Freeze()
 	}
 	cc := c
+	if p.blobs != nil {
+		// Dedup at rest: install canonical aliases, one resident copy per
+		// distinct content across collections, replicas and received
+		// payloads. The slice is fresh — the caller's is left alone.
+		cc.Items = p.blobs.internCollection(c.PathExp, c.Items)
+	}
 	p.store.put(&cc)
 }
 
@@ -298,6 +322,9 @@ func (p *Peer) SetItems(pathExp string, items []*xmltree.Node) error {
 	}
 	cc := *old
 	cc.Items = items
+	if p.blobs != nil {
+		cc.Items = p.blobs.internCollection(pathExp, items)
+	}
 	p.store.put(&cc)
 	return nil
 }
@@ -357,7 +384,7 @@ func (p *Peer) registerWith(addr string, role catalog.Role, at time.Duration, su
 	reg.Supersedes = supersedes
 	if err := p.net.Send(&simnet.Message{
 		From: p.addr, To: addr, Kind: KindRegister,
-		Body: catalog.MarshalRegistration(reg), At: at,
+		Body: p.blobMark(catalog.MarshalRegistration(reg)), At: at,
 	}); err != nil {
 		return err
 	}
@@ -375,7 +402,7 @@ func (p *Peer) DeregisterFrom(addr string, at time.Duration) error {
 	body := xmltree.Elem("deregister")
 	body.SetAttr("addr", p.addr)
 	if err := p.net.Send(&simnet.Message{
-		From: p.addr, To: addr, Kind: KindDeregister, Body: body, At: at,
+		From: p.addr, To: addr, Kind: KindDeregister, Body: p.blobMark(body), At: at,
 	}); err != nil {
 		return err
 	}
@@ -387,10 +414,11 @@ func (p *Peer) DeregisterFrom(addr string, at time.Duration) error {
 // — the §3.3 pull process ("index servers query their base servers for
 // their data, to build more detailed indices").
 func (p *Peer) Harvest(addr string) error {
-	reply, _, err := p.net.Request(p.addr, addr, KindExport, xmltree.Elem("export"), p.virtualNow())
+	reply, _, err := p.net.Request(p.addr, addr, KindExport, p.blobMark(xmltree.Elem("export")), p.virtualNow())
 	if err != nil {
 		return err
 	}
+	p.blobLearn(addr, reply)
 	reg, err := catalog.UnmarshalRegistration(p.ns, reply)
 	if err != nil {
 		return err
@@ -404,10 +432,11 @@ func (p *Peer) Harvest(addr string) error {
 func (p *Peer) ReplicateFrom(srcAddr, pathExp string, as Collection, stalenessMin int) error {
 	req := xmltree.Elem("fetch")
 	req.SetAttr("path", pathExp)
-	reply, at, err := p.net.Request(p.addr, srcAddr, KindFetch, req, p.virtualNow())
+	reply, at, err := p.net.Request(p.addr, srcAddr, KindFetch, p.blobMark(req), p.virtualNow())
 	if err != nil {
 		return err
 	}
+	p.blobLearn(srcAddr, reply)
 	items := make([]*xmltree.Node, 0, len(reply.Elements()))
 	for _, e := range reply.Elements() {
 		// The reply is ours; the source serves frozen items, so this
@@ -590,7 +619,8 @@ func (p *Peer) SubmitCtx(ctx context.Context, addr string, plan *algebra.Plan) e
 		return fmt.Errorf("peer %s: submit plan %q: %w", p.addr, plan.ID, err)
 	}
 	return p.net.Send(&simnet.Message{
-		From: p.addr, To: addr, Kind: KindMQP, Body: algebra.Marshal(plan),
+		From: p.addr, To: addr, Kind: KindMQP,
+		Body: p.blobEncode(algebra.Marshal(plan), addr, p.virtualNow()),
 	})
 }
 
@@ -603,13 +633,19 @@ func (p *Peer) Deliver(net *simnet.Network, msg *simnet.Message) error {
 	case KindMQP:
 		return p.handleMQP(msg)
 	case KindResult:
-		plan, err := algebra.Unmarshal(msg.Body)
+		body, fdelay, derr := p.blobDecode(msg)
+		if derr != nil {
+			return p.noteStuck(fmt.Errorf("peer %s: result for plan %q: %w",
+				p.addr, msg.Body.AttrDefault("id", ""), derr))
+		}
+		plan, err := algebra.Unmarshal(body)
 		if err != nil {
 			return fmt.Errorf("peer %s: bad result: %w", p.addr, err)
 		}
-		p.recordResult(plan, msg.At, msg.Hops)
+		p.recordResult(plan, msg.At+fdelay, msg.Hops)
 		return nil
 	case KindRegister:
+		p.blobLearn(msg.From, msg.Body)
 		reg, err := catalog.UnmarshalRegistration(p.ns, msg.Body)
 		if err != nil {
 			return fmt.Errorf("peer %s: bad registration: %w", p.addr, err)
@@ -622,6 +658,7 @@ func (p *Peer) Deliver(net *simnet.Network, msg *simnet.Message) error {
 		}
 		return p.cat.Register(reg)
 	case KindDeregister:
+		p.blobLearn(msg.From, msg.Body)
 		addr := msg.Body.AttrDefault("addr", "")
 		if addr == "" {
 			return fmt.Errorf("peer %s: deregister without addr", p.addr)
@@ -650,19 +687,29 @@ func (p *Peer) handleMQP(msg *simnet.Message) error {
 // shutdown, per-plan timeout); a canceled step turns into an explicit
 // partial result annotated "canceled".
 func (p *Peer) processMQP(ctx context.Context, msg *simnet.Message) error {
-	plan, err := algebra.Unmarshal(msg.Body)
+	// Resolve payload references before anything interprets the body: an
+	// unresolved <blob> under <data> would be mistaken for payload data. A
+	// failed resolution (fetch-on-miss exhausted, only possible under
+	// faults) ends the plan here, attributably.
+	mbody, fdelay, derr := p.blobDecode(msg)
+	if derr != nil {
+		return p.noteStuck(fmt.Errorf("peer %s: plan %q: %w",
+			p.addr, msg.Body.AttrDefault("id", ""), derr))
+	}
+	plan, err := algebra.Unmarshal(mbody)
 	if err != nil {
 		return fmt.Errorf("peer %s: bad plan: %w", p.addr, err)
 	}
 	// A constant plan addressed to us is a result that was routed as an
 	// MQP; accept it either way.
 	if plan.Target == p.addr && plan.IsConstant() {
-		p.recordResult(plan, msg.At, msg.Hops)
+		p.recordResult(plan, msg.At+fdelay, msg.Hops)
 		return nil
 	}
 	p.lastAt.Store(int64(msg.At))
 
-	sc := mqp.StepContext{Ctx: ctx, Now: msg.At}
+	// Fetch-on-miss round trips charge the plan's clock like data pulls do.
+	sc := mqp.StepContext{Ctx: ctx, Now: msg.At, PullDelay: fdelay}
 	out, err := p.proc.StepCtx(&sc, plan)
 	if err != nil {
 		return p.noteStuck(fmt.Errorf("peer %s: %w", p.addr, err))
@@ -684,7 +731,7 @@ func (p *Peer) processMQP(ctx context.Context, msg *simnet.Message) error {
 				result.SetPartialReason("canceled")
 			}
 		}
-		body := algebra.Marshal(result)
+		body := p.blobEncode(algebra.Marshal(result), result.Target, at)
 		if p.rt != nil {
 			// The concurrent runtime ships results frozen: a result is final,
 			// freezing makes that explicit, and a frozen document crosses an
@@ -710,10 +757,18 @@ func (p *Peer) processMQP(ctx context.Context, msg *simnet.Message) error {
 	// an unreachable next hop falls through to the next candidate. The plan
 	// is marshaled once and the same document offered to each candidate;
 	// this relies on receivers never mutating msg.Body (Unmarshal
-	// freeze-and-aliases whatever it keeps).
+	// freeze-and-aliases whatever it keeps). In blob mode the substitution
+	// is per-receiver (it depends on what each candidate was taught), so
+	// each candidate gets its own staging tree instead of the shared one.
 	body := algebra.Marshal(plan)
 	var lastErr error
-	for _, hop := range out.NextHops {
+	for i, hop := range out.NextHops {
+		if p.blobs != nil {
+			if i > 0 {
+				body = algebra.Marshal(plan)
+			}
+			p.blobEncode(body, hop, at)
+		}
 		err := p.net.Send(&simnet.Message{
 			From: p.addr, To: hop, Kind: KindMQP,
 			Body: body, At: at, Hops: msg.Hops,
@@ -741,7 +796,12 @@ func (p *Peer) processMQP(ctx context.Context, msg *simnet.Message) error {
 // accounted for — as a partial at its owner, or as a stuck record here if
 // even the partial cannot be delivered.
 func (p *Peer) rejectMQP(msg *simnet.Message, reason string) error {
-	plan, err := algebra.Unmarshal(msg.Body)
+	mbody, _, derr := p.blobDecode(msg)
+	if derr != nil {
+		return p.noteStuck(fmt.Errorf("peer %s: plan %q: %w",
+			p.addr, msg.Body.AttrDefault("id", ""), derr))
+	}
+	plan, err := algebra.Unmarshal(mbody)
 	if err != nil {
 		return fmt.Errorf("peer %s: bad plan: %w", p.addr, err)
 	}
@@ -754,7 +814,7 @@ func (p *Peer) rejectMQP(msg *simnet.Message, reason string) error {
 	res.SetPartialReason(reason)
 	if err := p.net.Send(&simnet.Message{
 		From: p.addr, To: res.Target, Kind: KindResult,
-		Body: algebra.Marshal(res), At: msg.At, Hops: msg.Hops,
+		Body: p.blobEncode(algebra.Marshal(res), res.Target, msg.At), At: msg.At, Hops: msg.Hops,
 	}); err != nil {
 		return p.noteStuck(fmt.Errorf("peer %s: %s partial for plan %q undeliverable to %s: %w",
 			p.addr, reason, plan.ID, plan.Target, err))
@@ -765,14 +825,17 @@ func (p *Peer) rejectMQP(msg *simnet.Message, reason string) error {
 // Serve implements simnet.Peer: data pulls, harvesting, and category
 // queries.
 func (p *Peer) Serve(net *simnet.Network, req *simnet.Message) (*xmltree.Node, error) {
+	p.blobLearn(req.From, req.Body)
 	switch req.Kind {
+	case KindBlobFetch:
+		return p.serveBlobFetch(req)
 	case KindFetch:
 		pathExp := req.Body.AttrDefault("path", "")
 		items, stale, err := p.fetchLocal(nil, p.addr, pathExp)
 		if err != nil {
 			return nil, err
 		}
-		reply := xmltree.Elem("data")
+		reply := p.blobMark(xmltree.Elem("data"))
 		reply.SetAttr("staleness", strconv.Itoa(stale))
 		for _, it := range items {
 			// Collection items are frozen on install, so a fetch reply
@@ -781,7 +844,7 @@ func (p *Peer) Serve(net *simnet.Network, req *simnet.Message) (*xmltree.Node, e
 		}
 		return reply, nil
 	case KindExport:
-		return catalog.MarshalRegistration(p.Registration(catalog.RoleBase)), nil
+		return p.blobMark(catalog.MarshalRegistration(p.Registration(catalog.RoleBase))), nil
 	case KindSubcats:
 		if p.cfg.CategoryServer == nil {
 			return nil, fmt.Errorf("peer %s: not a category server", p.addr)
@@ -855,10 +918,11 @@ func (p *Peer) fetchRemote(sc *mqp.StepContext, addr, pathExp string) ([]*xmltre
 	req := xmltree.Elem("fetch")
 	req.SetAttr("path", pathExp)
 	start := sc.Now
-	reply, at, err := p.net.Request(p.addr, addr, KindFetch, req, start)
+	reply, at, err := p.net.Request(p.addr, addr, KindFetch, p.blobMark(req), start)
 	if err != nil {
 		return nil, 0, err
 	}
+	p.blobLearn(addr, reply)
 	sc.PullDelay += at - start
 	stale, err := strconv.Atoi(reply.AttrDefault("staleness", "0"))
 	if err != nil {
@@ -866,7 +930,13 @@ func (p *Peer) fetchRemote(sc *mqp.StepContext, addr, pathExp string) ([]*xmltre
 	}
 	items := make([]*xmltree.Node, 0, len(reply.Elements()))
 	for _, e := range reply.Elements() {
-		items = append(items, e.Freeze())
+		it := e.Freeze()
+		if p.blobs != nil {
+			// Pulled data dedups against residents without pinning: the
+			// items live only as long as the plan that pulled them.
+			it = p.blobs.store.Canonicalize(it)
+		}
+		items = append(items, it)
 	}
 	return items, stale, nil
 }

@@ -68,9 +68,12 @@ func waitResults(t *testing.T, client *Peer, n int) []Result {
 
 // TestWorkerPoolDelivery drives a worker-pool server from concurrent
 // submitters: every plan must come back as a complete (non-partial) result
-// with the same answer synchronous processing gives.
+// with the same answer synchronous processing gives. The queue is sized to
+// hold the whole burst — whether shedding kicks in at the default depth is
+// a scheduling race (the workers may drain arbitrarily slowly, e.g. under
+// -race); admission control has its own test below.
 func TestWorkerPoolDelivery(t *testing.T) {
-	client, srv := runtimeWorld(t, Config{Workers: 4, PlanCacheSize: 16})
+	client, srv := runtimeWorld(t, Config{Workers: 4, QueueDepth: 128, PlanCacheSize: 16})
 	defer srv.Close()
 
 	const submitters, plansEach = 4, 16

@@ -1,6 +1,7 @@
 package route
 
 import (
+	"math"
 	"sort"
 	"sync"
 	"time"
@@ -53,12 +54,20 @@ type ShortcutsConfig struct {
 	// MaxPerArea caps the edges kept per area (default 4); the lowest-scored
 	// entry is evicted first.
 	MaxPerArea int
+	// HalfLife is the decay horizon of an edge's confirmation weight
+	// (default 10 virtual minutes): an entry's score is its hit count
+	// discounted by 2^(-(now-LearnedAt)/HalfLife), so a recently confirmed
+	// edge outranks one that piled up hits long ago and then went quiet.
+	// Expiry still removes entries outright; decay only orders the live
+	// ones.
+	HalfLife time.Duration
 }
 
 const (
 	defaultShortcutMaxAge     = 30 * time.Minute
 	defaultShortcutStaleAge   = 5 * time.Minute
 	defaultShortcutMaxPerArea = 4
+	defaultShortcutHalfLife   = 10 * time.Minute
 )
 
 // ShortcutStats is a snapshot of a table's counters.
@@ -91,6 +100,9 @@ func NewShortcuts(cfg ShortcutsConfig) *Shortcuts {
 	if cfg.MaxPerArea <= 0 {
 		cfg.MaxPerArea = defaultShortcutMaxPerArea
 	}
+	if cfg.HalfLife <= 0 {
+		cfg.HalfLife = defaultShortcutHalfLife
+	}
 	return &Shortcuts{cfg: cfg, byArea: map[string][]*ShortcutEntry{}}
 }
 
@@ -111,14 +123,14 @@ func (s *Shortcuts) Learn(area, server string, gen uint64, at time.Duration) {
 			e.Hits++
 			e.LearnedAt = at
 			e.Generation = gen
-			s.sortLocked(entries)
+			s.sortLocked(entries, at)
 			return
 		}
 	}
 	entries = append(entries, &ShortcutEntry{
 		Area: area, Server: server, Hits: 1, LearnedAt: at, Generation: gen,
 	})
-	s.sortLocked(entries)
+	s.sortLocked(entries, at)
 	if len(entries) > s.cfg.MaxPerArea {
 		entries = entries[:s.cfg.MaxPerArea]
 		s.stats.Expired++
@@ -126,13 +138,30 @@ func (s *Shortcuts) Learn(area, server string, gen uint64, at time.Duration) {
 	s.byArea[area] = entries
 }
 
-// sortLocked orders entries best-first: most hits, then most recent.
-func (s *Shortcuts) sortLocked(entries []*ShortcutEntry) {
+// scoreLocked is an entry's decay-weighted confirmation count at virtual
+// time at: Hits discounted by 2^(-(at-LearnedAt)/HalfLife). Hits on a
+// quiet edge lose half their weight every half-life, so routing follows
+// where the workload has been answered recently, not just often.
+func (s *Shortcuts) scoreLocked(e *ShortcutEntry, at time.Duration) float64 {
+	age := at - e.LearnedAt
+	if age < 0 {
+		age = 0
+	}
+	return float64(e.Hits) * math.Exp2(-float64(age)/float64(s.cfg.HalfLife))
+}
+
+// sortLocked orders entries best-first at virtual time at: highest decayed
+// score, then most recent, then server name for determinism.
+func (s *Shortcuts) sortLocked(entries []*ShortcutEntry, at time.Duration) {
 	sort.SliceStable(entries, func(i, j int) bool {
-		if entries[i].Hits != entries[j].Hits {
-			return entries[i].Hits > entries[j].Hits
+		si, sj := s.scoreLocked(entries[i], at), s.scoreLocked(entries[j], at)
+		if si != sj {
+			return si > sj
 		}
-		return entries[i].LearnedAt > entries[j].LearnedAt
+		if entries[i].LearnedAt != entries[j].LearnedAt {
+			return entries[i].LearnedAt > entries[j].LearnedAt
+		}
+		return entries[i].Server < entries[j].Server
 	})
 }
 
@@ -146,17 +175,24 @@ func (s *Shortcuts) liveLocked(e *ShortcutEntry, gen uint64, at time.Duration) b
 	return at-e.LearnedAt <= ttl
 }
 
-// Lookup returns the live learned servers for an area, best-first, and
+// Lookup returns the live learned servers for an area, best-first by
+// decayed score AT LOOKUP TIME (stored order is only as fresh as the last
+// Learn, and decay keeps shifting the ranking between confirmations), and
 // counts the hit or miss. Expired entries are skipped (and reaped on the
 // next Learn or Sweep), never returned.
 func (s *Shortcuts) Lookup(area string, gen uint64, at time.Duration) []string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	var out []string
+	live := make([]*ShortcutEntry, 0, len(s.byArea[area]))
 	for _, e := range s.byArea[area] {
 		if s.liveLocked(e, gen, at) {
-			out = append(out, e.Server)
+			live = append(live, e)
 		}
+	}
+	s.sortLocked(live, at)
+	var out []string
+	for _, e := range live {
+		out = append(out, e.Server)
 	}
 	if len(out) > 0 {
 		s.stats.Hits++

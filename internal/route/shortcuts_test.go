@@ -183,3 +183,59 @@ func TestShortcutsConcurrent(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestShortcutsDecayOrdering pins the decay-weighted ranking: an edge that
+// piled up hits long ago and went quiet is outranked by a recently
+// confirmed edge with fewer hits, both at Learn-time re-sorting and at
+// Lookup time as decay keeps shifting the balance between confirmations.
+func TestShortcutsDecayOrdering(t *testing.T) {
+	s := NewShortcuts(ShortcutsConfig{HalfLife: 10 * time.Minute, MaxAge: 24 * time.Hour})
+	const area = "urn:L:USA/OR"
+	// old:1 earns 10 confirmations in the first minute; new:1 earns 3
+	// around the 29-minute mark.
+	for i := 0; i < 10; i++ {
+		s.Learn(area, "old:1", 1, 1*time.Minute)
+	}
+	for i := 0; i < 3; i++ {
+		s.Learn(area, "new:1", 1, 29*time.Minute)
+	}
+
+	// Immediately after the burst both raw orderings agree (3 fresh hits
+	// beat 10 decayed to 10×2^-2.8 ≈ 1.4).
+	if got := s.Lookup(area, 1, 30*time.Minute); got[0] != "new:1" {
+		t.Fatalf("at 30m lookup = %v, want new:1 first (recent confirmations outrank stale bulk)", got)
+	}
+
+	// The same table, read shortly after the old edge's burst, ranks the
+	// other way — 9 minutes in, old:1 still scores 10×2^-0.8 ≈ 5.7 against
+	// a not-yet-confirmed new:1 (score 0 hits... it has 3 hits learned at
+	// 29m, in the future relative to 9m: future stamps clamp to age 0, so
+	// 3). Decay is a function of the lookup clock, not of table state.
+	if got := s.Lookup(area, 1, 9*time.Minute); got[0] != "old:1" {
+		t.Fatalf("at 9m lookup = %v, want old:1 first", got)
+	}
+
+	// One fresh confirmation for the quiet edge restores it: 11 hits
+	// re-stamped now beats 3 hits a half-life old.
+	s.Learn(area, "old:1", 1, 40*time.Minute)
+	if got := s.Lookup(area, 1, 40*time.Minute); got[0] != "old:1" {
+		t.Fatalf("after re-confirmation lookup = %v, want old:1 first", got)
+	}
+}
+
+// TestShortcutsDecayEviction: with decay, MaxPerArea eviction drops the
+// stalest edge, not the newest — a table full of dead weight makes room
+// for the edge the workload is proving right now.
+func TestShortcutsDecayEviction(t *testing.T) {
+	s := NewShortcuts(ShortcutsConfig{MaxPerArea: 2, HalfLife: 5 * time.Minute, MaxAge: 24 * time.Hour})
+	const area = "urn:L:USA"
+	for i := 0; i < 8; i++ {
+		s.Learn(area, "stale:1", 1, 0) // 8 hits, ancient
+	}
+	s.Learn(area, "warm:1", 1, 58*time.Minute)
+	s.Learn(area, "fresh:1", 1, 60*time.Minute) // table over cap: stale:1 scores 8×2^-12 ≈ 0.002 and is evicted
+	got := s.Lookup(area, 1, 60*time.Minute)
+	if len(got) != 2 || got[0] != "fresh:1" || got[1] != "warm:1" {
+		t.Fatalf("lookup = %v, want [fresh:1 warm:1] with stale:1 evicted", got)
+	}
+}

@@ -39,8 +39,23 @@ import (
 // tests can shorten it.
 var IdleTimeout = 45 * time.Second
 
-// linkMagic opens a multiplexed connection.
+// linkMagic opens a version-1 multiplexed connection: frames immediately
+// follow the magic and neither side advertises capabilities.
 const linkMagic = "MUX1"
+
+// linkMagic2 opens a version-2 multiplexed connection: the dialer's
+// capability byte follows the magic, the server answers with its own
+// capability byte, and frames follow. A MUX1-only server rejects the
+// unknown magic and closes; the dialer detects the dead handshake and
+// redials as MUX1 with no capabilities — mixed-version deployments
+// degrade to inline-only payloads, never to a broken link.
+const linkMagic2 = "MUX2"
+
+// CapBlobRef advertises that this endpoint holds a content-addressed
+// payload store and accepts <blob fp="..."/> by-reference payload sections
+// (internal/blobstore); senders must keep payloads inline on links whose
+// peer never advertised it.
+const CapBlobRef byte = 0x01
 
 // ErrRemote reports that the remote handler failed on a Call frame. The link
 // itself is healthy: a remote failure is never grounds for a redial.
@@ -56,6 +71,9 @@ var errLinkBroken = errors.New("wire: link broken")
 type Link struct {
 	addr string
 	conn net.Conn
+	// peerCaps is the capability byte the server answered the MUX2
+	// handshake with; zero on MUX1 links (legacy peers advertise nothing).
+	peerCaps byte
 
 	// wmu serializes whole frames onto the connection; each frame sets its
 	// own write deadline, so one stalled frame cannot charge its wait to a
@@ -70,7 +88,19 @@ type Link struct {
 	lastUse time.Time
 }
 
-func dialLink(addr string) (*Link, error) {
+// PeerCaps returns the capability byte the peer advertised during the
+// handshake (zero on MUX1 links).
+func (l *Link) PeerCaps() byte { return l.peerCaps }
+
+func dialLink(addr string, caps byte, legacy bool) (*Link, error) {
+	if caps != 0 && !legacy {
+		l, err := dialLink2(addr, caps)
+		if err == nil || !errors.Is(err, errLegacyPeer) {
+			return l, err
+		}
+		// The peer rejected the MUX2 magic (a version-1 endpoint closes on
+		// sight of it); fall through to a fresh MUX1 dial, inline-only.
+	}
 	conn, err := net.DialTimeout("tcp", addr, DialTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
@@ -85,6 +115,43 @@ func dialLink(addr string) (*Link, error) {
 		conn:    conn,
 		pending: map[uint64]chan []byte{},
 		lastUse: time.Now(),
+	}
+	go l.readLoop()
+	return l, nil
+}
+
+// errLegacyPeer marks a MUX2 handshake the peer cut short — the signature
+// of a version-1 endpoint. The dialer retries as MUX1.
+var errLegacyPeer = errors.New("wire: peer closed the MUX2 handshake")
+
+// dialLink2 performs the version-2 handshake: magic, the local capability
+// byte, then one capability byte back from the server before any frame.
+func dialLink2(addr string, caps byte) (*Link, error) {
+	conn, err := net.DialTimeout("tcp", addr, DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
+	}
+	_ = conn.SetWriteDeadline(time.Now().Add(WriteTimeout))
+	if _, err := conn.Write(append([]byte(linkMagic2), caps)); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("wire: link handshake to %s: %w", addr, err)
+	}
+	var reply [1]byte
+	_ = conn.SetReadDeadline(time.Now().Add(ReadTimeout))
+	if _, err := io.ReadFull(conn, reply[:]); err != nil {
+		// The server never answered the capability exchange: a version-1
+		// endpoint rejected the magic and closed. (A genuinely unreachable
+		// host already failed the dial above.)
+		conn.Close()
+		return nil, errLegacyPeer
+	}
+	_ = conn.SetReadDeadline(time.Time{})
+	l := &Link{
+		addr:     addr,
+		conn:     conn,
+		peerCaps: reply[0],
+		pending:  map[uint64]chan []byte{},
+		lastUse:  time.Now(),
 	}
 	go l.readLoop()
 	return l, nil
@@ -236,6 +303,14 @@ type LinkPool struct {
 	mu    sync.Mutex
 	links map[string]*Link
 	dials map[string]*pendingDial
+	// caps is the capability byte advertised on MUX2 dials; zero keeps
+	// every dial on the version-1 handshake.
+	caps byte
+	// legacy remembers addresses whose peer rejected the MUX2 magic, so
+	// each reconnection doesn't re-pay the probe dial. A legacy peer that
+	// upgrades mid-flight stays inline-only until this pool is rebuilt —
+	// correctness is unaffected, by-reference is only an optimization.
+	legacy map[string]bool
 }
 
 // pendingDial single-flights connection establishment: a burst of first
@@ -247,9 +322,28 @@ type pendingDial struct {
 	err  error
 }
 
-// NewLinkPool returns an empty pool.
+// NewLinkPool returns an empty pool speaking the version-1 handshake.
 func NewLinkPool() *LinkPool {
-	return &LinkPool{links: map[string]*Link{}, dials: map[string]*pendingDial{}}
+	return &LinkPool{links: map[string]*Link{}, dials: map[string]*pendingDial{}, legacy: map[string]bool{}}
+}
+
+// SetLocalCaps sets the capability byte advertised on future dials (MUX2);
+// existing links are unaffected. Call before traffic starts.
+func (p *LinkPool) SetLocalCaps(caps byte) {
+	p.mu.Lock()
+	p.caps = caps
+	p.mu.Unlock()
+}
+
+// PeerCaps returns the capability byte the peer at addr advertised,
+// dialing a link if none is cached. Zero means a version-1 peer (or a
+// version-2 peer with nothing to advertise): payloads must stay inline.
+func (p *LinkPool) PeerCaps(addr string) (byte, error) {
+	l, _, err := p.get(addr)
+	if err != nil {
+		return 0, err
+	}
+	return l.PeerCaps(), nil
 }
 
 // get returns a healthy link to addr, dialing if necessary. cached reports
@@ -277,14 +371,20 @@ func (p *LinkPool) get(addr string) (l *Link, cached bool, err error) {
 	}
 	d := &pendingDial{done: make(chan struct{})}
 	p.dials[addr] = d
+	caps, legacy := p.caps, p.legacy[addr]
 	p.mu.Unlock()
 
-	l, err = dialLink(addr)
+	l, err = dialLink(addr, caps, legacy)
 	p.mu.Lock()
 	delete(p.dials, addr)
 	d.l, d.err = l, err
 	if err == nil {
 		p.links[addr] = l
+		if caps != 0 && !legacy && l.PeerCaps() == 0 {
+			// The MUX2 probe fell back (or the peer advertised nothing);
+			// remember so reconnections skip the wasted probe dial.
+			p.legacy[addr] = true
+		}
 	}
 	p.mu.Unlock()
 	close(d.done)

@@ -1,7 +1,9 @@
 package wire
 
 import (
+	"encoding/binary"
 	"fmt"
+	"io"
 	"net"
 	"strings"
 	"sync"
@@ -329,7 +331,7 @@ func TestLinkWriteDeadlinePerFrame(t *testing.T) {
 		defer conn.Close()
 		time.Sleep(10 * time.Second) // never read
 	}()
-	l, err := dialLink(ln.Addr().String())
+	l, err := dialLink(ln.Addr().String(), 0, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -349,5 +351,142 @@ func TestLinkWriteDeadlinePerFrame(t *testing.T) {
 	}
 	if elapsed := time.Since(start); elapsed > 10*WriteTimeout {
 		t.Fatalf("stalled write took %v, want ~%v", elapsed, WriteTimeout)
+	}
+}
+
+// TestMux2CapabilityNegotiation: a capability-bearing pool against a
+// capability-bearing server negotiates MUX2 — both sides see the other's
+// byte — while a zero-cap pool stays on MUX1 and reads zero peer caps.
+func TestMux2CapabilityNegotiation(t *testing.T) {
+	srv, cl := listenCounting(t, func(doc *xmltree.Node) (*xmltree.Node, error) {
+		return doc, nil
+	})
+	srv.SetCaps(CapBlobRef)
+
+	pool := NewLinkPool()
+	defer pool.Close()
+	pool.SetLocalCaps(CapBlobRef)
+
+	caps, err := pool.PeerCaps(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if caps != CapBlobRef {
+		t.Fatalf("peer caps = %#x, want CapBlobRef", caps)
+	}
+	// The negotiated link carries frames like any other.
+	doc := xmltree.ElemAttrs("mqp", xmltree.Attr{Name: "id", Value: "m2"})
+	reply, _, err := pool.Call(srv.Addr(), func(e *xmltree.FrameEncoder) { e.Node(doc) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.AttrDefault("id", "") != "m2" {
+		t.Fatalf("reply = %s", reply)
+	}
+	if n := cl.accepts.Load(); n != 1 {
+		t.Fatalf("negotiation + call used %d connections, want 1", n)
+	}
+
+	// A store-less client keeps the version-1 handshake and learns nothing.
+	plain := NewLinkPool()
+	defer plain.Close()
+	caps, err = plain.PeerCaps(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if caps != 0 {
+		t.Fatalf("MUX1 link reported peer caps %#x, want 0", caps)
+	}
+}
+
+// legacyMux1Server accepts connections speaking ONLY the version-1
+// protocol, closing on any other magic — the behavior of a pre-MUX2 build.
+// It echoes correlated frames so the test can prove the link still works
+// after the fallback.
+func legacyMux1Server(t *testing.T) (addr string, accepts *atomic.Int64) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	accepts = &atomic.Int64{}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			accepts.Add(1)
+			go func(conn net.Conn) {
+				defer conn.Close()
+				magic := make([]byte, 4)
+				if _, err := io.ReadFull(conn, magic); err != nil || string(magic) != linkMagic {
+					return // old build: unknown magic, drop the connection
+				}
+				hdr := make([]byte, 12)
+				for {
+					if _, err := io.ReadFull(conn, hdr); err != nil {
+						return
+					}
+					n := binary.BigEndian.Uint32(hdr[0:4])
+					payload := make([]byte, n)
+					if _, err := io.ReadFull(conn, payload); err != nil {
+						return
+					}
+					if corr := binary.BigEndian.Uint64(hdr[4:12]); corr != 0 {
+						if _, err := conn.Write(append(hdr, payload...)); err != nil {
+							return
+						}
+					}
+				}
+			}(conn)
+		}
+	}()
+	return ln.Addr().String(), accepts
+}
+
+// TestMux2LegacyFallback: a capability-bearing pool dialing a version-1
+// peer auto-detects the rejected handshake, redials as MUX1 and carries
+// traffic inline-only; the wasted probe dial happens once, not per
+// reconnection.
+func TestMux2LegacyFallback(t *testing.T) {
+	addr, accepts := legacyMux1Server(t)
+	pool := NewLinkPool()
+	defer pool.Close()
+	pool.SetLocalCaps(CapBlobRef)
+
+	caps, err := pool.PeerCaps(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if caps != 0 {
+		t.Fatalf("legacy peer advertised caps %#x, want 0", caps)
+	}
+	doc := xmltree.ElemAttrs("mqp", xmltree.Attr{Name: "id", Value: "legacy"})
+	reply, _, err := pool.Call(addr, func(e *xmltree.FrameEncoder) { e.Node(doc) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.AttrDefault("id", "") != "legacy" {
+		t.Fatalf("reply = %s", reply)
+	}
+	if n := accepts.Load(); n != 2 {
+		t.Fatalf("fallback used %d accepts, want 2 (failed MUX2 probe + MUX1 redial)", n)
+	}
+
+	// Drop the link and force a redial: the pool remembers the peer is
+	// legacy and goes straight to MUX1.
+	pool.mu.Lock()
+	l := pool.links[addr]
+	pool.mu.Unlock()
+	pool.drop(l)
+	// A round trip (not just a dial) so the server has provably accepted
+	// the reconnection before the count is read.
+	if _, _, err := pool.Call(addr, func(e *xmltree.FrameEncoder) { e.Node(doc) }); err != nil {
+		t.Fatal(err)
+	}
+	if n := accepts.Load(); n != 3 {
+		t.Fatalf("reconnection used %d total accepts, want 3 (no second probe)", n)
 	}
 }

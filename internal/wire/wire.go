@@ -191,9 +191,26 @@ type Server struct {
 	errs chan error
 
 	mu     sync.Mutex
+	caps   byte
 	conns  map[net.Conn]struct{}
 	closed bool
 	wg     sync.WaitGroup
+}
+
+// SetCaps sets the capability byte this server answers MUX2 handshakes
+// with (e.g. CapBlobRef when a payload store backs the handler). Call it
+// before traffic; links already negotiated keep their original answer.
+func (s *Server) SetCaps(caps byte) {
+	s.mu.Lock()
+	s.caps = caps
+	s.mu.Unlock()
+}
+
+// Caps returns the advertised capability byte.
+func (s *Server) Caps() byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.caps
 }
 
 // Listen starts a server on addr. Handler errors are reported on Errors().
@@ -321,7 +338,27 @@ func (s *Server) handle(conn net.Conn, h Handler) {
 // ReadTimeout at a frame boundary; only a death mid-frame is reported.
 func (s *Server) serveLink(conn net.Conn, br *bufio.Reader, h Handler, report func(error)) {
 	var magic [4]byte
-	if _, err := io.ReadFull(br, magic[:]); err != nil || string(magic[:]) != linkMagic {
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		report(fmt.Errorf("wire: bad link magic from %s", conn.RemoteAddr()))
+		return
+	}
+	switch string(magic[:]) {
+	case linkMagic:
+		// Version 1: no capability exchange, frames follow immediately.
+	case linkMagic2:
+		// Version 2: the dialer's capability byte follows the magic and the
+		// server answers with its own before the first frame.
+		var peer [1]byte
+		if _, err := io.ReadFull(br, peer[:]); err != nil {
+			report(fmt.Errorf("wire: MUX2 capability byte from %s: %w", conn.RemoteAddr(), err))
+			return
+		}
+		_ = conn.SetWriteDeadline(time.Now().Add(WriteTimeout))
+		if _, err := conn.Write([]byte{s.Caps()}); err != nil {
+			report(fmt.Errorf("wire: MUX2 capability reply to %s: %w", conn.RemoteAddr(), err))
+			return
+		}
+	default:
 		report(fmt.Errorf("wire: bad link magic from %s", conn.RemoteAddr()))
 		return
 	}

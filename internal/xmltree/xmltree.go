@@ -282,6 +282,19 @@ func (n *Node) Freeze() *Node {
 // frozen.
 func (n *Node) Frozen() bool { return n.memoGen == frozenGen }
 
+// FrozenSerialization returns the memoized canonical serialization of a
+// frozen subtree and true, or ("", false) when the node is mutable or was
+// frozen as an interior node of a larger freeze (only freeze roots and the
+// decoder's clean spans carry the memo). Content-addressed callers
+// (internal/blobstore) fingerprint the returned string without
+// re-serializing; the string is immutable for the life of the node.
+func (n *Node) FrozenSerialization() (string, bool) {
+	if n != nil && n.memoGen == frozenGen && n.memoStr != "" {
+		return n.memoStr, true
+	}
+	return "", false
+}
+
 // Share returns the node itself when it is frozen — aliasing an immutable
 // subtree is free and safe — and a deep mutable copy otherwise. It is the
 // copy-on-write primitive marshaling paths use in place of Clone.
